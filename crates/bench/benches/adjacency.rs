@@ -1,0 +1,96 @@
+//! Data-structure microbenches: the O(1) edge pool and the O(log d)
+//! adjacency operations that bound every switch.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use edgeswitch_dist::root_rng;
+use edgeswitch_graph::generators::erdos_renyi_gnm;
+use edgeswitch_graph::sampling::EdgePool;
+use edgeswitch_graph::Edge;
+use rand::Rng;
+
+fn bench_edge_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_pool");
+    let size = 100_000u64;
+    let ops = 10_000u64;
+    group.throughput(Throughput::Elements(ops));
+
+    group.bench_function("sample", |b| {
+        let pool: EdgePool = (0..size).map(|i| Edge::new(i, i + size)).collect();
+        let mut rng = root_rng(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..ops {
+                acc = acc.wrapping_add(pool.sample(&mut rng).unwrap().src());
+            }
+            acc
+        })
+    });
+
+    group.bench_function("insert_remove_churn", |b| {
+        let mut pool: EdgePool = (0..size).map(|i| Edge::new(i, i + size)).collect();
+        let mut rng = root_rng(2);
+        b.iter(|| {
+            for _ in 0..ops {
+                let e = pool.sample(&mut rng).unwrap();
+                pool.remove(e);
+                pool.insert(Edge::new(e.src(), e.dst() + 1_000_000 + rng.gen_range(0..97)));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_adjacency_probe(c: &mut Criterion) {
+    let mut rng = root_rng(3);
+    let g = erdos_renyi_gnm(10_000, 200_000, &mut rng);
+    let probes = 10_000u64;
+    let mut group = c.benchmark_group("adjacency");
+    group.throughput(Throughput::Elements(probes));
+    group.bench_function("has_edge", |b| {
+        let mut rng = root_rng(4);
+        b.iter(|| {
+            let mut hits = 0u64;
+            for _ in 0..probes {
+                let a = rng.gen_range(0..10_000u64);
+                let b2 = rng.gen_range(0..10_000u64);
+                if a != b2 && g.has_edge(Edge::new(a, b2)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("neighbor_contains", |b| {
+        let mut rng = root_rng(5);
+        b.iter(|| {
+            let mut hits = 0u64;
+            for _ in 0..probes {
+                let a = rng.gen_range(0..10_000u64);
+                let b2 = rng.gen_range(0..10_000u64);
+                if g.neighbors(a).contains(b2) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+
+/// Short-run configuration: this repository benches on a single-core
+/// machine; 10 samples x ~2s per benchmark keeps the full suite fast
+/// while still flagging order-of-magnitude regressions.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_edge_pool, bench_adjacency_probe
+}
+criterion_main!(benches);

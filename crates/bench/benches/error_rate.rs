@@ -1,0 +1,78 @@
+//! Similarity-metric and variant-algorithm benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use edgeswitch_core::error_rate::BlockMatrix;
+use edgeswitch_core::variants::{sequential_edge_switch_connected, sequential_exact_visit};
+use edgeswitch_dist::root_rng;
+use edgeswitch_graph::generators::{erdos_renyi_gnm, small_world};
+use edgeswitch_graph::metrics::{average_clustering_sampled, transitivity, triangle_count};
+
+fn bench_error_rate(c: &mut Criterion) {
+    let mut rng = root_rng(1);
+    let g = erdos_renyi_gnm(20_000, 200_000, &mut rng);
+    let mut group = c.benchmark_group("error_rate");
+    for r in [4usize, 20, 100] {
+        group.bench_with_input(BenchmarkId::new("block_matrix", r), &r, |b, &r| {
+            b.iter(|| BlockMatrix::measure(&g, r))
+        });
+    }
+    group.finish();
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variants");
+    let t = 2_000u64;
+    group.throughput(Throughput::Elements(t));
+
+    group.bench_function("connected_switch", |b| {
+        let mut rng = root_rng(2);
+        let g = small_world(3_000, 10, 0.05, &mut rng);
+        b.iter_batched(
+            || (g.clone(), root_rng(3)),
+            |(mut g, mut rng)| sequential_edge_switch_connected(&mut g, t, &mut rng),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("exact_visit", |b| {
+        let mut rng = root_rng(4);
+        let g = erdos_renyi_gnm(5_000, 25_000, &mut rng);
+        b.iter_batched(
+            || (g.clone(), root_rng(5)),
+            |(mut g, mut rng)| sequential_exact_visit(&mut g, 0.2, &mut rng),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = root_rng(6);
+    let g = small_world(10_000, 10, 0.1, &mut rng);
+    let mut group = c.benchmark_group("metrics");
+    group.bench_function("triangle_count", |b| b.iter(|| triangle_count(&g)));
+    group.bench_function("transitivity", |b| b.iter(|| transitivity(&g)));
+    group.bench_function("clustering_sampled_1k", |b| {
+        let mut rng = root_rng(7);
+        b.iter(|| average_clustering_sampled(&g, 1000, &mut rng))
+    });
+    group.finish();
+}
+
+
+/// Short-run configuration: this repository benches on a single-core
+/// machine; 10 samples x ~2s per benchmark keeps the full suite fast
+/// while still flagging order-of-magnitude regressions.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_error_rate, bench_variants, bench_metrics
+}
+criterion_main!(benches);

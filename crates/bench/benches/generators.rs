@@ -1,0 +1,55 @@
+//! Generator throughput for the Table 2 dataset classes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use edgeswitch_dist::root_rng;
+use edgeswitch_graph::degree::{havel_hakimi, power_law_sequence};
+use edgeswitch_graph::generators::{
+    contact_network, erdos_renyi_gnm, preferential_attachment, small_world, ContactParams,
+};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    let n = 10_000usize;
+    group.throughput(Throughput::Elements(n as u64 * 10));
+
+    group.bench_function("erdos_renyi_gnm", |b| {
+        let mut rng = root_rng(1);
+        b.iter(|| erdos_renyi_gnm(n, n * 10, &mut rng))
+    });
+    group.bench_function("small_world", |b| {
+        let mut rng = root_rng(2);
+        b.iter(|| small_world(n, 20, 0.1, &mut rng))
+    });
+    group.bench_function("preferential_attachment", |b| {
+        let mut rng = root_rng(3);
+        b.iter(|| preferential_attachment(n, 10, &mut rng))
+    });
+    group.bench_function("contact_network", |b| {
+        let mut rng = root_rng(4);
+        b.iter(|| contact_network(ContactParams::miami_like(2_000), &mut rng))
+    });
+    group.bench_function("havel_hakimi_power_law", |b| {
+        let mut rng = root_rng(5);
+        let seq = power_law_sequence(n, 2.3, 2, 200, &mut rng);
+        b.iter(|| havel_hakimi(&seq).unwrap())
+    });
+    group.finish();
+}
+
+
+/// Short-run configuration: this repository benches on a single-core
+/// machine; 10 samples x ~2s per benchmark keeps the full suite fast
+/// while still flagging order-of-magnitude regressions.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_generators
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Random-variate throughput: BINV binomial draws (including the
+//! underflow-splitting path) and multinomial generation (Algorithms 3–5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use edgeswitch_dist::multinomial::multinomial;
+use edgeswitch_dist::parallel::multinomial_partitioned;
+use edgeswitch_dist::{binomial, root_rng};
+
+fn bench_binomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial");
+    for &(n, q) in &[(1_000u64, 0.3f64), (1_000_000, 0.01), (1_000_000_000, 1e-5)] {
+        group.throughput(Throughput::Elements((n as f64 * q.min(1.0 - q)) as u64 + 1));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_q{q}")),
+            &(n, q),
+            |b, &(n, q)| {
+                let mut rng = root_rng(1);
+                b.iter(|| binomial(n, q, &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_multinomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multinomial");
+    let n = 1_000_000u64;
+    group.throughput(Throughput::Elements(n));
+    for l in [4usize, 64, 1024] {
+        let q = vec![1.0 / l as f64; l];
+        group.bench_with_input(BenchmarkId::new("outcomes", l), &q, |b, q| {
+            let mut rng = root_rng(2);
+            b.iter(|| multinomial(n, q, &mut rng))
+        });
+    }
+    // The per-rank decomposition of Algorithm 5 (single-process form).
+    for parts in [16usize, 256] {
+        let q = vec![1.0 / 32.0; 32];
+        group.bench_with_input(BenchmarkId::new("partitioned", parts), &parts, |b, &parts| {
+            let mut rng = root_rng(3);
+            b.iter(|| multinomial_partitioned(n, &q, parts, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+
+/// Short-run configuration: this repository benches on a single-core
+/// machine; 10 samples x ~2s per benchmark keeps the full suite fast
+/// while still flagging order-of-magnitude regressions.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_binomial, bench_multinomial
+}
+criterion_main!(benches);

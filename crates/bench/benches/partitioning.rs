@@ -1,0 +1,81 @@
+//! Partitioning costs: building each scheme and the per-vertex `owner`
+//! lookup that sits on the protocol's hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use edgeswitch_dist::root_rng;
+use edgeswitch_graph::generators::preferential_attachment;
+use edgeswitch_graph::store::build_stores;
+use edgeswitch_graph::{Partitioner, SchemeKind};
+
+fn bench_build(c: &mut Criterion) {
+    let mut rng = root_rng(1);
+    let g = preferential_attachment(50_000, 10, &mut rng);
+    let p = 1024;
+    let mut group = c.benchmark_group("partition/build");
+    for scheme in SchemeKind::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let mut rng = root_rng(2);
+                    Partitioner::build(scheme, &g, p, &mut rng)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_owner(c: &mut Criterion) {
+    let mut rng = root_rng(3);
+    let g = preferential_attachment(50_000, 10, &mut rng);
+    let p = 1024;
+    let n = g.num_vertices() as u64;
+    let mut group = c.benchmark_group("partition/owner_lookup");
+    group.throughput(Throughput::Elements(n));
+    for scheme in SchemeKind::all() {
+        let part = Partitioner::build(scheme, &g, p, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &part,
+            |b, part| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for v in 0..n {
+                        acc = acc.wrapping_add(part.owner(v));
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_store_build(c: &mut Criterion) {
+    let mut rng = root_rng(4);
+    let g = preferential_attachment(50_000, 10, &mut rng);
+    let part = Partitioner::hash_universal(64, &mut rng);
+    c.bench_function("partition/build_stores", |b| {
+        b.iter(|| build_stores(&g, &part))
+    });
+}
+
+
+/// Short-run configuration: this repository benches on a single-core
+/// machine; 10 samples x ~2s per benchmark keeps the full suite fast
+/// while still flagging order-of-magnitude regressions.
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_build, bench_owner, bench_store_build
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Reproduction driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro list                      # show experiment ids
+//! repro fig4 [--scale 0.5] ...    # one experiment
+//! repro all [--out results]       # everything, archived to --out
+//! ```
+
+use edgeswitch_bench::experiments::{ablation_ids, all_ids, run, ExpConfig};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <experiment|all|ablations|list> [--scale S] [--reps N] [--seed X] [--out DIR]\n\
+         experiments: {}",
+        all_ids().join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let target = args[0].clone();
+    let mut cfg = ExpConfig::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                cfg.scale = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--reps" => {
+                cfg.reps = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--out" => {
+                out_dir = args.get(i + 1).map(PathBuf::from).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    match target.as_str() {
+        "list" => {
+            for id in all_ids() {
+                println!("{id}");
+            }
+            for id in ablation_ids() {
+                println!("{id}");
+            }
+        }
+        "ablations" => {
+            for id in ablation_ids() {
+                let report = run(id, &cfg).expect("known id");
+                report.print();
+                report.save(&out_dir).expect("write results");
+            }
+        }
+        "all" => {
+            println!(
+                "# reproducing all {} experiments (scale {}, {} reps, seed {})",
+                all_ids().len(),
+                cfg.scale,
+                cfg.reps,
+                cfg.seed
+            );
+            let total = Instant::now();
+            for id in all_ids() {
+                let start = Instant::now();
+                let report = run(id, &cfg).expect("known id");
+                report.print();
+                report.save(&out_dir).expect("write results");
+                println!("# {id} took {:.1}s\n", start.elapsed().as_secs_f64());
+            }
+            println!(
+                "# total: {:.1}s; archived to {}",
+                total.elapsed().as_secs_f64(),
+                out_dir.display()
+            );
+        }
+        id => match run(id, &cfg) {
+            Some(report) => {
+                report.print();
+                report.save(&out_dir).expect("write results");
+            }
+            None => usage(),
+        },
+    }
+}

@@ -1,0 +1,110 @@
+//! Result reporting: aligned text tables for stdout plus JSON archival.
+
+use serde_json::Value;
+use std::fs;
+use std::path::Path;
+
+/// A printable, archivable experiment result.
+pub struct Report {
+    /// Experiment id, e.g. `"fig4"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Structured result series.
+    pub data: Value,
+    /// Rendered text table(s).
+    pub rendered: String,
+}
+
+impl Report {
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("==== {} — {} ====", self.id, self.title);
+        println!("{}", self.rendered);
+    }
+
+    /// Write `<out>/<id>.json` (structured) and `<out>/<id>.txt`
+    /// (rendered).
+    pub fn save(&self, out: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(out)?;
+        fs::write(
+            out.join(format!("{}.json", self.id)),
+            serde_json::to_string_pretty(&self.data)?,
+        )?;
+        fs::write(
+            out.join(format!("{}.txt", self.id)),
+            format!("{} — {}\n\n{}", self.id, self.title, self.rendered),
+        )
+    }
+}
+
+/// Render an aligned table: `header` row then `rows`, columns padded to
+/// the widest cell.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut width = vec![0usize; cols];
+    for (i, h) in header.iter().enumerate() {
+        width[i] = h.chars().count();
+    }
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            width[i] = width[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], width: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = width[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &width));
+    out.push('\n');
+    out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &width));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a float with `d` decimals.
+pub fn f(x: f64, d: usize) -> String {
+    format!("{:.*}", d, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["p", "speedup"],
+            &[
+                vec!["16".into(), "3.1".into()],
+                vec!["1024".into(), "110.2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].contains("speedup"));
+        assert!(lines[2].trim_start().starts_with("16"));
+        assert!(lines[3].trim_start().starts_with("1024"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn table_rejects_ragged_rows() {
+        table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn float_format() {
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+}

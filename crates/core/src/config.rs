@@ -1,0 +1,123 @@
+//! Configuration of a parallel edge-switch run.
+
+use edgeswitch_graph::SchemeKind;
+use serde::{Deserialize, Serialize};
+
+/// How the step size `s` is chosen (Section 4.5: the probability vector
+/// `q` is refreshed every `s` operations).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum StepSize {
+    /// A fixed number of operations per step.
+    Ops(u64),
+    /// `s = max(1, t / divisor)` — the paper's `t/100` and `t/1000`
+    /// presets.
+    FractionOfT(u64),
+    /// All `t` operations in one step (the paper runs HP schemes this
+    /// way; Table 3).
+    SingleStep,
+}
+
+impl StepSize {
+    /// Resolve to a concrete `s` for a run of `t` operations.
+    pub fn resolve(&self, t: u64) -> u64 {
+        match self {
+            StepSize::Ops(s) => (*s).max(1),
+            StepSize::FractionOfT(div) => (t / (*div).max(1)).max(1),
+            StepSize::SingleStep => t.max(1),
+        }
+    }
+}
+
+/// How per-step operation quotas (and partner choices) are weighted.
+///
+/// The paper weights both by the live edge counts `q_i = |E_i|/|E|`
+/// (Algorithm 2); the uniform policy exists as an ablation showing why
+/// that choice matters for similarity to the sequential process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuotaPolicy {
+    /// `q_i = |E_i| / |E|` — the paper's design.
+    EdgeProportional,
+    /// `q_i = 1/p` — ablation: ignores partition loads.
+    Uniform,
+}
+
+/// Full configuration of a parallel run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParallelConfig {
+    /// Number of processors (partitions) `p`.
+    pub processors: usize,
+    /// Partitioning scheme.
+    pub scheme: SchemeKind,
+    /// Step size policy.
+    pub step_size: StepSize,
+    /// Quota/partner weighting (see [`QuotaPolicy`]).
+    pub quota_policy: QuotaPolicy,
+    /// Master seed; all rank streams derive from it.
+    pub seed: u64,
+}
+
+impl ParallelConfig {
+    /// The paper's default setup for strong-scaling runs: CP scheme with
+    /// `s = t/100`.
+    pub fn new(processors: usize) -> Self {
+        ParallelConfig {
+            processors,
+            scheme: SchemeKind::Consecutive,
+            step_size: StepSize::FractionOfT(100),
+            quota_policy: QuotaPolicy::EdgeProportional,
+            seed: 0,
+        }
+    }
+
+    /// Builder-style scheme override.
+    pub fn with_scheme(mut self, scheme: SchemeKind) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Builder-style step-size override.
+    pub fn with_step_size(mut self, step_size: StepSize) -> Self {
+        self.step_size = step_size;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style quota-policy override (ablation only).
+    pub fn with_quota_policy(mut self, quota_policy: QuotaPolicy) -> Self {
+        self.quota_policy = quota_policy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_step_sizes() {
+        assert_eq!(StepSize::Ops(500).resolve(10_000), 500);
+        assert_eq!(StepSize::FractionOfT(100).resolve(10_000), 100);
+        assert_eq!(StepSize::SingleStep.resolve(10_000), 10_000);
+        // Degenerate inputs stay positive.
+        assert_eq!(StepSize::Ops(0).resolve(10), 1);
+        assert_eq!(StepSize::FractionOfT(100).resolve(5), 1);
+        assert_eq!(StepSize::SingleStep.resolve(0), 1);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = ParallelConfig::new(8)
+            .with_scheme(SchemeKind::HashUniversal)
+            .with_step_size(StepSize::SingleStep)
+            .with_seed(42);
+        assert_eq!(cfg.processors, 8);
+        assert_eq!(cfg.scheme, SchemeKind::HashUniversal);
+        assert_eq!(cfg.step_size, StepSize::SingleStep);
+        assert_eq!(cfg.seed, 42);
+    }
+}

@@ -1,0 +1,181 @@
+//! The similarity (error-rate) metric of Section 4.6, Equations 6–7.
+//!
+//! Both graphs' vertices are divided into `r` equal consecutive-label
+//! blocks; `n(V_i, V_j)` counts edges between blocks `i ≤ j`. The edge
+//! difference `ED = Σ_{i≤j} |n_a(V_i,V_j) − n_b(V_i,V_j)|` is at most
+//! `2m`, giving the error rate `ER = ED / 2m × 100%`.
+
+use edgeswitch_graph::Graph;
+
+/// The upper-triangular block-pair edge-count matrix, flattened row-major
+/// over `i ≤ j`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockMatrix {
+    r: usize,
+    counts: Vec<u64>,
+    edges: u64,
+}
+
+impl BlockMatrix {
+    /// Count `n(V_i, V_j)` over `r` consecutive equal blocks.
+    ///
+    /// # Panics
+    /// Panics if `r` is zero or exceeds the vertex count of a non-empty
+    /// graph.
+    pub fn measure(graph: &Graph, r: usize) -> Self {
+        assert!(r >= 1, "need at least one block");
+        let n = graph.num_vertices();
+        assert!(n == 0 || r <= n, "more blocks ({r}) than vertices ({n})");
+        let mut counts = vec![0u64; r * (r + 1) / 2];
+        let block = |v: u64| -> usize {
+            // Equal consecutive ranges (first n mod r blocks one larger).
+            ((v as u128 * r as u128) / n.max(1) as u128) as usize
+        };
+        for e in graph.edges() {
+            let (bi, bj) = (block(e.src()), block(e.dst()));
+            let (lo, hi) = if bi <= bj { (bi, bj) } else { (bj, bi) };
+            counts[tri_index(lo, hi, r)] += 1;
+        }
+        BlockMatrix {
+            r,
+            counts,
+            edges: graph.num_edges() as u64,
+        }
+    }
+
+    /// Number of blocks `r`.
+    pub fn blocks(&self) -> usize {
+        self.r
+    }
+
+    /// `n(V_i, V_j)` for `i ≤ j`.
+    pub fn count(&self, i: usize, j: usize) -> u64 {
+        assert!(i <= j && j < self.r);
+        self.counts[tri_index(i, j, self.r)]
+    }
+
+    /// Edge difference `ED` against another matrix (Equation 6).
+    ///
+    /// # Panics
+    /// Panics if block counts differ.
+    pub fn edge_difference(&self, other: &BlockMatrix) -> u64 {
+        assert_eq!(self.r, other.r, "block counts must match");
+        self.counts
+            .iter()
+            .zip(&other.counts)
+            .map(|(&a, &b)| a.abs_diff(b))
+            .sum()
+    }
+
+    /// Error rate `ER = ED / 2m × 100%` (Equation 7), with `m` the edge
+    /// count of the *first* graph (both graphs have equal `m` in every
+    /// paper experiment — switches preserve edge count).
+    pub fn error_rate(&self, other: &BlockMatrix) -> f64 {
+        if self.edges == 0 {
+            return 0.0;
+        }
+        self.edge_difference(other) as f64 / (2.0 * self.edges as f64) * 100.0
+    }
+}
+
+/// Error rate between two graphs over `r` blocks — the paper's
+/// `ER(G₁, G₂)` in one call.
+pub fn error_rate(a: &Graph, b: &Graph, r: usize) -> f64 {
+    BlockMatrix::measure(a, r).error_rate(&BlockMatrix::measure(b, r))
+}
+
+#[inline]
+fn tri_index(i: usize, j: usize, r: usize) -> usize {
+    debug_assert!(i <= j && j < r);
+    // Row-major upper triangle: row i starts after i rows of lengths
+    // r, r-1, ..., r-i+1, i.e. at i·r − i(i−1)/2 = i(2r − i + 1)/2.
+    i * (2 * r - i + 1) / 2 + (j - i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgeswitch_graph::Edge;
+
+    fn g(n: usize, edges: &[(u64, u64)]) -> Graph {
+        Graph::from_edges(n, edges.iter().map(|&(a, b)| Edge::new(a, b))).unwrap()
+    }
+
+    #[test]
+    fn tri_index_enumerates_upper_triangle() {
+        let r = 4;
+        let mut seen = vec![false; r * (r + 1) / 2];
+        for i in 0..r {
+            for j in i..r {
+                let idx = tri_index(i, j, r);
+                assert!(!seen[idx], "collision at ({i},{j})");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn measure_counts_blocks() {
+        // 4 vertices, r=2: blocks {0,1} and {2,3}.
+        let graph = g(4, &[(0, 1), (0, 2), (2, 3), (1, 3)]);
+        let m = BlockMatrix::measure(&graph, 2);
+        assert_eq!(m.count(0, 0), 1); // (0,1)
+        assert_eq!(m.count(1, 1), 1); // (2,3)
+        assert_eq!(m.count(0, 1), 2); // (0,2), (1,3)
+    }
+
+    #[test]
+    fn identical_graphs_have_zero_error() {
+        let graph = g(6, &[(0, 1), (2, 3), (4, 5), (0, 5)]);
+        assert_eq!(error_rate(&graph, &graph, 3), 0.0);
+    }
+
+    #[test]
+    fn disjoint_block_placement_maximizes_error() {
+        // a: both edges inside block 0; b: both inside block 1.
+        let a = g(4, &[(0, 1)]);
+        let b = g(4, &[(2, 3)]);
+        // ED = |1-0| + |0-1| = 2, 2m = 2 → 100%.
+        assert_eq!(error_rate(&a, &b, 2), 100.0);
+    }
+
+    #[test]
+    fn partial_difference() {
+        let a = g(4, &[(0, 1), (2, 3)]);
+        let b = g(4, &[(0, 1), (1, 2)]);
+        // Differs in cells (1,1) and (0,1): ED = 2, 2m = 4 → 50%.
+        assert_eq!(error_rate(&a, &b, 2), 50.0);
+    }
+
+    #[test]
+    fn error_rate_is_symmetric() {
+        let a = g(8, &[(0, 1), (2, 5), (6, 7), (3, 4)]);
+        let b = g(8, &[(0, 2), (1, 5), (6, 7), (3, 7)]);
+        assert_eq!(error_rate(&a, &b, 4), error_rate(&b, &a, 4));
+    }
+
+    #[test]
+    fn uneven_blocks_cover_all_vertices() {
+        // n = 5, r = 2: block boundary between labels 2 and 3 (0,1,2 | 3,4).
+        let graph = g(5, &[(0, 4), (2, 3), (1, 2)]);
+        let m = BlockMatrix::measure(&graph, 2);
+        assert_eq!(m.count(0, 0) + m.count(0, 1) + m.count(1, 1), 3);
+    }
+
+    #[test]
+    fn empty_graph_zero_error() {
+        let a = Graph::new(0);
+        let b = Graph::new(0);
+        assert_eq!(error_rate(&a, &b, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block counts must match")]
+    fn mismatched_blocks_rejected() {
+        let graph = g(4, &[(0, 1)]);
+        let a = BlockMatrix::measure(&graph, 2);
+        let b = BlockMatrix::measure(&graph, 4);
+        let _ = a.edge_difference(&b);
+    }
+}

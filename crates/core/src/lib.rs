@@ -1,0 +1,48 @@
+//! # edgeswitch-core
+//!
+//! Sequential and distributed-memory parallel edge-switching algorithms:
+//! the primary contribution of Bhuiyan et al., *"Fast Parallel Algorithms
+//! for Edge-Switching to Achieve a Target Visit Rate in Heterogeneous
+//! Graphs"* (ICPP 2014; extended JPDC version).
+//!
+//! - [`switch`]: straight/cross recombination and legality,
+//! - [`sequential`]: Algorithm 1,
+//! - [`parallel`]: the distributed protocol (Sections 4–5) with threaded
+//!   and deterministic drivers,
+//! - [`visit`]: visit-rate tracking (Section 3.1),
+//! - [`error_rate`]: the sequential-vs-parallel similarity metric
+//!   (Section 4.6),
+//! - [`config`]: run configuration (scheme, step size, seed).
+//!
+//! ```
+//! use edgeswitch_core::{sequential::sequential_edge_switch, config::*};
+//! use edgeswitch_graph::generators::erdos_renyi_gnm;
+//! use edgeswitch_dist::root_rng;
+//!
+//! let mut rng = root_rng(1);
+//! let mut g = erdos_renyi_gnm(100, 400, &mut rng);
+//! let before = g.degree_sequence();
+//! let out = sequential_edge_switch(&mut g, 500, &mut rng);
+//! assert_eq!(out.performed, 500);
+//! assert_eq!(g.degree_sequence(), before); // switches preserve degrees
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error_rate;
+pub mod parallel;
+pub mod sequential;
+pub mod switch;
+pub mod variants;
+pub mod visit;
+
+pub use config::{ParallelConfig, StepSize};
+pub use error_rate::{error_rate, BlockMatrix};
+pub use parallel::{parallel_edge_switch, simulate_parallel, ParallelOutcome};
+pub use sequential::{sequential_edge_switch, sequential_for_visit_rate, SequentialOutcome};
+pub use variants::{
+    sequential_edge_switch_connected, sequential_exact_visit, ConstrainedOutcome,
+};
+pub use switch::{RejectReason, SwitchKind};
+pub use visit::VisitTracker;

@@ -1,0 +1,22 @@
+//! The distributed-memory parallel edge-switch algorithm (Sections 4–5).
+//!
+//! - [`rank`]: the pure per-processor protocol state machine,
+//! - [`msg`]: the wire protocol,
+//! - [`engine`]: the threaded driver over `mpilite` ranks,
+//! - [`sim`]: a deterministic single-threaded driver for large virtual
+//!   worlds and similarity experiments.
+
+pub mod engine;
+pub mod msg;
+pub mod rank;
+pub mod sim;
+
+#[cfg(test)]
+mod rank_tests;
+#[cfg(test)]
+mod tests;
+
+pub use engine::{parallel_edge_switch, parallel_edge_switch_with, ParallelOutcome};
+pub use msg::{ConvId, Msg, Outbox};
+pub use rank::{RankState, RankStats, StartResult};
+pub use sim::{simulate_parallel, simulate_parallel_with};

@@ -1,0 +1,195 @@
+//! The wire protocol of the distributed edge-switch algorithm
+//! (Section 4.4, generalized — see `rank.rs` module docs).
+
+use crate::switch::RejectReason;
+use edgeswitch_graph::Edge;
+use mpilite::{CollCarrier, CollPayload};
+
+/// Conversation identifier: unique per (initiating rank, sequence).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConvId {
+    /// Rank that initiated the switch operation.
+    pub initiator: u32,
+    /// Per-initiator sequence number.
+    pub seq: u64,
+}
+
+impl std::fmt::Display for ConvId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}#{}", self.initiator, self.seq)
+    }
+}
+
+/// Protocol messages. One switch operation exchanges a bounded number of
+/// these (at most ~10 in the four-rank worst case).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Initiator → partner: "switch my edge `e1` with one of yours".
+    Propose {
+        /// Conversation.
+        conv: ConvId,
+        /// The initiator's reserved first edge.
+        e1: Edge,
+    },
+    /// Partner → owner of a replacement edge: check `edge` can be created
+    /// and reserve it as a *potential edge* if so.
+    Validate {
+        /// Conversation.
+        conv: ConvId,
+        /// Replacement edge to check-and-reserve.
+        edge: Edge,
+    },
+    /// Validator → partner: reserved.
+    ValidateOk {
+        /// Conversation.
+        conv: ConvId,
+        /// The edge that was reserved.
+        edge: Edge,
+    },
+    /// Validator → partner: would create a parallel edge.
+    ValidateFail {
+        /// Conversation.
+        conv: ConvId,
+        /// The offending edge.
+        edge: Edge,
+    },
+    /// Partner → validator: abort; drop the reservation of `edge`.
+    Release {
+        /// Conversation.
+        conv: ConvId,
+        /// Previously reserved potential edge.
+        edge: Edge,
+    },
+    /// Partner → validator: materialize the reserved potential `edge`.
+    CommitAdd {
+        /// Conversation.
+        conv: ConvId,
+        /// Edge to add to the owner's partition.
+        edge: Edge,
+    },
+    /// Partner → initiator: remove your first edge `edge` (= `e1`).
+    CommitRemove {
+        /// Conversation.
+        conv: ConvId,
+        /// Edge to remove at its owner.
+        edge: Edge,
+    },
+    /// Participant → partner: commit instruction applied.
+    CommitAck {
+        /// Conversation.
+        conv: ConvId,
+    },
+    /// Partner → initiator: all updates applied everywhere; the operation
+    /// counts as performed.
+    Done {
+        /// Conversation.
+        conv: ConvId,
+    },
+    /// Partner → initiator: operation rejected; restart with a fresh
+    /// sample.
+    Abort {
+        /// Conversation.
+        conv: ConvId,
+        /// Why the switch was rejected.
+        reason: RejectReason,
+    },
+    /// Rank finished its own quota for the current step (keeps serving).
+    EndOfStep,
+    /// Collective payloads (step-boundary bookkeeping).
+    Coll(CollPayload),
+}
+
+impl CollCarrier for Msg {
+    fn from_coll(p: CollPayload) -> Self {
+        Msg::Coll(p)
+    }
+    fn into_coll(self) -> Option<CollPayload> {
+        match self {
+            Msg::Coll(p) => Some(p),
+            _ => None,
+        }
+    }
+    fn wire_size(&self) -> usize {
+        match self {
+            Msg::Coll(p) => p.wire_size(),
+            // conv (12) + edge (16) is the dominant layout.
+            Msg::Propose { .. }
+            | Msg::Validate { .. }
+            | Msg::ValidateOk { .. }
+            | Msg::ValidateFail { .. }
+            | Msg::Release { .. }
+            | Msg::CommitAdd { .. }
+            | Msg::CommitRemove { .. } => 28,
+            Msg::CommitAck { .. } | Msg::Done { .. } | Msg::Abort { .. } => 13,
+            Msg::EndOfStep => 1,
+        }
+    }
+}
+
+/// Messages queued by the state machine for the driver to route
+/// (self-addressed messages are delivered in place by the driver).
+#[derive(Debug, Default)]
+pub struct Outbox {
+    queue: std::collections::VecDeque<(usize, Msg)>,
+}
+
+impl Outbox {
+    /// Empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue `msg` for delivery to rank `dst`.
+    pub fn push(&mut self, dst: usize, msg: Msg) {
+        self.queue.push_back((dst, msg));
+    }
+
+    /// Next message to route, FIFO.
+    pub fn pop(&mut self) -> Option<(usize, Msg)> {
+        self.queue.pop_front()
+    }
+
+    /// Whether anything is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coll_round_trip() {
+        let m = Msg::from_coll(CollPayload::U64(5));
+        assert_eq!(m.clone().into_coll(), Some(CollPayload::U64(5)));
+        let p = Msg::Propose {
+            conv: ConvId { initiator: 0, seq: 1 },
+            e1: Edge::new(1, 2),
+        };
+        assert_eq!(p.into_coll(), None);
+    }
+
+    #[test]
+    fn outbox_is_fifo() {
+        let mut o = Outbox::new();
+        o.push(1, Msg::EndOfStep);
+        o.push(2, Msg::EndOfStep);
+        assert_eq!(o.len(), 2);
+        assert_eq!(o.pop().unwrap().0, 1);
+        assert_eq!(o.pop().unwrap().0, 2);
+        assert!(o.pop().is_none());
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn conv_id_display() {
+        let c = ConvId { initiator: 3, seq: 17 };
+        assert_eq!(c.to_string(), "3#17");
+    }
+}

@@ -1,0 +1,612 @@
+//! The per-processor state machine of the distributed edge-switch
+//! protocol (Section 4.4, generalized).
+//!
+//! # Protocol
+//!
+//! Each switch operation is a *conversation* between up to four ranks:
+//!
+//! - the **initiator** `P_i`, which samples its first edge `e1 ∈ E_i`,
+//!   picks a partner with probability `q_j = |E_j|/|E|`, and sends
+//!   `Propose`;
+//! - the **partner** `P_j`, which samples the second edge `e2 ∈ E_j`,
+//!   flips the straight/cross coin, computes the replacement edges, and
+//!   orchestrates validation and commit;
+//! - the **owners** of the two replacement edges, which check for
+//!   parallel edges and reserve the replacements as *potential edges*.
+//!
+//! The paper's exposition tracks one third-party `P_k`; with reduced
+//! adjacency lists *both* replacement edges may land on third parties
+//! (`min(u1,v2)` and `min(u2,v1)` can each be foreign), so this
+//! implementation validates each replacement at its own owner — the same
+//! chain, generalized to two validators.
+//!
+//! Safety properties maintained:
+//! - **reserve-validate-commit**: no graph mutation happens until every
+//!   replacement edge is reserved at its owner, so an abort never needs
+//!   to roll back an applied update;
+//! - **potential edges** (Section 4.5, issue 1): a reserved replacement
+//!   blocks any concurrent conversation from creating the same edge;
+//! - **edge locking**: `e1`/`e2` stay in `reserved` while in flight, so
+//!   no two simultaneous conversations can switch the same edge;
+//! - **completion acks**: the partner reports `Done` only after every
+//!   participant acknowledged its commit, so a rank that has finished its
+//!   own quota is guaranteed to have no lingering obligations.
+//!
+//! The state machine is *pure*: it consumes events and emits messages
+//! into an [`Outbox`]; drivers (threaded, deterministic, or
+//! discrete-event) own delivery. A self-addressed message is delivered
+//! in place by the driver, which is how local switches reuse the same
+//! code path with zero transport messages.
+
+use super::msg::{ConvId, Msg, Outbox};
+use crate::switch::{flip_kind, recombine, Recombination, RejectReason};
+use crate::visit::VisitTracker;
+use edgeswitch_graph::{Edge, OrientedEdge, PartitionStore, Partitioner};
+use edgeswitch_dist::{rank_rng, Rng64};
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// Attempts to sample an unreserved edge before declaring contention.
+const SAMPLE_ATTEMPTS: usize = 64;
+/// Consecutive aborts of one operation before it is forfeited (guards
+/// against degenerate graphs where no legal switch exists).
+const MAX_CONSECUTIVE_ABORTS: u64 = 100_000;
+
+/// Result of asking a rank to begin its next own operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StartResult {
+    /// An operation was initiated (messages may be queued).
+    Started,
+    /// Nothing to start: quota exhausted or an operation is in flight.
+    Idle,
+    /// Every sampled edge is locked by in-flight conversations; retry
+    /// after the next message.
+    Blocked,
+}
+
+/// Per-rank statistics of one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RankStats {
+    /// Operations completed as initiator.
+    pub performed: u64,
+    /// ... of which both edges were local.
+    pub performed_local: u64,
+    /// ... of which the partner was remote.
+    pub performed_global: u64,
+    /// Aborts: replacement would be a self-loop.
+    pub aborts_loop: u64,
+    /// Aborts: switch would be useless.
+    pub aborts_useless: u64,
+    /// Aborts: replacement edge already exists/reserved.
+    pub aborts_parallel: u64,
+    /// Aborts: edges locked by concurrent operations.
+    pub aborts_contended: u64,
+    /// Operations given up after exhausting the consecutive-abort budget.
+    pub forfeited: u64,
+    /// Proposals served as partner.
+    pub proposals_served: u64,
+    /// Validation requests served as owner.
+    pub validations_served: u64,
+}
+
+impl RankStats {
+    /// Total aborts across reasons.
+    pub fn aborts(&self) -> u64 {
+        self.aborts_loop + self.aborts_useless + self.aborts_parallel + self.aborts_contended
+    }
+}
+
+/// The initiator's in-flight operation.
+#[derive(Clone, Copy, Debug)]
+struct InFlight {
+    e1: Edge,
+    partner: usize,
+    conv: ConvId,
+}
+
+/// A conversation this rank orchestrates as partner.
+#[derive(Clone, Copy, Debug)]
+struct PartnerConv {
+    initiator: usize,
+    e1: Edge,
+    e2: Edge,
+    /// Replacement edges.
+    fs: [Edge; 2],
+    /// Per-replacement validation state.
+    fstate: [FState; 2],
+    /// Outstanding remote validation replies.
+    awaiting: usize,
+    /// Set once any validation failed; the conversation aborts when the
+    /// last outstanding reply arrives.
+    failed: bool,
+    /// Outstanding remote commit acknowledgements.
+    acks_needed: usize,
+}
+
+/// Validation state of one replacement edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FState {
+    /// Owned here; reserved in the local potential set.
+    LocalReserved,
+    /// Validation request sent to the remote owner.
+    RemotePending,
+    /// Remote owner reserved it.
+    RemoteReserved,
+    /// Rejected (would create a parallel edge).
+    Failed,
+}
+
+/// One processor's complete protocol state.
+pub struct RankState {
+    rank: usize,
+    part: Partitioner,
+    store: PartitionStore,
+    /// Existing edges locked by in-flight conversations.
+    reserved: HashSet<Edge>,
+    /// Replacement edges reserved but not yet materialized.
+    potential: HashSet<Edge>,
+    /// Cumulative partner-selection distribution (refreshed per step).
+    cumq: Vec<f64>,
+    remaining: u64,
+    inflight: Option<InFlight>,
+    consecutive_aborts: u64,
+    conv_seq: u64,
+    serving: HashMap<ConvId, PartnerConv>,
+    /// Own operations whose local update is applied but whose final
+    /// `Done` confirmation is still outstanding (the initiator pipelines
+    /// its next operation; end-of-step waits for these).
+    pending_done: HashSet<ConvId>,
+    rng: Rng64,
+    /// Visit tracking over this partition's initial edges.
+    pub tracker: VisitTracker,
+    /// Run statistics.
+    pub stats: RankStats,
+}
+
+impl RankState {
+    /// Build the state for `rank` from its partition store.
+    pub fn new(rank: usize, part: Partitioner, store: PartitionStore, seed: u64) -> Self {
+        let tracker = VisitTracker::new(store.edges());
+        let p = part.num_parts();
+        RankState {
+            rank,
+            part,
+            store,
+            reserved: HashSet::new(),
+            potential: HashSet::new(),
+            cumq: vec![0.0; p],
+            remaining: 0,
+            inflight: None,
+            consecutive_aborts: 0,
+            conv_seq: 0,
+            serving: HashMap::new(),
+            pending_done: HashSet::new(),
+            rng: rank_rng(seed, rank as u64),
+            tracker,
+            stats: RankStats::default(),
+        }
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Current `|E_i|`.
+    pub fn edge_count(&self) -> u64 {
+        self.store.num_edges() as u64
+    }
+
+    /// Mutable access to this rank's PRNG stream (used by drivers for
+    /// step-boundary sampling so all randomness stays on one stream).
+    pub fn rng_mut(&mut self) -> &mut Rng64 {
+        &mut self.rng
+    }
+
+    /// Begin a step: this rank must perform `quota` operations, selecting
+    /// partners according to `q` (one probability per rank).
+    pub fn begin_step(&mut self, quota: u64, q: &[f64]) {
+        assert_eq!(q.len(), self.part.num_parts());
+        self.remaining = quota;
+        self.consecutive_aborts = 0;
+        let mut acc = 0.0;
+        self.cumq.clear();
+        for &qi in q {
+            acc += qi;
+            self.cumq.push(acc);
+        }
+    }
+
+    /// Whether this rank has completed its own quota (it may still be
+    /// serving others).
+    pub fn step_done(&self) -> bool {
+        self.remaining == 0 && self.inflight.is_none() && self.pending_done.is_empty()
+    }
+
+    /// Whether this rank holds any unfinished server-side conversations.
+    pub fn serving_pending(&self) -> bool {
+        !self.serving.is_empty()
+    }
+
+    /// Tear down into the final store, tracker and stats.
+    pub fn into_parts(self) -> (PartitionStore, VisitTracker, RankStats) {
+        debug_assert!(self.serving.is_empty(), "conversations left open");
+        debug_assert!(self.pending_done.is_empty(), "unconfirmed operations leaked");
+        debug_assert!(self.reserved.is_empty(), "edges left reserved");
+        debug_assert!(self.potential.is_empty(), "potential edges leaked");
+        (self.store, self.tracker, self.stats)
+    }
+
+    /// Immutable view of the partition store.
+    pub fn store(&self) -> &PartitionStore {
+        &self.store
+    }
+
+    // ------------------------------------------------------------------
+    // Initiator role
+    // ------------------------------------------------------------------
+
+    /// Try to begin the next own operation.
+    pub fn try_start(&mut self, out: &mut Outbox) -> StartResult {
+        if self.inflight.is_some() || self.remaining == 0 {
+            return StartResult::Idle;
+        }
+        if self.store.num_edges() == 0 {
+            // An emptied partition cannot supply first edges; its quota is
+            // unfulfillable (the next step's multinomial gets q_i = 0).
+            self.stats.forfeited += self.remaining;
+            self.remaining = 0;
+            return StartResult::Idle;
+        }
+        let mut chosen = None;
+        for _ in 0..SAMPLE_ATTEMPTS {
+            let e = self.store.sample(&mut self.rng).expect("store nonempty");
+            if !self.reserved.contains(&e) {
+                chosen = Some(e);
+                break;
+            }
+        }
+        let Some(e1) = chosen else {
+            return StartResult::Blocked;
+        };
+        self.reserved.insert(e1);
+        let partner = self.sample_partner();
+        self.conv_seq += 1;
+        let conv = ConvId {
+            initiator: self.rank as u32,
+            seq: self.conv_seq,
+        };
+        self.inflight = Some(InFlight { e1, partner, conv });
+        out.push(partner, Msg::Propose { conv, e1 });
+        StartResult::Started
+    }
+
+    /// Draw the partner rank with probability `q_j` (Algorithm 2 line 2).
+    fn sample_partner(&mut self) -> usize {
+        let total = *self.cumq.last().expect("nonempty q");
+        let u: f64 = self.rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+        let idx = self.cumq.partition_point(|&c| c <= u);
+        idx.min(self.cumq.len() - 1)
+    }
+
+    fn on_abort(&mut self, reason: RejectReason) {
+        let op = self.inflight.take().expect("abort without in-flight op");
+        let released = self.reserved.remove(&op.e1);
+        debug_assert!(released, "in-flight e1 was not reserved");
+        match reason {
+            RejectReason::SelfLoop => self.stats.aborts_loop += 1,
+            RejectReason::Useless => self.stats.aborts_useless += 1,
+            RejectReason::ParallelEdge => self.stats.aborts_parallel += 1,
+            RejectReason::Contended => self.stats.aborts_contended += 1,
+        }
+        self.consecutive_aborts += 1;
+        if self.consecutive_aborts >= MAX_CONSECUTIVE_ABORTS {
+            self.stats.forfeited += 1;
+            self.remaining = self.remaining.saturating_sub(1);
+            self.consecutive_aborts = 0;
+        }
+    }
+
+    fn on_done(&mut self) {
+        let op = self.inflight.take().expect("done without in-flight op");
+        debug_assert!(
+            !self.reserved.contains(&op.e1),
+            "e1 must have been removed by commit before Done"
+        );
+        self.remaining -= 1;
+        self.consecutive_aborts = 0;
+        self.stats.performed += 1;
+        if op.partner == self.rank {
+            self.stats.performed_local += 1;
+        } else {
+            self.stats.performed_global += 1;
+        }
+    }
+
+    /// Early completion of a global operation: the initiator's own update
+    /// has been applied (the partner's `CommitRemove` arrived), so the
+    /// next operation may start; the partner's `Done` is still awaited
+    /// for end-of-step accounting.
+    fn complete_early(&mut self, conv: ConvId) {
+        let op = self.inflight.take().expect("commit for op not in flight");
+        debug_assert_eq!(op.conv, conv, "commit for a different conversation");
+        debug_assert_ne!(op.partner, self.rank, "local switches never commit remotely");
+        self.remaining -= 1;
+        self.consecutive_aborts = 0;
+        self.stats.performed += 1;
+        self.stats.performed_global += 1;
+        let fresh = self.pending_done.insert(conv);
+        debug_assert!(fresh);
+    }
+
+    // ------------------------------------------------------------------
+    // Partner role
+    // ------------------------------------------------------------------
+
+    fn on_propose(&mut self, src: usize, conv: ConvId, e1: Edge, out: &mut Outbox) {
+        self.stats.proposals_served += 1;
+        // Sample the second edge, skipping locked edges.
+        let mut chosen = None;
+        if self.store.num_edges() > 0 {
+            for _ in 0..SAMPLE_ATTEMPTS {
+                let e = self.store.sample(&mut self.rng).expect("store nonempty");
+                if !self.reserved.contains(&e) {
+                    chosen = Some(e);
+                    break;
+                }
+            }
+        }
+        let Some(e2) = chosen else {
+            out.push(
+                src,
+                Msg::Abort {
+                    conv,
+                    reason: RejectReason::Contended,
+                },
+            );
+            return;
+        };
+        debug_assert_ne!(e1, e2, "e1 is foreign or locally reserved");
+        let kind = flip_kind(&mut self.rng);
+        match recombine(
+            OrientedEdge::from_edge(e1),
+            OrientedEdge::from_edge(e2),
+            kind,
+        ) {
+            Recombination::Rejected(reason) => {
+                out.push(src, Msg::Abort { conv, reason });
+            }
+            Recombination::Candidate { f1, f2 } => {
+                self.reserved.insert(e2);
+                // Validate both replacements concurrently (the critical
+                // path is one round trip, not two): local checks first;
+                // remote requests only if the local ones passed.
+                let fs = [f1, f2];
+                let mut fstate = [FState::RemotePending; 2];
+                let mut failed = false;
+                for i in 0..2 {
+                    if self.part.owner(fs[i].src()) == self.rank {
+                        if self.occupied(fs[i]) {
+                            fstate[i] = FState::Failed;
+                            failed = true;
+                        } else {
+                            self.potential.insert(fs[i]);
+                            fstate[i] = FState::LocalReserved;
+                        }
+                    }
+                }
+                let mut awaiting = 0usize;
+                if !failed {
+                    for i in 0..2 {
+                        if fstate[i] == FState::RemotePending {
+                            out.push(
+                                self.part.owner(fs[i].src()),
+                                Msg::Validate { conv, edge: fs[i] },
+                            );
+                            awaiting += 1;
+                        }
+                    }
+                }
+                self.serving.insert(
+                    conv,
+                    PartnerConv {
+                        initiator: src,
+                        e1,
+                        e2,
+                        fs,
+                        fstate,
+                        awaiting,
+                        failed,
+                        acks_needed: 0,
+                    },
+                );
+                if awaiting == 0 {
+                    if failed {
+                        self.partner_abort(conv, RejectReason::ParallelEdge, out);
+                    } else {
+                        self.partner_commit(conv, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_validate_reply(&mut self, conv: ConvId, edge: Edge, ok: bool, out: &mut Outbox) {
+        let (awaiting, failed) = {
+            let c = self.serving.get_mut(&conv).expect("conversation exists");
+            let i = if c.fs[0] == edge { 0 } else { 1 };
+            debug_assert_eq!(c.fs[i], edge, "reply for unknown replacement");
+            debug_assert_eq!(c.fstate[i], FState::RemotePending);
+            c.fstate[i] = if ok { FState::RemoteReserved } else { FState::Failed };
+            c.failed |= !ok;
+            c.awaiting -= 1;
+            (c.awaiting, c.failed)
+        };
+        if awaiting == 0 {
+            if failed {
+                self.partner_abort(conv, RejectReason::ParallelEdge, out);
+            } else {
+                self.partner_commit(conv, out);
+            }
+        }
+    }
+
+    fn partner_abort(&mut self, conv: ConvId, reason: RejectReason, out: &mut Outbox) {
+        let c = self.serving.remove(&conv).expect("conversation exists");
+        debug_assert_eq!(c.awaiting, 0, "abort with validations in flight");
+        // Release everything that was reserved.
+        for i in 0..2 {
+            match c.fstate[i] {
+                FState::LocalReserved => {
+                    let had = self.potential.remove(&c.fs[i]);
+                    debug_assert!(had);
+                }
+                FState::RemoteReserved => {
+                    out.push(
+                        self.part.owner(c.fs[i].src()),
+                        Msg::Release { conv, edge: c.fs[i] },
+                    );
+                }
+                FState::RemotePending | FState::Failed => {}
+            }
+        }
+        let had = self.reserved.remove(&c.e2);
+        debug_assert!(had);
+        out.push(c.initiator, Msg::Abort { conv, reason });
+    }
+
+    fn partner_commit(&mut self, conv: ConvId, out: &mut Outbox) {
+        let c = *self.serving.get(&conv).expect("conversation exists");
+        debug_assert!(!c.failed && c.awaiting == 0);
+        // Remove the partner's own old edge.
+        self.apply_remove(c.e2);
+        // Materialize / request the replacements.
+        let mut acks = 0usize;
+        for f in c.fs {
+            let owner = self.part.owner(f.src());
+            if owner == self.rank {
+                let was_potential = self.potential.remove(&f);
+                debug_assert!(was_potential);
+                let inserted = self.store.insert(f);
+                debug_assert!(inserted, "validated edge collided at commit");
+            } else {
+                out.push(owner, Msg::CommitAdd { conv, edge: f });
+                acks += 1;
+            }
+        }
+        // Remove the initiator's old edge.
+        if c.initiator == self.rank {
+            self.apply_remove(c.e1);
+        } else {
+            out.push(c.initiator, Msg::CommitRemove { conv, edge: c.e1 });
+            acks += 1;
+        }
+        if acks == 0 {
+            self.partner_finish(conv, out);
+        } else {
+            self.serving.get_mut(&conv).unwrap().acks_needed = acks;
+        }
+    }
+
+    fn on_commit_ack(&mut self, conv: ConvId, out: &mut Outbox) {
+        let remaining = {
+            let c = self.serving.get_mut(&conv).expect("conversation exists");
+            debug_assert!(c.acks_needed > 0);
+            c.acks_needed -= 1;
+            c.acks_needed
+        };
+        if remaining == 0 {
+            self.partner_finish(conv, out);
+        }
+    }
+
+    fn partner_finish(&mut self, conv: ConvId, out: &mut Outbox) {
+        let c = self.serving.remove(&conv).expect("conversation exists");
+        if c.initiator == self.rank {
+            self.on_done();
+        } else {
+            out.push(c.initiator, Msg::Done { conv });
+        }
+    }
+
+    /// Remove a locally-owned, reserved old edge and record the visit.
+    fn apply_remove(&mut self, e: Edge) {
+        let was_reserved = self.reserved.remove(&e);
+        debug_assert!(was_reserved, "commit removal of unreserved edge {e}");
+        let removed = self.store.remove(e);
+        debug_assert!(removed, "commit removal of missing edge {e}");
+        self.tracker.record_removal(e);
+    }
+
+    /// An edge may not be created if it exists or is about to exist.
+    fn occupied(&self, f: Edge) -> bool {
+        self.store.contains(f) || self.potential.contains(&f)
+    }
+
+    // ------------------------------------------------------------------
+    // Validator role
+    // ------------------------------------------------------------------
+
+    fn on_validate(&mut self, src: usize, conv: ConvId, edge: Edge, out: &mut Outbox) {
+        debug_assert_eq!(self.part.owner(edge.src()), self.rank, "misrouted Validate");
+        self.stats.validations_served += 1;
+        if self.occupied(edge) {
+            out.push(src, Msg::ValidateFail { conv, edge });
+        } else {
+            self.potential.insert(edge);
+            out.push(src, Msg::ValidateOk { conv, edge });
+        }
+    }
+
+    fn on_commit_add(&mut self, src: usize, conv: ConvId, edge: Edge, out: &mut Outbox) {
+        let was_potential = self.potential.remove(&edge);
+        debug_assert!(was_potential, "CommitAdd for unreserved edge {edge}");
+        let inserted = self.store.insert(edge);
+        debug_assert!(inserted, "potential edge {edge} collided at commit");
+        out.push(src, Msg::CommitAck { conv });
+    }
+
+    fn on_commit_remove(&mut self, src: usize, conv: ConvId, edge: Edge, out: &mut Outbox) {
+        self.apply_remove(edge);
+        out.push(src, Msg::CommitAck { conv });
+        if conv.initiator as usize == self.rank {
+            self.complete_early(conv);
+        }
+    }
+
+    fn on_release(&mut self, edge: Edge) {
+        let was_potential = self.potential.remove(&edge);
+        debug_assert!(was_potential, "Release for unreserved edge {edge}");
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    /// Feed one protocol message into the state machine.
+    ///
+    /// # Panics
+    /// Panics on `EndOfStep`/`Coll` (step-level traffic is the driver's
+    /// responsibility) and on protocol violations in debug builds.
+    pub fn handle(&mut self, src: usize, msg: Msg, out: &mut Outbox) {
+        match msg {
+            Msg::Propose { conv, e1 } => self.on_propose(src, conv, e1, out),
+            Msg::Validate { conv, edge } => self.on_validate(src, conv, edge, out),
+            Msg::ValidateOk { conv, edge } => self.on_validate_reply(conv, edge, true, out),
+            Msg::ValidateFail { conv, edge } => self.on_validate_reply(conv, edge, false, out),
+            Msg::Release { edge, .. } => self.on_release(edge),
+            Msg::CommitAdd { conv, edge } => self.on_commit_add(src, conv, edge, out),
+            Msg::CommitRemove { conv, edge } => self.on_commit_remove(src, conv, edge, out),
+            Msg::CommitAck { conv } => self.on_commit_ack(conv, out),
+            Msg::Done { conv } => {
+                if !self.pending_done.remove(&conv) {
+                    self.on_done();
+                }
+            }
+            Msg::Abort { reason, .. } => self.on_abort(reason),
+            Msg::EndOfStep | Msg::Coll(_) => {
+                unreachable!("driver-level message leaked into RankState")
+            }
+        }
+    }
+}

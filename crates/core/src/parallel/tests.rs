@@ -1,0 +1,232 @@
+//! Correctness tests for the distributed protocol, run through both the
+//! threaded driver (real message passing) and the deterministic driver.
+
+use super::engine::{parallel_edge_switch, parallel_edge_switch_with, ParallelOutcome};
+use super::sim::{simulate_parallel, simulate_parallel_with};
+use crate::config::{ParallelConfig, StepSize};
+use edgeswitch_dist::root_rng;
+use edgeswitch_graph::generators::{contact_network, erdos_renyi_gnm, ContactParams};
+use edgeswitch_graph::{Graph, Partitioner, SchemeKind};
+
+fn test_graph(seed: u64) -> Graph {
+    let mut rng = root_rng(seed);
+    erdos_renyi_gnm(300, 1500, &mut rng)
+}
+
+fn check_outcome(g0: &Graph, out: &ParallelOutcome, t: u64) {
+    // Simplicity and internal consistency of the result.
+    out.graph.check_invariants().expect("result must be simple");
+    // Degree sequence is invariant under switching.
+    assert_eq!(out.graph.degree_sequence(), g0.degree_sequence());
+    // Edge count conserved, both globally and as the per-rank sum.
+    assert_eq!(out.graph.num_edges(), g0.num_edges());
+    assert_eq!(
+        out.final_edges.iter().sum::<u64>() as usize,
+        g0.num_edges()
+    );
+    // Every operation is accounted for.
+    assert_eq!(out.performed() + out.forfeited(), t);
+    assert_eq!(out.forfeited(), 0, "healthy graphs never forfeit");
+    // Visit tracking is within bounds.
+    let vr = out.visit_rate();
+    assert!((0.0..=1.0).contains(&vr));
+    assert!(vr > 0.0, "operations must visit edges");
+}
+
+#[test]
+fn threaded_engine_four_ranks_cp() {
+    let g = test_graph(1);
+    let t = 2000;
+    let cfg = ParallelConfig::new(4)
+        .with_step_size(StepSize::FractionOfT(10))
+        .with_seed(11);
+    let out = parallel_edge_switch(&g, t, &cfg);
+    check_outcome(&g, &out, t);
+    assert_eq!(out.steps, 10);
+    // All ranks participated.
+    assert!(out.per_rank.iter().all(|s| s.performed > 0));
+    // Some switches must have been global (cross-partition).
+    assert!(out.per_rank.iter().map(|s| s.performed_global).sum::<u64>() > 0);
+}
+
+#[test]
+fn threaded_engine_all_schemes() {
+    let g = test_graph(2);
+    let t = 800;
+    for scheme in SchemeKind::all() {
+        let cfg = ParallelConfig::new(3)
+            .with_scheme(scheme)
+            .with_step_size(StepSize::FractionOfT(4))
+            .with_seed(7);
+        let out = parallel_edge_switch(&g, t, &cfg);
+        check_outcome(&g, &out, t);
+    }
+}
+
+#[test]
+fn threaded_engine_single_rank() {
+    let g = test_graph(3);
+    let t = 500;
+    let cfg = ParallelConfig::new(1).with_seed(5);
+    let out = parallel_edge_switch(&g, t, &cfg);
+    check_outcome(&g, &out, t);
+    // p = 1: everything is a local switch.
+    assert_eq!(out.per_rank[0].performed_local, t);
+    assert_eq!(out.per_rank[0].performed_global, 0);
+}
+
+#[test]
+fn threaded_engine_single_step() {
+    let g = test_graph(4);
+    let t = 1000;
+    let cfg = ParallelConfig::new(4)
+        .with_scheme(SchemeKind::HashUniversal)
+        .with_step_size(StepSize::SingleStep)
+        .with_seed(9);
+    let out = parallel_edge_switch(&g, t, &cfg);
+    check_outcome(&g, &out, t);
+    assert_eq!(out.steps, 1);
+}
+
+#[test]
+fn sim_driver_matches_invariants_various_p() {
+    let g = test_graph(5);
+    let t = 1500;
+    for p in [1, 2, 5, 16, 64] {
+        let cfg = ParallelConfig::new(p)
+            .with_scheme(SchemeKind::HashDivision)
+            .with_step_size(StepSize::FractionOfT(5))
+            .with_seed(13);
+        let out = simulate_parallel(&g, t, &cfg);
+        check_outcome(&g, &out, t);
+    }
+}
+
+#[test]
+fn sim_driver_is_deterministic() {
+    let g = test_graph(6);
+    let cfg = ParallelConfig::new(8).with_seed(21);
+    let a = simulate_parallel(&g, 1000, &cfg);
+    let b = simulate_parallel(&g, 1000, &cfg);
+    assert!(a.graph.same_edge_set(&b.graph), "same seed, same result");
+    assert_eq!(a.per_rank, b.per_rank);
+}
+
+#[test]
+fn sim_driver_seeds_differ() {
+    let g = test_graph(7);
+    let a = simulate_parallel(&g, 1000, &ParallelConfig::new(4).with_seed(1));
+    let b = simulate_parallel(&g, 1000, &ParallelConfig::new(4).with_seed(2));
+    assert!(!a.graph.same_edge_set(&b.graph));
+}
+
+#[test]
+fn visit_rate_tracks_target_in_parallel() {
+    // The Section 3.1 conversion applies unchanged to the parallel
+    // process.
+    let g = test_graph(8);
+    let m = g.num_edges() as u64;
+    for &x in &[0.3, 0.7] {
+        let t = edgeswitch_dist::switch_ops_for_visit_rate(m, x);
+        let cfg = ParallelConfig::new(8)
+            .with_scheme(SchemeKind::HashUniversal)
+            .with_step_size(StepSize::FractionOfT(10))
+            .with_seed(3);
+        let out = simulate_parallel(&g, t, &cfg);
+        let observed = out.visit_rate();
+        assert!(
+            (observed - x).abs() < 0.05,
+            "x = {x}: observed {observed}"
+        );
+    }
+}
+
+#[test]
+fn workload_follows_multinomial_quotas() {
+    // With a balanced partition, the per-rank workload should be near
+    // t/p.
+    let g = test_graph(9);
+    let t = 4000u64;
+    let p = 4;
+    let cfg = ParallelConfig::new(p)
+        .with_step_size(StepSize::FractionOfT(8))
+        .with_seed(17);
+    let out = simulate_parallel(&g, t, &cfg);
+    let expect = t as f64 / p as f64;
+    for s in &out.per_rank {
+        assert!(
+            (s.performed as f64 - expect).abs() < 0.3 * expect,
+            "workload {} far from {expect}",
+            s.performed
+        );
+    }
+}
+
+#[test]
+fn contact_graph_with_adversarial_partitioner() {
+    // Explicit partitioner path + a graph whose clustering stresses the
+    // validator chain (many third-party replacement owners).
+    let mut rng = root_rng(10);
+    let g = contact_network(
+        ContactParams {
+            n: 600,
+            community_size: 40,
+            intra_degree: 12.0,
+            inter_degree: 2.0,
+        },
+        &mut rng,
+    );
+    let part = Partitioner::hash_multiplication(5);
+    let t = 1200;
+    let cfg = ParallelConfig::new(5)
+        .with_scheme(SchemeKind::HashMultiplication)
+        .with_step_size(StepSize::FractionOfT(6))
+        .with_seed(23);
+    let threaded = parallel_edge_switch_with(&g, t, &cfg, &part);
+    check_outcome(&g, &threaded, t);
+    let simulated = simulate_parallel_with(&g, t, &cfg, &part);
+    check_outcome(&g, &simulated, t);
+}
+
+#[test]
+fn zero_ops_is_identity() {
+    let g = test_graph(11);
+    let cfg = ParallelConfig::new(4).with_seed(2);
+    let out = simulate_parallel(&g, 0, &cfg);
+    assert!(out.graph.same_edge_set(&g));
+    assert_eq!(out.performed(), 0);
+    assert_eq!(out.steps, 0);
+}
+
+#[test]
+fn aborts_happen_but_do_not_leak() {
+    // A dense-ish graph provokes parallel-edge aborts; the run must
+    // still balance its books (checked inside into_parts debug asserts
+    // and by op accounting).
+    let mut rng = root_rng(12);
+    let g = erdos_renyi_gnm(40, 300, &mut rng); // ~38% density
+    let t = 1000;
+    let cfg = ParallelConfig::new(4)
+        .with_step_size(StepSize::FractionOfT(4))
+        .with_seed(31);
+    let out = simulate_parallel(&g, t, &cfg);
+    check_outcome(&g, &out, t);
+    let aborts: u64 = out.per_rank.iter().map(|s| s.aborts()).sum();
+    assert!(aborts > 0, "density should provoke rejections");
+}
+
+#[test]
+fn more_ranks_than_meaningful_partitions() {
+    // p close to n: many near-empty partitions must not wedge the run.
+    let mut rng = root_rng(13);
+    let g = erdos_renyi_gnm(60, 240, &mut rng);
+    let t = 300;
+    let cfg = ParallelConfig::new(30)
+        .with_scheme(SchemeKind::HashDivision)
+        .with_step_size(StepSize::FractionOfT(3))
+        .with_seed(37);
+    let out = simulate_parallel(&g, t, &cfg);
+    out.graph.check_invariants().unwrap();
+    assert_eq!(out.graph.degree_sequence(), g.degree_sequence());
+    assert_eq!(out.performed() + out.forfeited(), t);
+}

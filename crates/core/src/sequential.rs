@@ -1,0 +1,240 @@
+//! The sequential edge-switch algorithm (Algorithm 1, Section 3.3).
+//!
+//! Repeatedly draw two uniform random edges, flip the straight/cross
+//! coin, and apply the switch unless it would create a self-loop or
+//! parallel edge or is useless — in which case the operation restarts
+//! with a fresh draw. `O(t log d_max)` expected for sparse graphs.
+
+use crate::switch::{flip_kind, recombine, Recombination, RejectReason};
+use crate::visit::VisitTracker;
+use edgeswitch_graph::{Graph, OrientedEdge};
+use rand::Rng;
+
+/// Per-reason rejection counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RejectCounts {
+    /// Switch would create a self-loop.
+    pub self_loop: u64,
+    /// Switch would leave the pair unchanged.
+    pub useless: u64,
+    /// Switch would create a parallel edge.
+    pub parallel: u64,
+}
+
+impl RejectCounts {
+    /// Total rejections (= restarts).
+    pub fn total(&self) -> u64 {
+        self.self_loop + self.useless + self.parallel
+    }
+
+    pub(crate) fn bump(&mut self, reason: RejectReason) {
+        match reason {
+            RejectReason::SelfLoop => self.self_loop += 1,
+            RejectReason::Useless => self.useless += 1,
+            RejectReason::ParallelEdge => self.parallel += 1,
+            RejectReason::Contended => {
+                unreachable!("sequential algorithm has no contention")
+            }
+        }
+    }
+}
+
+/// Result of a sequential run.
+#[derive(Clone, Debug)]
+pub struct SequentialOutcome {
+    /// Switch operations successfully performed.
+    pub performed: u64,
+    /// Operations abandoned after exhausting the retry budget (only
+    /// pathological graphs — e.g. stars — can make this nonzero).
+    pub abandoned: u64,
+    /// Rejection counters (each rejection restarts the operation).
+    pub rejects: RejectCounts,
+    /// Visit tracking against the initial edge set.
+    pub tracker: VisitTracker,
+}
+
+impl SequentialOutcome {
+    /// Observed visit rate after the run.
+    pub fn visit_rate(&self) -> f64 {
+        self.tracker.visit_rate()
+    }
+}
+
+/// Retry budget per operation before declaring the graph switch-starved.
+const MAX_RETRIES_PER_OP: u64 = 100_000;
+
+/// Perform `t` switch operations on `graph` in place (Algorithm 1).
+///
+/// Graphs with fewer than two edges, or degenerate graphs on which no
+/// legal switch exists (e.g. a star), end early with the shortfall
+/// reported in [`SequentialOutcome::abandoned`].
+pub fn sequential_edge_switch<R: Rng + ?Sized>(
+    graph: &mut Graph,
+    t: u64,
+    rng: &mut R,
+) -> SequentialOutcome {
+    let mut outcome = SequentialOutcome {
+        performed: 0,
+        abandoned: 0,
+        rejects: RejectCounts::default(),
+        tracker: VisitTracker::new(graph.edges()),
+    };
+    if graph.num_edges() < 2 {
+        outcome.abandoned = t;
+        return outcome;
+    }
+    'ops: for _ in 0..t {
+        let mut retries = 0u64;
+        loop {
+            let e1 = OrientedEdge::from_edge(graph.sample_edge(rng).expect("m >= 2"));
+            let e2 = OrientedEdge::from_edge(graph.sample_edge(rng).expect("m >= 2"));
+            let kind = flip_kind(rng);
+            let reason = match recombine(e1, e2, kind) {
+                Recombination::Candidate { f1, f2 } => {
+                    if graph.has_edge(f1) || graph.has_edge(f2) {
+                        RejectReason::ParallelEdge
+                    } else {
+                        let (o1, o2) = (e1.edge(), e2.edge());
+                        graph.remove_edge(o1).expect("sampled edge exists");
+                        graph.remove_edge(o2).expect("sampled edge exists");
+                        graph.add_edge(f1).expect("checked absent");
+                        graph.add_edge(f2).expect("checked absent");
+                        outcome.tracker.record_removal(o1);
+                        outcome.tracker.record_removal(o2);
+                        outcome.performed += 1;
+                        continue 'ops;
+                    }
+                }
+                Recombination::Rejected(r) => r,
+            };
+            outcome.rejects.bump(reason);
+            retries += 1;
+            if retries >= MAX_RETRIES_PER_OP {
+                // No legal switch found; the remaining budget will fare
+                // no better on a graph this degenerate.
+                outcome.abandoned = t - outcome.performed;
+                return outcome;
+            }
+        }
+    }
+    outcome
+}
+
+/// Perform the number of operations required for an expected visit rate
+/// `x` (Section 3.1: `t = E[T]/2`), returning the outcome and the `t`
+/// used.
+pub fn sequential_for_visit_rate<R: Rng + ?Sized>(
+    graph: &mut Graph,
+    x: f64,
+    rng: &mut R,
+) -> (SequentialOutcome, u64) {
+    let t = edgeswitch_dist::switch_ops_for_visit_rate(graph.num_edges() as u64, x);
+    (sequential_edge_switch(graph, t, rng), t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgeswitch_dist::root_rng;
+    use edgeswitch_graph::generators::erdos_renyi_gnm;
+    use edgeswitch_graph::Edge;
+
+    #[test]
+    fn preserves_degree_sequence_and_simplicity() {
+        let mut rng = root_rng(1);
+        let mut g = erdos_renyi_gnm(300, 1200, &mut rng);
+        let before = g.degree_sequence();
+        let out = sequential_edge_switch(&mut g, 5000, &mut rng);
+        assert_eq!(out.performed, 5000);
+        assert_eq!(g.degree_sequence(), before);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn preserves_edge_count() {
+        let mut rng = root_rng(2);
+        let mut g = erdos_renyi_gnm(100, 400, &mut rng);
+        sequential_edge_switch(&mut g, 1000, &mut rng);
+        assert_eq!(g.num_edges(), 400);
+    }
+
+    #[test]
+    fn visit_rate_grows_with_t() {
+        let mut rng = root_rng(3);
+        let mut g = erdos_renyi_gnm(200, 800, &mut rng);
+        let out1 = sequential_edge_switch(&mut g, 100, &mut rng);
+        let r1 = out1.visit_rate();
+        let out2 = sequential_edge_switch(&mut g, 900, &mut rng);
+        // Fresh tracker per call; just check both are sane and the larger
+        // budget visits more.
+        assert!(out2.visit_rate() > r1);
+    }
+
+    #[test]
+    fn visit_rate_matches_target_on_medium_graph() {
+        // Section 3.1's headline experiment at reduced scale: x = 0.5.
+        let mut rng = root_rng(4);
+        let mut g = erdos_renyi_gnm(2000, 20_000, &mut rng);
+        let (out, _t) = sequential_for_visit_rate(&mut g, 0.5, &mut rng);
+        let observed = out.visit_rate();
+        assert!(
+            (observed - 0.5).abs() < 0.02,
+            "observed visit rate {observed} far from 0.5"
+        );
+    }
+
+    #[test]
+    fn star_graph_abandons_gracefully() {
+        let mut rng = root_rng(5);
+        let mut g = Graph::from_edges(6, (1..6u64).map(|v| Edge::new(0, v))).unwrap();
+        let out = sequential_edge_switch(&mut g, 10, &mut rng);
+        assert_eq!(out.performed, 0);
+        assert_eq!(out.abandoned, 10);
+        assert!(out.rejects.total() >= MAX_RETRIES_PER_OP);
+        // Graph unchanged.
+        assert_eq!(g.degree(0), 5);
+    }
+
+    #[test]
+    fn tiny_graphs_do_not_panic() {
+        let mut rng = root_rng(6);
+        let mut g0 = Graph::new(0);
+        assert_eq!(sequential_edge_switch(&mut g0, 5, &mut rng).abandoned, 5);
+        let mut g1 = Graph::from_edges(2, vec![Edge::new(0, 1)]).unwrap();
+        assert_eq!(sequential_edge_switch(&mut g1, 5, &mut rng).abandoned, 5);
+    }
+
+    #[test]
+    fn zero_ops_is_identity() {
+        let mut rng = root_rng(7);
+        let mut g = erdos_renyi_gnm(50, 100, &mut rng);
+        let before = g.sorted_edges();
+        let out = sequential_edge_switch(&mut g, 0, &mut rng);
+        assert_eq!(out.performed, 0);
+        assert_eq!(g.sorted_edges(), before);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut r1 = root_rng(8);
+        let mut g1 = erdos_renyi_gnm(100, 300, &mut r1);
+        sequential_edge_switch(&mut g1, 500, &mut r1);
+
+        let mut r2 = root_rng(8);
+        let mut g2 = erdos_renyi_gnm(100, 300, &mut r2);
+        sequential_edge_switch(&mut g2, 500, &mut r2);
+
+        assert!(g1.same_edge_set(&g2));
+    }
+
+    #[test]
+    fn randomizes_structure() {
+        // Switching must actually change the edge set at full visit rate.
+        let mut rng = root_rng(9);
+        let mut g = erdos_renyi_gnm(200, 1000, &mut rng);
+        let before = g.clone();
+        let (out, _) = sequential_for_visit_rate(&mut g, 1.0, &mut rng);
+        assert!(out.visit_rate() > 0.99);
+        assert!(!g.same_edge_set(&before));
+    }
+}

@@ -1,0 +1,123 @@
+//! Visit-rate tracking (Section 3.1).
+//!
+//! An edge of the *initial* graph is **visited** once it participates in
+//! a switch (i.e. is removed and replaced). The visit rate is the
+//! fraction of initial edges visited. A replacement edge may later
+//! coincide with an already-visited initial edge; that does not un-visit
+//! it — the tracker counts only first removals of initial edges.
+
+use edgeswitch_graph::Edge;
+use std::collections::HashSet;
+
+/// Tracks which of the initial `m` edges have been switched away.
+#[derive(Clone, Debug)]
+pub struct VisitTracker {
+    initial_count: usize,
+    remaining: HashSet<Edge>,
+}
+
+impl VisitTracker {
+    /// Start tracking the given initial edge set.
+    pub fn new<I: IntoIterator<Item = Edge>>(initial_edges: I) -> Self {
+        let remaining: HashSet<Edge> = initial_edges.into_iter().collect();
+        VisitTracker {
+            initial_count: remaining.len(),
+            remaining,
+        }
+    }
+
+    /// Record that `e` was removed by a switch. Returns `true` if this
+    /// was the first visit of an initial edge.
+    pub fn record_removal(&mut self, e: Edge) -> bool {
+        self.remaining.remove(&e)
+    }
+
+    /// Number of initial edges.
+    pub fn initial_count(&self) -> usize {
+        self.initial_count
+    }
+
+    /// Number of initial edges visited so far (`m'` in the paper).
+    pub fn visited_count(&self) -> usize {
+        self.initial_count - self.remaining.len()
+    }
+
+    /// The observed visit rate `x' = m'/m` (`0` for an empty graph).
+    pub fn visit_rate(&self) -> f64 {
+        if self.initial_count == 0 {
+            0.0
+        } else {
+            self.visited_count() as f64 / self.initial_count as f64
+        }
+    }
+
+    /// Merge another tracker's progress (used to aggregate per-partition
+    /// trackers after a distributed run; the trackers must have been
+    /// created over disjoint initial edge sets).
+    pub fn merge_disjoint(&mut self, other: VisitTracker) {
+        self.initial_count += other.initial_count;
+        self.remaining.extend(other.remaining);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(a: u64, b: u64) -> Edge {
+        Edge::new(a, b)
+    }
+
+    #[test]
+    fn fresh_tracker_has_zero_rate() {
+        let t = VisitTracker::new(vec![e(0, 1), e(1, 2)]);
+        assert_eq!(t.initial_count(), 2);
+        assert_eq!(t.visited_count(), 0);
+        assert_eq!(t.visit_rate(), 0.0);
+    }
+
+    #[test]
+    fn removal_of_initial_edge_counts_once() {
+        let mut t = VisitTracker::new(vec![e(0, 1), e(1, 2)]);
+        assert!(t.record_removal(e(0, 1)));
+        assert!(!t.record_removal(e(0, 1)), "second removal not a visit");
+        assert_eq!(t.visited_count(), 1);
+        assert!((t.visit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn removal_of_modified_edge_does_not_count() {
+        let mut t = VisitTracker::new(vec![e(0, 1)]);
+        assert!(!t.record_removal(e(5, 6)));
+        assert_eq!(t.visited_count(), 0);
+    }
+
+    #[test]
+    fn full_visit_reaches_one() {
+        let edges = vec![e(0, 1), e(1, 2), e(2, 3)];
+        let mut t = VisitTracker::new(edges.clone());
+        for edge in edges {
+            t.record_removal(edge);
+        }
+        assert_eq!(t.visit_rate(), 1.0);
+    }
+
+    #[test]
+    fn empty_graph_rate_is_zero() {
+        let t = VisitTracker::new(vec![]);
+        assert_eq!(t.visit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_disjoint_combines_progress() {
+        let mut a = VisitTracker::new(vec![e(0, 1), e(1, 2)]);
+        let mut b = VisitTracker::new(vec![e(5, 6), e(6, 7)]);
+        a.record_removal(e(0, 1));
+        b.record_removal(e(5, 6));
+        b.record_removal(e(6, 7));
+        a.merge_disjoint(b);
+        assert_eq!(a.initial_count(), 4);
+        assert_eq!(a.visited_count(), 3);
+        assert!((a.visit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Goodness-of-fit tests: chi-square against exact probability masses,
+//! a stronger check than the moment tests in the sampler modules.
+
+use crate::binomial::binomial;
+use crate::multinomial::multinomial;
+use crate::rng::root_rng;
+
+/// Exact binomial pmf via iterative multiplication (small n only).
+fn binomial_pmf(n: u64, q: f64) -> Vec<f64> {
+    let mut pmf = vec![0.0f64; n as usize + 1];
+    // p(0) = (1-q)^n, p(k+1) = p(k) * (n-k)/(k+1) * q/(1-q).
+    let mut p = (1.0 - q).powi(n as i32);
+    let ratio = q / (1.0 - q);
+    for k in 0..=n {
+        pmf[k as usize] = p;
+        if k < n {
+            p *= (n - k) as f64 / (k + 1) as f64 * ratio;
+        }
+    }
+    pmf
+}
+
+/// Chi-square statistic of observed counts vs expected probabilities,
+/// pooling cells with expectation < 5 into their neighbors.
+fn chi_square(observed: &[u64], probs: &[f64], total: u64) -> (f64, usize) {
+    let mut stat = 0.0;
+    let mut dof = 0usize;
+    let mut pooled_obs = 0.0;
+    let mut pooled_exp = 0.0;
+    for (o, p) in observed.iter().zip(probs) {
+        pooled_obs += *o as f64;
+        pooled_exp += p * total as f64;
+        if pooled_exp >= 5.0 {
+            let d = pooled_obs - pooled_exp;
+            stat += d * d / pooled_exp;
+            dof += 1;
+            pooled_obs = 0.0;
+            pooled_exp = 0.0;
+        }
+    }
+    if pooled_exp > 0.0 {
+        let d = pooled_obs - pooled_exp;
+        stat += d * d / pooled_exp.max(1e-9);
+        dof += 1;
+    }
+    (stat, dof.saturating_sub(1))
+}
+
+/// Loose chi-square acceptance: `stat < dof + 5·sqrt(2·dof) + 10`
+/// (~5+ sigma; flaky-free for CI while still catching real sampler bugs).
+fn chi_square_ok(stat: f64, dof: usize) -> bool {
+    stat < dof as f64 + 5.0 * (2.0 * dof as f64).sqrt() + 10.0
+}
+
+#[test]
+fn binomial_matches_exact_pmf() {
+    let (n, q) = (24u64, 0.3);
+    let reps = 60_000u64;
+    let mut rng = root_rng(1);
+    let mut counts = vec![0u64; n as usize + 1];
+    for _ in 0..reps {
+        counts[binomial(n, q, &mut rng) as usize] += 1;
+    }
+    let pmf = binomial_pmf(n, q);
+    let (stat, dof) = chi_square(&counts, &pmf, reps);
+    assert!(
+        chi_square_ok(stat, dof),
+        "binomial chi-square {stat:.1} at {dof} dof"
+    );
+}
+
+#[test]
+fn binomial_symmetry_path_matches_pmf() {
+    // q > 0.5 goes through the n - B(n, 1-q) reflection.
+    let (n, q) = (24u64, 0.7);
+    let reps = 60_000u64;
+    let mut rng = root_rng(2);
+    let mut counts = vec![0u64; n as usize + 1];
+    for _ in 0..reps {
+        counts[binomial(n, q, &mut rng) as usize] += 1;
+    }
+    let pmf = binomial_pmf(n, q);
+    let (stat, dof) = chi_square(&counts, &pmf, reps);
+    assert!(
+        chi_square_ok(stat, dof),
+        "reflected binomial chi-square {stat:.1} at {dof} dof"
+    );
+}
+
+#[test]
+fn binomial_split_path_matches_pmf() {
+    // Force the additive split by exceeding the underflow chunk: with
+    // q = 0.3, chunks are ~1800 trials; n = 6000 uses several.
+    let (n, q) = (6_000u64, 0.3);
+    let reps = 30_000u64;
+    let mut rng = root_rng(3);
+    // Bin into 40 cells around the mean to keep the pmf evaluation sane:
+    // use a normal-approximation interval mean ± 6 sd.
+    let mean = n as f64 * q;
+    let sd = (n as f64 * q * (1.0 - q)).sqrt();
+    let lo = (mean - 6.0 * sd) as u64;
+    let hi = (mean + 6.0 * sd) as u64;
+    let cells = 40usize;
+    let width = ((hi - lo) as usize).div_ceil(cells) as u64;
+    let mut counts = vec![0u64; cells + 1];
+    for _ in 0..reps {
+        let x = binomial(n, q, &mut rng).clamp(lo, hi);
+        counts[((x - lo) / width) as usize] += 1;
+    }
+    // Expected cell masses from the exact pmf (iterated in log space to
+    // avoid underflow at n = 6000).
+    let mut probs = vec![0.0f64; cells + 1];
+    let mut logp = n as f64 * (1.0 - q).ln();
+    let logratio = (q / (1.0 - q)).ln();
+    for k in 0..=n {
+        if k >= lo && k <= hi {
+            probs[((k - lo) / width) as usize] += logp.exp();
+        }
+        if k < n {
+            logp += ((n - k) as f64 / (k + 1) as f64).ln() + logratio;
+        }
+    }
+    let (stat, dof) = chi_square(&counts, &probs, reps);
+    assert!(
+        chi_square_ok(stat, dof),
+        "split binomial chi-square {stat:.1} at {dof} dof"
+    );
+}
+
+#[test]
+fn multinomial_marginals_match_binomial_pmf() {
+    // Each X_i of M(n, q) is marginally B(n, q_i).
+    let n = 20u64;
+    let q = [0.2, 0.5, 0.3];
+    let reps = 40_000u64;
+    let mut rng = root_rng(4);
+    let mut counts = vec![vec![0u64; n as usize + 1]; q.len()];
+    for _ in 0..reps {
+        let x = multinomial(n, &q, &mut rng);
+        for (i, xi) in x.into_iter().enumerate() {
+            counts[i][xi as usize] += 1;
+        }
+    }
+    for (i, &qi) in q.iter().enumerate() {
+        let pmf = binomial_pmf(n, qi);
+        let (stat, dof) = chi_square(&counts[i], &pmf, reps);
+        assert!(
+            chi_square_ok(stat, dof),
+            "marginal {i} chi-square {stat:.1} at {dof} dof"
+        );
+    }
+}

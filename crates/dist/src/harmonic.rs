@@ -1,0 +1,151 @@
+//! Harmonic numbers and the visit-rate → switch-count conversion
+//! (Section 3.1, Equation 4).
+//!
+//! The expected number of edges that must be *switched* (touched) to
+//! leave only `m(1−x)` original edges is the coupon-collector partial
+//! sum `E[T] = m (H_m − H_{m(1−x)})`; each switch operation touches two
+//! edges, so `t = E[T]/2` operations are performed.
+
+/// Euler–Mascheroni constant.
+pub const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// Threshold below which harmonic numbers are summed exactly.
+const EXACT_LIMIT: u64 = 1_000_000;
+
+/// The `m`-th harmonic number `H_m = Σ_{i=1..m} 1/i`.
+///
+/// Exact summation up to 10⁶; the asymptotic expansion
+/// `ln m + γ + 1/(2m) − 1/(12m²)` beyond (absolute error < 1e-14 there).
+pub fn harmonic(m: u64) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    if m <= EXACT_LIMIT {
+        // Sum small-to-large magnitude for accuracy.
+        (1..=m).rev().map(|i| 1.0 / i as f64).sum()
+    } else {
+        let mf = m as f64;
+        mf.ln() + EULER_GAMMA + 1.0 / (2.0 * mf) - 1.0 / (12.0 * mf * mf)
+    }
+}
+
+/// Expected number of edge *touches* `E[T] = m (H_m − H_{m(1−x)})`
+/// required for visit rate `x` on a graph of `m` edges (Equation 4).
+///
+/// # Panics
+/// Panics unless `0 ≤ x ≤ 1`.
+pub fn expected_touches(m: u64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "visit rate {x} out of [0,1]");
+    if m == 0 || x == 0.0 {
+        return 0.0;
+    }
+    let remaining = ((m as f64) * (1.0 - x)).round() as u64;
+    m as f64 * (harmonic(m) - harmonic(remaining))
+}
+
+/// The number of switch *operations* `t = E[T]/2` for visit rate `x`
+/// (each operation touches two edges), rounded to the nearest integer.
+pub fn switch_ops_for_visit_rate(m: u64, x: f64) -> u64 {
+    (expected_touches(m, x) / 2.0).round() as u64
+}
+
+/// The paper's large-`m` approximations: `E[T] ≈ −m ln(1−x)` for `x < 1`
+/// and `E[T] ≈ m ln m` at `x = 1`.
+pub fn expected_touches_approx(m: u64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x));
+    let mf = m as f64;
+    if x >= 1.0 {
+        mf * mf.ln()
+    } else {
+        -mf * (1.0 - x).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_harmonics_exact() {
+        assert_eq!(harmonic(0), 0.0);
+        assert!((harmonic(1) - 1.0).abs() < 1e-15);
+        assert!((harmonic(2) - 1.5).abs() < 1e-15);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn asymptotic_matches_exact_at_boundary() {
+        // Compare exact sum with expansion just above the cutoff.
+        let m = EXACT_LIMIT;
+        let exact = harmonic(m);
+        let mf = m as f64;
+        let asym = mf.ln() + EULER_GAMMA + 1.0 / (2.0 * mf) - 1.0 / (12.0 * mf * mf);
+        assert!(
+            (exact - asym).abs() < 1e-10,
+            "exact {exact} vs asymptotic {asym}"
+        );
+    }
+
+    #[test]
+    fn expected_touches_zero_cases() {
+        assert_eq!(expected_touches(0, 0.5), 0.0);
+        assert_eq!(expected_touches(100, 0.0), 0.0);
+    }
+
+    #[test]
+    fn expected_touches_full_visit_is_m_hm() {
+        let m = 1000u64;
+        let t = expected_touches(m, 1.0);
+        assert!((t - m as f64 * harmonic(m)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_touches_matches_log_approximation() {
+        let m = 500_000u64;
+        for &x in &[0.1, 0.3, 0.5, 0.9] {
+            let exact = expected_touches(m, x);
+            let approx = expected_touches_approx(m, x);
+            assert!(
+                (exact - approx).abs() / exact < 0.01,
+                "x={x}: exact {exact} vs approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn touches_monotone_in_x() {
+        let m = 10_000u64;
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let x = i as f64 / 10.0;
+            let t = expected_touches(m, x);
+            assert!(t > prev, "E[T] must grow with x");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn switch_ops_is_half_touches() {
+        let m = 52_700u64; // scaled Miami
+        let x = 1.0;
+        let t = switch_ops_for_visit_rate(m, x);
+        let expect = expected_touches(m, x) / 2.0;
+        assert!((t as f64 - expect).abs() <= 0.5);
+        // Paper sanity check at full scale: m = 52.7M, x = 1 gives
+        // t ≈ 468.5M (Section 3.1) — computed there with the E[T] ≈ m ln m
+        // approximation (which drops the Euler–Mascheroni term; the exact
+        // harmonic sum gives ~484M).
+        let full = expected_touches_approx(52_700_000, 1.0) / 2.0;
+        assert!(
+            (full / 1e6 - 468.5).abs() < 5.0,
+            "expected ≈468.5M ops, got {:.1}M",
+            full / 1e6
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn rejects_bad_visit_rate() {
+        expected_touches(10, 1.5);
+    }
+}

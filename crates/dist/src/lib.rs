@@ -1,0 +1,30 @@
+//! # edgeswitch-dist
+//!
+//! Random-variate substrate for the edge-switching reproduction:
+//!
+//! - [`binomial`]: the BINV inverse-transform sampler (Algorithm 3) with
+//!   the paper's underflow-avoiding split (Equations 14–15),
+//! - [`multinomial`]: the sequential conditional-distribution method
+//!   (Algorithm 4),
+//! - [`parallel`]: the paper's parallel multinomial algorithm
+//!   (Algorithm 5) over the `mpilite` runtime,
+//! - [`harmonic`]: harmonic numbers and the visit-rate → switch-count
+//!   conversion (Equation 4),
+//! - [`rng`]: seeded, per-rank-decorrelated PCG-64 streams.
+
+#![warn(missing_docs)]
+
+pub mod binomial;
+pub mod harmonic;
+pub mod multinomial;
+pub mod parallel;
+pub mod rng;
+
+#[cfg(test)]
+mod gof_tests;
+
+pub use binomial::binomial;
+pub use harmonic::{expected_touches, harmonic, switch_ops_for_visit_rate};
+pub use multinomial::multinomial;
+pub use parallel::{multinomial_partitioned, parallel_multinomial, trial_share};
+pub use rng::{rank_rng, root_rng, substream_rng, Rng64};

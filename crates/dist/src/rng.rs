@@ -1,0 +1,76 @@
+//! Seeded, per-rank-decorrelated PRNG streams.
+//!
+//! Every experiment in the repository is reproducible from a single
+//! `u64` seed. Distributed components derive one independent stream per
+//! rank by mixing `(seed, rank)` through SplitMix64, the standard
+//! stream-splitting construction.
+
+use rand_pcg::Pcg64;
+
+/// The PRNG used everywhere: PCG-64, seeded deterministically.
+pub type Rng64 = Pcg64;
+
+/// SplitMix64 finalizer: a bijective avalanche mix.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A root stream for single-process algorithms.
+pub fn root_rng(seed: u64) -> Rng64 {
+    use rand::SeedableRng;
+    Pcg64::seed_from_u64(splitmix64(seed))
+}
+
+/// An independent stream for rank `rank` of a world seeded with `seed`.
+pub fn rank_rng(seed: u64, rank: u64) -> Rng64 {
+    use rand::SeedableRng;
+    Pcg64::seed_from_u64(splitmix64(splitmix64(seed) ^ splitmix64(rank.wrapping_add(0xA5A5))))
+}
+
+/// A named substream (e.g. one per step, per purpose) of a rank stream.
+pub fn substream_rng(seed: u64, rank: u64, stream: u64) -> Rng64 {
+    use rand::SeedableRng;
+    Pcg64::seed_from_u64(splitmix64(
+        splitmix64(seed) ^ splitmix64(rank) ^ splitmix64(stream.wrapping_add(0x1234_5678)),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: u64 = root_rng(7).gen();
+        let b: u64 = root_rng(7).gen();
+        let c: u64 = root_rng(8).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rank_streams_differ() {
+        let draws: Vec<u64> = (0..16).map(|r| rank_rng(1, r).gen()).collect();
+        let unique: std::collections::HashSet<_> = draws.iter().collect();
+        assert_eq!(unique.len(), draws.len(), "rank streams collided");
+    }
+
+    #[test]
+    fn substreams_differ_from_rank_stream() {
+        let base: u64 = rank_rng(1, 3).gen();
+        let sub: u64 = substream_rng(1, 3, 0).gen();
+        assert_ne!(base, sub);
+    }
+
+    #[test]
+    fn splitmix_is_bijective_sample() {
+        // Spot-check injectivity on a contiguous range.
+        let outs: std::collections::HashSet<u64> = (0..10_000u64).map(splitmix64).collect();
+        assert_eq!(outs.len(), 10_000);
+    }
+}

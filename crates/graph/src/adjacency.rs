@@ -1,0 +1,115 @@
+//! Neighbor sets with logarithmic membership tests.
+//!
+//! The paper stores each adjacency list as a balanced binary search tree so
+//! that the parallel-edge check during a switch costs `O(log d_u)`
+//! (Section 3.3). [`NeighborSet`] wraps a B-tree set and adds the
+//! set-intersection counting needed by the clustering-coefficient metric.
+
+use crate::types::VertexId;
+use std::collections::BTreeSet;
+
+/// A sorted set of neighbor vertex labels.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NeighborSet {
+    inner: BTreeSet<VertexId>,
+}
+
+impl NeighborSet {
+    /// Empty neighbor set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of neighbors (the vertex degree for full adjacency, the
+    /// *reduced degree* for reduced adjacency).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether there are no neighbors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// `O(log d)` membership test.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.inner.contains(&v)
+    }
+
+    /// Insert a neighbor; `false` if already present.
+    #[inline]
+    pub fn insert(&mut self, v: VertexId) -> bool {
+        self.inner.insert(v)
+    }
+
+    /// Remove a neighbor; `false` if absent.
+    #[inline]
+    pub fn remove(&mut self, v: VertexId) -> bool {
+        self.inner.remove(&v)
+    }
+
+    /// Iterate neighbors in ascending label order.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.inner.iter().copied()
+    }
+
+    /// Count of common neighbors with `other`.
+    ///
+    /// Walks the smaller set and probes the larger, giving
+    /// `O(min(d1, d2) log max(d1, d2))`.
+    pub fn intersection_size(&self, other: &NeighborSet) -> usize {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.iter().filter(|&v| large.contains(v)).count()
+    }
+}
+
+impl FromIterator<VertexId> for NeighborSet {
+    fn from_iter<I: IntoIterator<Item = VertexId>>(iter: I) -> Self {
+        NeighborSet {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = NeighborSet::new();
+        assert!(s.insert(3));
+        assert!(s.insert(1));
+        assert!(!s.insert(3));
+        assert!(s.contains(1));
+        assert!(s.contains(3));
+        assert!(!s.contains(2));
+        assert!(s.remove(1));
+        assert!(!s.remove(1));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s: NeighborSet = [9, 2, 7, 4].into_iter().collect();
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![2, 4, 7, 9]);
+    }
+
+    #[test]
+    fn intersection_size_counts_common() {
+        let a: NeighborSet = [1, 2, 3, 4, 5].into_iter().collect();
+        let b: NeighborSet = [4, 5, 6].into_iter().collect();
+        assert_eq!(a.intersection_size(&b), 2);
+        assert_eq!(b.intersection_size(&a), 2);
+        let empty = NeighborSet::new();
+        assert_eq!(a.intersection_size(&empty), 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Random-graph generators for the paper's dataset inventory (Table 2).
+//!
+//! Real-world inputs used by the paper (synthetic city contact networks,
+//! Flickr, LiveJournal) are unavailable; each has a generator producing a
+//! graph with the structural property that experiment depends on — high
+//! clustering with label locality for the contact networks, heavy-tailed
+//! degrees for the web crawls — at a scale that fits one machine. See
+//! DESIGN.md §2 for the substitution argument.
+
+mod contact;
+mod datasets;
+mod erdos_renyi;
+pub mod families;
+mod preferential;
+mod small_world;
+
+pub use contact::{contact_network, ContactParams};
+pub use families::{random_regular, stochastic_block_model};
+pub use datasets::{Dataset, DatasetSpec};
+pub use erdos_renyi::{erdos_renyi_gnm, erdos_renyi_gnp};
+pub use preferential::preferential_attachment;
+pub use small_world::small_world;

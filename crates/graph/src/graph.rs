@@ -1,0 +1,268 @@
+//! The shared-memory simple-graph type used by the sequential algorithm,
+//! the generators, and the metrics.
+//!
+//! Invariants maintained at all times:
+//! - no self-loops (unrepresentable via [`Edge`]),
+//! - no parallel edges ([`Graph::add_edge`] rejects duplicates),
+//! - full adjacency and the edge pool agree exactly.
+
+use crate::adjacency::NeighborSet;
+use crate::sampling::EdgePool;
+use crate::types::{Edge, GraphError, VertexId};
+use rand::Rng;
+
+/// An undirected simple graph over vertices `0..n`.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    adj: Vec<NeighborSet>,
+    pool: EdgePool,
+}
+
+impl Graph {
+    /// Edgeless graph with `n` vertices labelled `0..n`.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![NeighborSet::new(); n],
+            pool: EdgePool::new(),
+        }
+    }
+
+    /// Build a graph from an edge iterator, rejecting loops and duplicates.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = Edge>,
+    {
+        let mut g = Graph::new(n);
+        for e in edges {
+            g.add_edge(e)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Maximum degree over all vertices (`0` for an edgeless graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(NeighborSet::len).max().unwrap_or(0)
+    }
+
+    /// Average degree `2m/n`.
+    pub fn avg_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            2.0 * self.pool.len() as f64 / self.adj.len() as f64
+        }
+    }
+
+    /// The degree of every vertex, indexed by label.
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        self.adj.iter().map(NeighborSet::len).collect()
+    }
+
+    /// Full neighbor set of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &NeighborSet {
+        &self.adj[v as usize]
+    }
+
+    /// `O(log d)` edge-existence test.
+    #[inline]
+    pub fn has_edge(&self, e: Edge) -> bool {
+        // Probe the smaller endpoint list? Membership in either side is
+        // equivalent; use the pool's hash index which is O(1).
+        self.pool.contains(e)
+    }
+
+    /// Add an edge; errors on duplicates or out-of-range endpoints.
+    pub fn add_edge(&mut self, e: Edge) -> Result<(), GraphError> {
+        let n = self.adj.len() as u64;
+        if e.dst() >= n {
+            return Err(GraphError::UnknownVertex(e.dst()));
+        }
+        if !self.pool.insert(e) {
+            return Err(GraphError::ParallelEdge(e));
+        }
+        self.adj[e.src() as usize].insert(e.dst());
+        self.adj[e.dst() as usize].insert(e.src());
+        Ok(())
+    }
+
+    /// Remove an edge; errors if absent.
+    pub fn remove_edge(&mut self, e: Edge) -> Result<(), GraphError> {
+        if !self.pool.remove(e) {
+            return Err(GraphError::MissingEdge(e));
+        }
+        self.adj[e.src() as usize].remove(e.dst());
+        self.adj[e.dst() as usize].remove(e.src());
+        Ok(())
+    }
+
+    /// Draw an edge uniformly at random.
+    #[inline]
+    pub fn sample_edge<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Edge> {
+        self.pool.sample(rng)
+    }
+
+    /// Iterate all edges in unspecified order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.pool.iter()
+    }
+
+    /// Collect all edges into a sorted vector (stable across adjacency
+    /// representation details; useful for equality checks in tests).
+    pub fn sorted_edges(&self) -> Vec<Edge> {
+        let mut v: Vec<Edge> = self.pool.iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Structural equality: same vertex count and same edge set.
+    pub fn same_edge_set(&self, other: &Graph) -> bool {
+        self.num_vertices() == other.num_vertices()
+            && self.num_edges() == other.num_edges()
+            && self.edges().all(|e| other.has_edge(e))
+    }
+
+    /// Verify all internal invariants (adjacency symmetry, pool/adjacency
+    /// agreement, no out-of-range labels). Intended for tests; `O(m log d)`.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if !self.pool.check_consistent() {
+            return Err("edge pool index inconsistent".into());
+        }
+        let n = self.adj.len() as u64;
+        let mut adj_edge_count = 0usize;
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            let u = u as u64;
+            for v in nbrs.iter() {
+                if v >= n {
+                    return Err(format!("neighbor {v} of {u} out of range"));
+                }
+                if v == u {
+                    return Err(format!("self-loop at {u}"));
+                }
+                if !self.adj[v as usize].contains(u) {
+                    return Err(format!("asymmetric adjacency {u}->{v}"));
+                }
+                if !self.pool.contains(Edge::new(u, v)) {
+                    return Err(format!("adjacency edge ({u},{v}) missing from pool"));
+                }
+                adj_edge_count += 1;
+            }
+        }
+        if adj_edge_count != 2 * self.pool.len() {
+            return Err(format!(
+                "adjacency lists hold {adj_edge_count} half-edges but pool has {} edges",
+                self.pool.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_pcg::Pcg64;
+
+    fn path_graph(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n as u64 - 1).map(|i| Edge::new(i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = path_graph(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(Edge::new(0, 1)));
+        assert!(!g.has_edge(Edge::new(0, 2)));
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.max_degree(), 2);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn add_duplicate_rejected() {
+        let mut g = path_graph(3);
+        assert!(matches!(
+            g.add_edge(Edge::new(1, 0)),
+            Err(GraphError::ParallelEdge(_))
+        ));
+    }
+
+    #[test]
+    fn add_out_of_range_rejected() {
+        let mut g = Graph::new(3);
+        assert!(matches!(
+            g.add_edge(Edge::new(0, 3)),
+            Err(GraphError::UnknownVertex(3))
+        ));
+    }
+
+    #[test]
+    fn remove_missing_rejected() {
+        let mut g = path_graph(3);
+        assert!(matches!(
+            g.remove_edge(Edge::new(0, 2)),
+            Err(GraphError::MissingEdge(_))
+        ));
+    }
+
+    #[test]
+    fn remove_updates_both_sides() {
+        let mut g = path_graph(3);
+        g.remove_edge(Edge::new(0, 1)).unwrap();
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.num_edges(), 1);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn degree_sequence_and_avg() {
+        let g = path_graph(4);
+        assert_eq!(g.degree_sequence(), vec![1, 2, 2, 1]);
+        assert!((g.avg_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_edge_comes_from_graph() {
+        let g = path_graph(50);
+        let mut rng = Pcg64::seed_from_u64(7);
+        for _ in 0..100 {
+            let e = g.sample_edge(&mut rng).unwrap();
+            assert!(g.has_edge(e));
+        }
+    }
+
+    #[test]
+    fn same_edge_set_detects_difference() {
+        let a = path_graph(4);
+        let mut b = path_graph(4);
+        assert!(a.same_edge_set(&b));
+        b.remove_edge(Edge::new(2, 3)).unwrap();
+        b.add_edge(Edge::new(1, 3)).unwrap();
+        assert!(!a.same_edge_set(&b));
+    }
+}

@@ -1,0 +1,142 @@
+//! Edge-list I/O: whitespace-separated `u v` lines, `#` comments.
+
+use crate::graph::Graph;
+use crate::types::{Edge, GraphError};
+use std::io::{BufRead, BufWriter, Write};
+
+/// Parse an edge-list from a reader. The vertex count is
+/// `max label + 1` unless `n` is given (which must dominate all labels).
+pub fn read_edge_list<R: BufRead>(reader: R, n: Option<usize>) -> Result<Graph, GraphError> {
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut max_label = 0u64;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| GraphError::Parse(format!("line {}: {e}", lineno + 1)))?;
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let mut it = body.split_whitespace();
+        let (a, b) = match (it.next(), it.next(), it.next()) {
+            (Some(a), Some(b), None) => (a, b),
+            _ => {
+                return Err(GraphError::Parse(format!(
+                    "line {}: expected `u v`, got {body:?}",
+                    lineno + 1
+                )))
+            }
+        };
+        let a: u64 = a
+            .parse()
+            .map_err(|_| GraphError::Parse(format!("line {}: bad label {a:?}", lineno + 1)))?;
+        let b: u64 = b
+            .parse()
+            .map_err(|_| GraphError::Parse(format!("line {}: bad label {b:?}", lineno + 1)))?;
+        let e = Edge::try_new(a, b).ok_or(GraphError::SelfLoop(a))?;
+        max_label = max_label.max(e.dst());
+        edges.push(e);
+    }
+    let n = match n {
+        Some(n) => {
+            if !edges.is_empty() && (n as u64) <= max_label {
+                return Err(GraphError::Parse(format!(
+                    "declared n = {n} but labels reach {max_label}"
+                )));
+            }
+            n
+        }
+        None => {
+            if edges.is_empty() {
+                0
+            } else {
+                max_label as usize + 1
+            }
+        }
+    };
+    Graph::from_edges(n, edges)
+}
+
+/// Write a graph as an edge list with a header comment.
+pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# simple graph: n = {}, m = {}",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    let mut edges = graph.sorted_edges();
+    edges.sort_unstable();
+    for e in edges {
+        writeln!(w, "{} {}", e.src(), e.dst())?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let g = Graph::from_edges(
+            5,
+            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(3, 4)],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(&buf[..], Some(5)).unwrap();
+        assert!(g.same_edge_set(&h));
+    }
+
+    #[test]
+    fn infers_vertex_count() {
+        let input = b"0 1\n7 2\n";
+        let g = read_edge_list(&input[..], None).unwrap();
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let input = b"# header\n\n0 1 # trailing\n  \n2 3\n";
+        let g = read_edge_list(&input[..], None).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(matches!(
+            read_edge_list(&b"0 1 2\n"[..], None),
+            Err(GraphError::Parse(_))
+        ));
+        assert!(matches!(
+            read_edge_list(&b"zero one\n"[..], None),
+            Err(GraphError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert!(matches!(
+            read_edge_list(&b"3 3\n"[..], None),
+            Err(GraphError::SelfLoop(3))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        assert!(matches!(
+            read_edge_list(&b"0 1\n1 0\n"[..], None),
+            Err(GraphError::ParallelEdge(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_undersized_declared_n() {
+        assert!(matches!(
+            read_edge_list(&b"0 9\n"[..], Some(5)),
+            Err(GraphError::Parse(_))
+        ));
+    }
+}

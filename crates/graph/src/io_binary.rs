@@ -1,0 +1,184 @@
+//! Compact binary edge-list format.
+//!
+//! Massive graphs (the paper's PA-1B has 10B edges) are impractical as
+//! text; this module defines a little-endian binary framing with a
+//! magic/version header and varint-delta edge encoding, cutting storage
+//! to a few bytes per edge on vertex-sorted input.
+//!
+//! Layout:
+//! ```text
+//! magic  "ESGB"            4 bytes
+//! version u8               (currently 1)
+//! n       u64 LE           vertex count
+//! m       u64 LE           edge count
+//! edges   m × (varint Δsrc, varint dst-src)   sorted by (src, dst)
+//! ```
+
+use crate::graph::Graph;
+use crate::types::{Edge, GraphError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"ESGB";
+const VERSION: u8 = 1;
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, GraphError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(GraphError::Parse("truncated varint".into()));
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(GraphError::Parse("varint overflow".into()));
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Serialize a graph to the binary format.
+pub fn to_bytes(graph: &Graph) -> Bytes {
+    let mut edges = graph.sorted_edges();
+    edges.sort_unstable();
+    let mut buf = BytesMut::with_capacity(21 + 4 * edges.len());
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u64_le(graph.num_vertices() as u64);
+    buf.put_u64_le(edges.len() as u64);
+    let mut prev_src = 0u64;
+    for e in edges {
+        put_varint(&mut buf, e.src() - prev_src);
+        put_varint(&mut buf, e.dst() - e.src());
+        prev_src = e.src();
+    }
+    buf.freeze()
+}
+
+/// Deserialize a graph from the binary format.
+pub fn from_bytes(mut data: Bytes) -> Result<Graph, GraphError> {
+    if data.remaining() < 21 {
+        return Err(GraphError::Parse("header truncated".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(GraphError::Parse(format!("bad magic {magic:?}")));
+    }
+    let version = data.get_u8();
+    if version != VERSION {
+        return Err(GraphError::Parse(format!("unsupported version {version}")));
+    }
+    let n = data.get_u64_le() as usize;
+    let m = data.get_u64_le();
+    let mut g = Graph::new(n);
+    let mut prev_src = 0u64;
+    for _ in 0..m {
+        let src = prev_src + get_varint(&mut data)?;
+        let delta = get_varint(&mut data)?;
+        if delta == 0 {
+            return Err(GraphError::SelfLoop(src));
+        }
+        g.add_edge(Edge::new(src, src + delta))?;
+        prev_src = src;
+    }
+    if data.has_remaining() {
+        return Err(GraphError::Parse(format!(
+            "{} trailing bytes after {m} edges",
+            data.remaining()
+        )));
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi_gnm;
+    use rand::SeedableRng;
+    use rand_pcg::Pcg64;
+
+    #[test]
+    fn round_trip_random_graph() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let g = erdos_renyi_gnm(500, 3000, &mut rng);
+        let bytes = to_bytes(&g);
+        let h = from_bytes(bytes).unwrap();
+        assert!(g.same_edge_set(&h));
+        assert_eq!(h.num_vertices(), 500);
+    }
+
+    #[test]
+    fn round_trip_empty_graph() {
+        let g = Graph::new(7);
+        let h = from_bytes(to_bytes(&g)).unwrap();
+        assert_eq!(h.num_vertices(), 7);
+        assert_eq!(h.num_edges(), 0);
+    }
+
+    #[test]
+    fn compact_encoding_beats_text() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let g = erdos_renyi_gnm(2000, 20_000, &mut rng);
+        let bin = to_bytes(&g).len();
+        let mut text = Vec::new();
+        crate::io::write_edge_list(&g, &mut text).unwrap();
+        assert!(
+            bin * 2 < text.len(),
+            "binary {bin} bytes should be <50% of text {}",
+            text.len()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let data = Bytes::from_static(b"XXXX\x01\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0");
+        assert!(matches!(from_bytes(data), Err(GraphError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let g = erdos_renyi_gnm(50, 100, &mut rng);
+        let full = to_bytes(&g);
+        let cut = full.slice(0..full.len() - 3);
+        assert!(from_bytes(cut).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let g = Graph::new(3);
+        let mut raw = BytesMut::from(&to_bytes(&g)[..]);
+        raw.put_u8(0xff);
+        assert!(matches!(
+            from_bytes(raw.freeze()),
+            Err(GraphError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut b = buf.freeze();
+            assert_eq!(get_varint(&mut b).unwrap(), v);
+            assert!(!b.has_remaining());
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # edgeswitch-graph
+//!
+//! Graph substrate for the edge-switching reproduction of Bhuiyan et al.,
+//! *"Fast Parallel Algorithms for Edge-Switching to Achieve a Target Visit
+//! Rate in Heterogeneous Graphs"* (ICPP 2014 / JPDC).
+//!
+//! Provides:
+//! - simple undirected graphs with O(1) uniform edge sampling
+//!   ([`graph::Graph`], [`sampling::EdgePool`]),
+//! - per-processor *reduced adjacency* partitions ([`store::PartitionStore`]),
+//! - the paper's four partitioning schemes ([`partition::Partitioner`]),
+//! - generators for the Table 2 dataset inventory ([`generators`]),
+//! - degree-sequence tooling including Havel–Hakimi ([`degree`]),
+//! - network metrics for the trajectory experiments ([`metrics`]),
+//! - edge-list I/O ([`io`]).
+
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod degree;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod io_binary;
+pub mod metrics;
+pub mod partition;
+pub mod sampling;
+pub mod store;
+pub mod types;
+
+pub use graph::Graph;
+pub use partition::{Partitioner, SchemeKind};
+pub use store::PartitionStore;
+pub use types::{Edge, GraphError, OrientedEdge, VertexId};

@@ -1,0 +1,195 @@
+//! O(1) uniform edge sampling with O(1) insert/remove.
+//!
+//! Both the sequential algorithm (Alg. 1) and every partition of the
+//! parallel algorithm must repeatedly draw edges uniformly at random from a
+//! *dynamically changing* edge set. A `Vec` of edges paired with a
+//! position index gives O(1) `sample`, O(1) `insert`, and O(1) `remove`
+//! (swap-remove), which is what makes the `O(t log d_max)` bound of the
+//! paper achievable in practice.
+
+use crate::types::Edge;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A dynamic multiset-free edge pool supporting uniform sampling.
+#[derive(Clone, Debug, Default)]
+pub struct EdgePool {
+    edges: Vec<Edge>,
+    pos: HashMap<Edge, u32>,
+}
+
+impl EdgePool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pool pre-sized for `cap` edges.
+    pub fn with_capacity(cap: usize) -> Self {
+        EdgePool {
+            edges: Vec::with_capacity(cap),
+            pos: HashMap::with_capacity(cap),
+        }
+    }
+
+    /// Number of edges currently in the pool.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the pool holds no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Whether the pool contains `e`.
+    #[inline]
+    pub fn contains(&self, e: Edge) -> bool {
+        self.pos.contains_key(&e)
+    }
+
+    /// Insert `e`; returns `false` (and leaves the pool unchanged) if the
+    /// edge is already present.
+    pub fn insert(&mut self, e: Edge) -> bool {
+        if self.pos.contains_key(&e) {
+            return false;
+        }
+        debug_assert!(self.edges.len() < u32::MAX as usize, "EdgePool overflow");
+        self.pos.insert(e, self.edges.len() as u32);
+        self.edges.push(e);
+        true
+    }
+
+    /// Remove `e`; returns `false` if it was not present.
+    pub fn remove(&mut self, e: Edge) -> bool {
+        let Some(idx) = self.pos.remove(&e) else {
+            return false;
+        };
+        let idx = idx as usize;
+        let last = self.edges.len() - 1;
+        self.edges.swap(idx, last);
+        self.edges.pop();
+        if idx < self.edges.len() {
+            // The formerly-last edge moved into `idx`.
+            self.pos.insert(self.edges[idx], idx as u32);
+        }
+        true
+    }
+
+    /// Draw one edge uniformly at random; `None` on an empty pool.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Edge> {
+        if self.edges.is_empty() {
+            None
+        } else {
+            Some(self.edges[rng.gen_range(0..self.edges.len())])
+        }
+    }
+
+    /// Iterate over all edges in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// The edge stored at dense index `i` (used by deterministic drivers).
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<Edge> {
+        self.edges.get(i).copied()
+    }
+
+    /// Internal consistency check: the position index matches the dense
+    /// array exactly. Used by tests and debug assertions.
+    pub fn check_consistent(&self) -> bool {
+        self.pos.len() == self.edges.len()
+            && self
+                .edges
+                .iter()
+                .enumerate()
+                .all(|(i, e)| self.pos.get(e).map(|&p| p as usize) == Some(i))
+    }
+}
+
+impl FromIterator<Edge> for EdgePool {
+    fn from_iter<I: IntoIterator<Item = Edge>>(iter: I) -> Self {
+        let mut pool = EdgePool::new();
+        for e in iter {
+            pool.insert(e);
+        }
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_pcg::Pcg64;
+
+    fn e(a: u64, b: u64) -> Edge {
+        Edge::new(a, b)
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut p = EdgePool::new();
+        assert!(p.insert(e(1, 2)));
+        assert!(p.insert(e(2, 3)));
+        assert!(!p.insert(e(1, 2)), "duplicate insert must be rejected");
+        assert!(p.contains(e(1, 2)));
+        assert_eq!(p.len(), 2);
+        assert!(p.remove(e(1, 2)));
+        assert!(!p.remove(e(1, 2)));
+        assert!(!p.contains(e(1, 2)));
+        assert_eq!(p.len(), 1);
+        assert!(p.check_consistent());
+    }
+
+    #[test]
+    fn swap_remove_keeps_index_consistent() {
+        let mut p = EdgePool::new();
+        for i in 0..50u64 {
+            p.insert(e(i, i + 1));
+        }
+        // Remove from the middle repeatedly.
+        for i in (0..50u64).step_by(3) {
+            assert!(p.remove(e(i, i + 1)));
+            assert!(p.check_consistent());
+        }
+    }
+
+    #[test]
+    fn sample_none_on_empty() {
+        let p = EdgePool::new();
+        let mut rng = Pcg64::seed_from_u64(1);
+        assert_eq!(p.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        let mut p = EdgePool::new();
+        let k = 8u64;
+        for i in 0..k {
+            p.insert(e(i, i + 100));
+        }
+        let mut rng = Pcg64::seed_from_u64(42);
+        let trials = 80_000;
+        let mut counts = vec![0u32; k as usize];
+        for _ in 0..trials {
+            let s = p.sample(&mut rng).unwrap();
+            counts[s.src() as usize] += 1;
+        }
+        let expect = trials as f64 / k as f64;
+        for c in counts {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.05, "sampling deviates {dev:.3} from uniform");
+        }
+    }
+
+    #[test]
+    fn from_iterator_dedups() {
+        let p: EdgePool = vec![e(1, 2), e(2, 1), e(3, 4)].into_iter().collect();
+        assert_eq!(p.len(), 2);
+    }
+}

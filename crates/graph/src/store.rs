@@ -1,0 +1,221 @@
+//! Per-partition storage: the *reduced adjacency list* (Section 4.2).
+//!
+//! An edge `(u, v)` with `u < v` is stored exactly once, in the partition
+//! that owns `u`. This guarantees an edge can be selected from only one
+//! partition, halves the memory footprint, and reduces the number of
+//! adjacency-list updates per switch from four to at most three.
+
+use crate::adjacency::NeighborSet;
+use crate::graph::Graph;
+use crate::partition::Partitioner;
+use crate::sampling::EdgePool;
+use crate::types::{Edge, VertexId};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// One processor's share of the distributed graph.
+#[derive(Clone, Debug)]
+pub struct PartitionStore {
+    rank: usize,
+    /// Reduced adjacency: `adj[u]` holds `{v : (u,v) ∈ E, u < v}` for
+    /// every owned vertex `u` that currently has at least one such edge.
+    adj: HashMap<VertexId, NeighborSet>,
+    /// The same edges, in a uniformly sampleable pool.
+    pool: EdgePool,
+}
+
+impl PartitionStore {
+    /// Empty store for processor `rank`.
+    pub fn new(rank: usize) -> Self {
+        PartitionStore {
+            rank,
+            adj: HashMap::new(),
+            pool: EdgePool::new(),
+        }
+    }
+
+    /// The processor rank this store belongs to.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of edges `|E_i|` currently owned.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// `O(1)` existence test for an edge owned by this partition.
+    ///
+    /// The caller must only ask about edges whose lower endpoint is owned
+    /// here; asking about a foreign edge returns `false`, which in the
+    /// distributed protocol would be a routing bug, so debug builds do not
+    /// check it — ownership is the protocol's responsibility.
+    #[inline]
+    pub fn contains(&self, e: Edge) -> bool {
+        self.pool.contains(e)
+    }
+
+    /// Insert an owned edge; `false` if already present (parallel edge).
+    pub fn insert(&mut self, e: Edge) -> bool {
+        if !self.pool.insert(e) {
+            return false;
+        }
+        self.adj.entry(e.src()).or_default().insert(e.dst());
+        true
+    }
+
+    /// Remove an owned edge; `false` if absent.
+    pub fn remove(&mut self, e: Edge) -> bool {
+        if !self.pool.remove(e) {
+            return false;
+        }
+        if let Some(set) = self.adj.get_mut(&e.src()) {
+            set.remove(e.dst());
+            if set.is_empty() {
+                self.adj.remove(&e.src());
+            }
+        }
+        true
+    }
+
+    /// Draw a uniformly random owned edge.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Edge> {
+        self.pool.sample(rng)
+    }
+
+    /// Iterate owned edges.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.pool.iter()
+    }
+
+    /// Reduced neighbor set of an owned vertex (empty if none).
+    pub fn reduced_neighbors(&self, u: VertexId) -> Option<&NeighborSet> {
+        self.adj.get(&u)
+    }
+
+    /// Internal consistency between the pool and the adjacency map.
+    pub fn check_consistent(&self) -> bool {
+        if !self.pool.check_consistent() {
+            return false;
+        }
+        let from_adj: usize = self.adj.values().map(NeighborSet::len).sum();
+        from_adj == self.pool.len()
+            && self
+                .pool
+                .iter()
+                .all(|e| self.adj.get(&e.src()).is_some_and(|s| s.contains(e.dst())))
+    }
+}
+
+/// Split a graph into `p` partition stores under `part`.
+///
+/// Edge `(u,v)` with `u < v` goes to `part.owner(u)` — the distributed
+/// distribution step of Section 4.3.
+pub fn build_stores(graph: &Graph, part: &Partitioner) -> Vec<PartitionStore> {
+    let p = part.num_parts();
+    let mut stores: Vec<PartitionStore> = (0..p).map(PartitionStore::new).collect();
+    for e in graph.edges() {
+        let owner = part.owner(e.src());
+        let inserted = stores[owner].insert(e);
+        debug_assert!(inserted, "input graph contained duplicate edge {e}");
+    }
+    stores
+}
+
+/// Reassemble the full graph from partition stores (gather step, used for
+/// post-run validation and metric computation).
+pub fn assemble_graph(n: usize, stores: &[PartitionStore]) -> Graph {
+    let mut g = Graph::new(n);
+    for s in stores {
+        for e in s.edges() {
+            g.add_edge(e)
+                .expect("partition stores must hold disjoint simple edges");
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Edge;
+    use rand::SeedableRng;
+    use rand_pcg::Pcg64;
+
+    fn grid_graph() -> Graph {
+        // 5x5 grid.
+        let n = 25u64;
+        let mut edges = vec![];
+        for r in 0..5u64 {
+            for c in 0..5u64 {
+                let v = r * 5 + c;
+                if c + 1 < 5 {
+                    edges.push(Edge::new(v, v + 1));
+                }
+                if r + 1 < 5 {
+                    edges.push(Edge::new(v, v + 5));
+                }
+            }
+        }
+        Graph::from_edges(n as usize, edges).unwrap()
+    }
+
+    #[test]
+    fn build_assigns_every_edge_once() {
+        let g = grid_graph();
+        let part = Partitioner::hash_division(4);
+        let stores = build_stores(&g, &part);
+        let total: usize = stores.iter().map(PartitionStore::num_edges).sum();
+        assert_eq!(total, g.num_edges());
+        for s in &stores {
+            assert!(s.check_consistent());
+            for e in s.edges() {
+                assert_eq!(part.owner(e.src()), s.rank());
+            }
+        }
+    }
+
+    #[test]
+    fn assemble_round_trips() {
+        let g = grid_graph();
+        let part = Partitioner::consecutive(&g, 3);
+        let stores = build_stores(&g, &part);
+        let h = assemble_graph(g.num_vertices(), &stores);
+        assert!(g.same_edge_set(&h));
+    }
+
+    #[test]
+    fn insert_remove_keeps_adjacency_in_sync() {
+        let mut s = PartitionStore::new(0);
+        assert!(s.insert(Edge::new(1, 5)));
+        assert!(s.insert(Edge::new(1, 7)));
+        assert!(!s.insert(Edge::new(1, 5)), "duplicate rejected");
+        assert_eq!(s.reduced_neighbors(1).unwrap().len(), 2);
+        assert!(s.remove(Edge::new(1, 5)));
+        assert_eq!(s.reduced_neighbors(1).unwrap().len(), 1);
+        assert!(s.remove(Edge::new(1, 7)));
+        assert!(s.reduced_neighbors(1).is_none(), "empty sets are pruned");
+        assert!(!s.remove(Edge::new(1, 7)));
+        assert!(s.check_consistent());
+    }
+
+    #[test]
+    fn sample_returns_owned_edges() {
+        let g = grid_graph();
+        let part = Partitioner::hash_multiplication(3);
+        let stores = build_stores(&g, &part);
+        let mut rng = Pcg64::seed_from_u64(11);
+        for s in &stores {
+            if s.num_edges() == 0 {
+                continue;
+            }
+            for _ in 0..20 {
+                let e = s.sample(&mut rng).unwrap();
+                assert!(s.contains(e));
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Fundamental identifier and edge types shared across the workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A vertex label. The paper labels vertices `0, 1, ..., n-1`; we use `u64`
+/// so that graphs with billions of vertices are representable.
+pub type VertexId = u64;
+
+/// An undirected edge stored in canonical orientation: `src() < dst()`.
+///
+/// Simple graphs have no self-loops, so construction of an edge with equal
+/// endpoints is rejected at the [`Edge::new`] boundary.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Edge {
+    u: VertexId,
+    v: VertexId,
+}
+
+impl Edge {
+    /// Create a canonical edge from two distinct endpoints (in any order).
+    ///
+    /// # Panics
+    /// Panics if `a == b` (a self-loop can never be materialized in a
+    /// simple graph; callers must filter loops before constructing edges).
+    #[inline]
+    pub fn new(a: VertexId, b: VertexId) -> Self {
+        assert!(a != b, "self-loop edge ({a},{b}) is not representable");
+        if a < b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        }
+    }
+
+    /// Create a canonical edge, returning `None` for a self-loop.
+    #[inline]
+    pub fn try_new(a: VertexId, b: VertexId) -> Option<Self> {
+        if a == b {
+            None
+        } else {
+            Some(Self::new(a, b))
+        }
+    }
+
+    /// Lower endpoint (the vertex whose reduced adjacency list stores the edge).
+    #[inline]
+    pub fn src(&self) -> VertexId {
+        self.u
+    }
+
+    /// Higher endpoint.
+    #[inline]
+    pub fn dst(&self) -> VertexId {
+        self.v
+    }
+
+    /// Both endpoints as a `(low, high)` pair.
+    #[inline]
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        (self.u, self.v)
+    }
+
+    /// Whether `w` is one of the two endpoints.
+    #[inline]
+    pub fn touches(&self, w: VertexId) -> bool {
+        self.u == w || self.v == w
+    }
+
+    /// The endpoint that is not `w`.
+    ///
+    /// # Panics
+    /// Panics if `w` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, w: VertexId) -> VertexId {
+        if self.u == w {
+            self.v
+        } else if self.v == w {
+            self.u
+        } else {
+            panic!("vertex {w} is not an endpoint of {self:?}");
+        }
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.u, self.v)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.u, self.v)
+    }
+}
+
+impl From<(VertexId, VertexId)> for Edge {
+    fn from((a, b): (VertexId, VertexId)) -> Self {
+        Edge::new(a, b)
+    }
+}
+
+/// An edge whose orientation carries meaning during a switch operation.
+///
+/// The paper selects an edge `(u1, v1)` *from the reduced adjacency list*,
+/// which always yields `tail < head`; the straight/cross coin then decides
+/// how the oriented endpoints recombine (Fig. 3). We keep the orientation
+/// explicit so the switch arithmetic mirrors the paper exactly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct OrientedEdge {
+    /// The lower-labelled endpoint (`u` in the paper).
+    pub tail: VertexId,
+    /// The higher-labelled endpoint (`v` in the paper).
+    pub head: VertexId,
+}
+
+impl OrientedEdge {
+    /// Orient a canonical edge (tail = lower endpoint).
+    #[inline]
+    pub fn from_edge(e: Edge) -> Self {
+        OrientedEdge {
+            tail: e.src(),
+            head: e.dst(),
+        }
+    }
+
+    /// Collapse back to the canonical undirected edge.
+    #[inline]
+    pub fn edge(&self) -> Edge {
+        Edge::new(self.tail, self.head)
+    }
+}
+
+/// Errors produced by graph construction and mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The edge already exists (would create a parallel edge).
+    ParallelEdge(Edge),
+    /// Attempted to add or reference a self-loop.
+    SelfLoop(VertexId),
+    /// Edge not present in the graph.
+    MissingEdge(Edge),
+    /// Vertex label out of the graph's `0..n` range.
+    UnknownVertex(VertexId),
+    /// A degree sequence that cannot be realized as a simple graph.
+    UnrealizableDegreeSequence(String),
+    /// Input parse failure.
+    Parse(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::ParallelEdge(e) => write!(f, "edge {e} already exists"),
+            GraphError::SelfLoop(v) => write!(f, "self-loop at vertex {v}"),
+            GraphError::MissingEdge(e) => write!(f, "edge {e} not in graph"),
+            GraphError::UnknownVertex(v) => write!(f, "vertex {v} out of range"),
+            GraphError::UnrealizableDegreeSequence(why) => {
+                write!(f, "degree sequence not realizable: {why}")
+            }
+            GraphError::Parse(why) => write!(f, "parse error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_canonicalizes_orientation() {
+        let e = Edge::new(7, 3);
+        assert_eq!(e.src(), 3);
+        assert_eq!(e.dst(), 7);
+        assert_eq!(e, Edge::new(3, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn edge_rejects_self_loop() {
+        let _ = Edge::new(4, 4);
+    }
+
+    #[test]
+    fn try_new_filters_loops() {
+        assert_eq!(Edge::try_new(1, 1), None);
+        assert_eq!(Edge::try_new(2, 1), Some(Edge::new(1, 2)));
+    }
+
+    #[test]
+    fn other_returns_opposite_endpoint() {
+        let e = Edge::new(1, 9);
+        assert_eq!(e.other(1), 9);
+        assert_eq!(e.other(9), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn other_panics_for_non_endpoint() {
+        Edge::new(1, 9).other(5);
+    }
+
+    #[test]
+    fn touches_checks_both_ends() {
+        let e = Edge::new(2, 5);
+        assert!(e.touches(2));
+        assert!(e.touches(5));
+        assert!(!e.touches(3));
+    }
+
+    #[test]
+    fn oriented_round_trip() {
+        let e = Edge::new(4, 11);
+        let o = OrientedEdge::from_edge(e);
+        assert_eq!(o.tail, 4);
+        assert_eq!(o.head, 11);
+        assert_eq!(o.edge(), e);
+    }
+
+    #[test]
+    fn edge_ordering_is_lexicographic() {
+        let mut v = vec![Edge::new(3, 4), Edge::new(1, 9), Edge::new(1, 2)];
+        v.sort();
+        assert_eq!(v, vec![Edge::new(1, 2), Edge::new(1, 9), Edge::new(3, 4)]);
+    }
+}

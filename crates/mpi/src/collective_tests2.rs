@@ -1,0 +1,63 @@
+//! Tests of the rooted collectives and scans.
+
+use crate::packet::CollPayload;
+use crate::runtime::run_world_default;
+
+#[test]
+fn gather_collects_at_root_only() {
+    let out = run_world_default::<CollPayload, Option<Vec<u64>>, _>(5, |comm| {
+        comm.gather_u64(2, comm.rank() as u64 * 3)
+    });
+    for (rank, res) in out.iter().enumerate() {
+        if rank == 2 {
+            assert_eq!(res.as_deref(), Some(&[0, 3, 6, 9, 12][..]));
+        } else {
+            assert!(res.is_none());
+        }
+    }
+}
+
+#[test]
+fn scatter_distributes_from_root() {
+    let out = run_world_default::<CollPayload, u64, _>(4, |comm| {
+        let values = if comm.rank() == 0 {
+            Some(vec![10, 11, 12, 13])
+        } else {
+            None
+        };
+        comm.scatter_u64(0, values.as_deref())
+    });
+    assert_eq!(out, vec![10, 11, 12, 13]);
+}
+
+#[test]
+fn allreduce_f64_sums() {
+    let out = run_world_default::<CollPayload, f64, _>(4, |comm| {
+        comm.allreduce_sum_f64(0.25 * (comm.rank() as f64 + 1.0))
+    });
+    for v in out {
+        assert!((v - 2.5).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn scan_is_inclusive_prefix_sum() {
+    let out = run_world_default::<CollPayload, u64, _>(5, |comm| {
+        comm.scan_sum_u64(comm.rank() as u64 + 1)
+    });
+    assert_eq!(out, vec![1, 3, 6, 10, 15]);
+}
+
+#[test]
+fn rooted_collectives_compose_with_symmetric_ones() {
+    let out = run_world_default::<CollPayload, (u64, u64), _>(3, |comm| {
+        let gathered = comm.gather_u64(1, comm.rank() as u64);
+        let total = comm.allreduce_sum_u64(comm.rank() as u64);
+        let scattered = comm.scatter_u64(
+            1,
+            gathered.map(|g| g.iter().map(|x| x * 10).collect::<Vec<_>>()).as_deref(),
+        );
+        (scattered, total)
+    });
+    assert_eq!(out, vec![(0, 3), (10, 3), (20, 3)]);
+}

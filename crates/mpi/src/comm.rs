@@ -1,0 +1,219 @@
+//! Per-rank communicator: tagged point-to-point messaging.
+
+use crate::packet::{CollPayload, Packet, COLLECTIVE_TAG_BASE};
+use crate::stats::CommStats;
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// How user message types expose their approximate wire size and embed
+/// collective payloads. Implemented for [`CollPayload`] itself and easily
+/// derived for protocol enums that add a `Coll(CollPayload)` variant.
+pub trait CollCarrier: Sized {
+    /// Wrap a collective payload into the message type.
+    fn from_coll(p: CollPayload) -> Self;
+    /// Extract a collective payload (`None` if this is a user message —
+    /// receiving one inside a collective is a protocol error).
+    fn into_coll(self) -> Option<CollPayload>;
+    /// Approximate serialized size in bytes, for traffic accounting.
+    fn wire_size(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+impl CollCarrier for CollPayload {
+    fn from_coll(p: CollPayload) -> Self {
+        p
+    }
+    fn into_coll(self) -> Option<CollPayload> {
+        Some(self)
+    }
+    fn wire_size(&self) -> usize {
+        CollPayload::wire_size(self)
+    }
+}
+
+/// One rank's endpoint into the world: `send`/`recv` plus collectives
+/// (in [`crate::collectives`]).
+pub struct Comm<M> {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Packet<M>>>,
+    receiver: Receiver<Packet<M>>,
+    /// Messages received while waiting for something more specific.
+    pending: VecDeque<Packet<M>>,
+    pub(crate) stats: CommStats,
+    pub(crate) coll_seq: u32,
+    timeout: Duration,
+}
+
+impl<M: CollCarrier> Comm<M> {
+    pub(crate) fn new(
+        rank: usize,
+        senders: Vec<Sender<Packet<M>>>,
+        receiver: Receiver<Packet<M>>,
+        timeout: Duration,
+    ) -> Self {
+        let size = senders.len();
+        Comm {
+            rank,
+            size,
+            senders,
+            receiver,
+            pending: VecDeque::new(),
+            stats: CommStats::default(),
+            coll_seq: 0,
+            timeout,
+        }
+    }
+
+    /// This rank's id in `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks `p`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Send `payload` to `dst` with a user tag.
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range, the tag collides with the
+    /// collective namespace, or the destination has already shut down.
+    pub fn send(&mut self, dst: usize, tag: u32, payload: M) {
+        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag:#x} reserved for collectives");
+        self.send_raw(dst, tag, payload);
+    }
+
+    pub(crate) fn send_raw(&mut self, dst: usize, tag: u32, payload: M) {
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += payload.wire_size() as u64;
+        self.senders[dst]
+            .send(Packet {
+                src: self.rank,
+                tag,
+                payload,
+            })
+            .unwrap_or_else(|_| panic!("rank {} -> {dst}: receiver disconnected", self.rank));
+    }
+
+    /// Non-blocking receive of the next available message (any source,
+    /// any tag); earlier-buffered messages are drained first.
+    pub fn try_recv(&mut self) -> Option<Packet<M>> {
+        if let Some(p) = self.pending.pop_front() {
+            self.stats.messages_received += 1;
+            return Some(p);
+        }
+        match self.receiver.try_recv() {
+            Ok(p) => {
+                self.stats.messages_received += 1;
+                Some(p)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Blocking receive of the next message (any source, any tag).
+    ///
+    /// # Panics
+    /// Panics after the configured timeout — a deadlocked protocol should
+    /// fail loudly in tests rather than hang.
+    pub fn recv(&mut self) -> Packet<M> {
+        if let Some(p) = self.pending.pop_front() {
+            self.stats.messages_received += 1;
+            return p;
+        }
+        let p = self
+            .receiver
+            .recv_timeout(self.timeout)
+            .unwrap_or_else(|_| {
+                panic!(
+                    "rank {}: recv timed out after {:?} (deadlock?)",
+                    self.rank, self.timeout
+                )
+            });
+        self.stats.messages_received += 1;
+        p
+    }
+
+    /// Blocking receive of a message matching `(src, tag)`; anything else
+    /// arriving in the meantime is buffered for later `try_recv`/`recv`.
+    pub fn recv_match(&mut self, src: usize, tag: u32) -> Packet<M> {
+        // Check the buffer first.
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|p| p.src == src && p.tag == tag)
+        {
+            self.stats.messages_received += 1;
+            return self.pending.remove(pos).unwrap();
+        }
+        loop {
+            let p = self
+                .receiver
+                .recv_timeout(self.timeout)
+                .unwrap_or_else(|_| {
+                    panic!(
+                        "rank {}: recv_match(src={src}, tag={tag:#x}) timed out (deadlock?)",
+                        self.rank
+                    )
+                });
+            if p.src == src && p.tag == tag {
+                self.stats.messages_received += 1;
+                return p;
+            }
+            self.pending.push_back(p);
+        }
+    }
+
+    /// Non-blocking receive of a message with `tag` from any source;
+    /// messages with other tags encountered on the way are buffered (so
+    /// e.g. early-arriving collective traffic from a rank that has moved
+    /// ahead survives until its collective runs).
+    pub fn try_recv_tag(&mut self, tag: u32) -> Option<Packet<M>> {
+        if let Some(pos) = self.pending.iter().position(|p| p.tag == tag) {
+            self.stats.messages_received += 1;
+            return self.pending.remove(pos);
+        }
+        loop {
+            match self.receiver.try_recv() {
+                Ok(p) if p.tag == tag => {
+                    self.stats.messages_received += 1;
+                    return Some(p);
+                }
+                Ok(p) => self.pending.push_back(p),
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Blocking receive of a message with `tag` from any source.
+    pub fn recv_tag(&mut self, tag: u32) -> Packet<M> {
+        if let Some(pos) = self.pending.iter().position(|p| p.tag == tag) {
+            self.stats.messages_received += 1;
+            return self.pending.remove(pos).unwrap();
+        }
+        loop {
+            let p = self
+                .receiver
+                .recv_timeout(self.timeout)
+                .unwrap_or_else(|_| {
+                    panic!("rank {}: recv_tag({tag:#x}) timed out (deadlock?)", self.rank)
+                });
+            if p.tag == tag {
+                self.stats.messages_received += 1;
+                return p;
+            }
+            self.pending.push_back(p);
+        }
+    }
+}

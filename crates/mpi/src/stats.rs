@@ -1,0 +1,52 @@
+//! Per-rank traffic counters, consumed by the virtual-time cost models.
+
+/// Message and byte counts accumulated by one rank's [`crate::comm::Comm`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Point-to-point messages sent (including collective rounds).
+    pub messages_sent: u64,
+    /// Approximate payload bytes sent.
+    pub bytes_sent: u64,
+    /// Messages received.
+    pub messages_received: u64,
+    /// Collective operations completed.
+    pub collectives: u64,
+}
+
+impl CommStats {
+    /// Element-wise sum, for aggregating a whole world's traffic.
+    pub fn merge(&self, other: &CommStats) -> CommStats {
+        CommStats {
+            messages_sent: self.messages_sent + other.messages_sent,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            messages_received: self.messages_received + other.messages_received,
+            collectives: self.collectives + other.collectives,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let a = CommStats {
+            messages_sent: 1,
+            bytes_sent: 10,
+            messages_received: 2,
+            collectives: 3,
+        };
+        let b = CommStats {
+            messages_sent: 4,
+            bytes_sent: 40,
+            messages_received: 5,
+            collectives: 6,
+        };
+        let c = a.merge(&b);
+        assert_eq!(c.messages_sent, 5);
+        assert_eq!(c.bytes_sent, 50);
+        assert_eq!(c.messages_received, 7);
+        assert_eq!(c.collectives, 9);
+    }
+}

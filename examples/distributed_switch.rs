@@ -1,0 +1,66 @@
+//! The distributed engine in detail: partition a graph under each of the
+//! four schemes, run the full message protocol, and inspect the load
+//! balance — the Section 5 trade-off study in miniature.
+//!
+//! ```text
+//! cargo run --release --example distributed_switch
+//! ```
+
+use edge_switching::graph::partition::stats::{imbalance, PartitionStats};
+use edge_switching::prelude::*;
+
+fn main() {
+    let mut rng = root_rng(11);
+
+    // A clustered, label-local contact network — the graph class where
+    // partitioning choice matters most (Section 5.2).
+    let g = contact_network(
+        ContactParams {
+            n: 3_000,
+            community_size: 60,
+            intra_degree: 20.0,
+            inter_degree: 3.0,
+        },
+        &mut rng,
+    );
+    let t = switch_ops_for_visit_rate(g.num_edges() as u64, 1.0);
+    let p = 8;
+    println!(
+        "graph: n = {}, m = {}; t = {t} operations over {p} ranks\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    println!(
+        "{:6} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "scheme", "edge imb.", "final imb.", "workload imb.", "aborts", "visit"
+    );
+
+    for scheme in SchemeKind::all() {
+        let part = Partitioner::build(scheme, &g, p, &mut rng);
+        let initial = PartitionStats::measure(&g, &part);
+
+        let cfg = ParallelConfig::new(p)
+            .with_scheme(scheme)
+            .with_step_size(StepSize::FractionOfT(100))
+            .with_seed(13);
+        // Threaded engine: real ranks, real messages.
+        let out = parallel_edge_switch(&g, t, &cfg);
+        assert_eq!(out.graph.degree_sequence(), g.degree_sequence());
+
+        let aborts: u64 = out.per_rank.iter().map(|s| s.aborts()).sum();
+        println!(
+            "{:6} {:>12.3} {:>12.3} {:>13.3} {:>12} {:>9.4}",
+            scheme.label(),
+            initial.edge_imbalance(),
+            imbalance(&out.final_edges),
+            imbalance(&out.workload()),
+            aborts,
+            out.visit_rate(),
+        );
+    }
+
+    println!(
+        "\nCP starts perfectly edge-balanced but ends skewed on clustered graphs;\n\
+         the hash schemes stay balanced throughout (Figures 16-19)."
+    );
+}

@@ -1,0 +1,61 @@
+//! Parallel multinomial random-variate generation (Section 6): the
+//! additive decomposition that turns the sequential conditional method
+//! into an embarrassingly parallel algorithm.
+//!
+//! ```text
+//! cargo run --release --example multinomial
+//! ```
+
+use edge_switching::dist::parallel::{parallel_multinomial, trial_share};
+use edge_switching::mpi::{run_world_default, CollPayload};
+use edge_switching::prelude::*;
+
+fn main() {
+    // Sequential: the conditional-distribution method (Algorithm 4).
+    let mut rng = root_rng(1);
+    let q = [0.1, 0.2, 0.3, 0.4];
+    let n = 10_000_000u64;
+    let x = multinomial(n, &q, &mut rng);
+    println!("sequential M({n}, {q:?}) = {x:?}  (sum = {})", x.iter().sum::<u64>());
+
+    // The additive property: each rank samples its trial share and the
+    // counts are reduced (Algorithm 5). Run it on 8 real ranks.
+    let q_owned = q.to_vec();
+    let results = run_world_default::<CollPayload, Vec<u64>, _>(8, move |comm| {
+        let mut rng = rank_rng(1, comm.rank() as u64);
+        let share = trial_share(n, comm.size(), comm.rank());
+        let before = std::time::Instant::now();
+        let x = parallel_multinomial(comm, n, &q_owned, &mut rng);
+        if comm.rank() == 0 {
+            println!(
+                "rank 0: my share was {share} trials, aggregate ready in {:?}",
+                before.elapsed()
+            );
+        }
+        x
+    });
+    // Every rank holds the identical aggregate.
+    for r in &results {
+        assert_eq!(r, &results[0]);
+        assert_eq!(r.iter().sum::<u64>(), n);
+    }
+    println!("parallel  M({n}, q) = {:?}  (identical on all 8 ranks)", results[0]);
+
+    // Underflow robustness: the BINV split (Equations 14-15) handles
+    // trial counts where (1-q)^N underflows any float.
+    let huge = 200_000_000_000u64;
+    let tiny_q = 1e-9;
+    let draw = binomial(huge, tiny_q, &mut rng);
+    println!(
+        "B(N = 2x10^11, q = 1e-9) = {draw}  (expectation {}, no underflow)",
+        (huge as f64 * tiny_q) as u64
+    );
+
+    // This machinery is what distributes each step's switch operations
+    // across processors in the parallel edge-switch engine.
+    let edges_per_rank = [50_000u64, 30_000, 15_000, 5_000];
+    let total: u64 = edges_per_rank.iter().sum();
+    let probs: Vec<f64> = edges_per_rank.iter().map(|&e| e as f64 / total as f64).collect();
+    let quotas = multinomial(100_000, &probs, &mut rng);
+    println!("step quotas for |E_i| = {edges_per_rank:?}: {quotas:?}");
+}

@@ -1,0 +1,61 @@
+//! Quickstart: generate a graph, switch its edges to a target visit
+//! rate, and verify the invariants the algorithm guarantees.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use edge_switching::prelude::*;
+
+fn main() {
+    let mut rng = root_rng(42);
+
+    // 1. A random simple graph: 10k vertices, 50k edges.
+    let mut g = erdos_renyi_gnm(10_000, 50_000, &mut rng);
+    let degrees_before = g.degree_sequence();
+    println!(
+        "generated G(n={}, m={}), max degree {}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.max_degree()
+    );
+
+    // 2. How many switch operations does a 90% visit rate take?
+    let t = switch_ops_for_visit_rate(g.num_edges() as u64, 0.9);
+    println!("target visit rate 0.9 -> t = E[T]/2 = {t} switch operations");
+
+    // 3. Switch sequentially (Algorithm 1).
+    let (outcome, _) = sequential_for_visit_rate(&mut g, 0.9, &mut rng);
+    println!(
+        "performed {} switches ({} restarts), observed visit rate {:.4}",
+        outcome.performed,
+        outcome.rejects.total(),
+        outcome.visit_rate()
+    );
+
+    // 4. The guarantees: simplicity and an unchanged degree sequence.
+    g.check_invariants().expect("graph stayed simple");
+    assert_eq!(g.degree_sequence(), degrees_before);
+    println!("degree sequence preserved, no loops, no parallel edges");
+
+    // 5. The same workload on a distributed world of 8 ranks
+    //    (thread-backed message passing; every protocol message of the
+    //    paper's Section 4.4 is really exchanged).
+    let g2 = erdos_renyi_gnm(10_000, 50_000, &mut rng);
+    let cfg = ParallelConfig::new(8)
+        .with_scheme(SchemeKind::HashUniversal)
+        .with_step_size(StepSize::FractionOfT(100))
+        .with_seed(42);
+    let t2 = switch_ops_for_visit_rate(g2.num_edges() as u64, 0.9);
+    let out = parallel_edge_switch(&g2, t2, &cfg);
+    println!(
+        "parallel: {} ranks, {} steps, visit rate {:.4}, {} local / {} global switches",
+        cfg.processors,
+        out.steps,
+        out.visit_rate(),
+        out.per_rank.iter().map(|s| s.performed_local).sum::<u64>(),
+        out.per_rank.iter().map(|s| s.performed_global).sum::<u64>(),
+    );
+    assert_eq!(out.graph.degree_sequence(), g2.degree_sequence());
+    println!("parallel run preserved the degree sequence too");
+}

@@ -1,0 +1,77 @@
+//! # edge-switching
+//!
+//! Distributed-memory parallel edge switching in heterogeneous graphs —
+//! a full reproduction of Bhuiyan, Khan, Chen & Marathe, *"Fast Parallel
+//! Algorithms for Edge-Switching to Achieve a Target Visit Rate in
+//! Heterogeneous Graphs"* (ICPP 2014; extended JPDC journal version).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! - [`graph`] (`edgeswitch-graph`): simple graphs, reduced adjacency
+//!   partitions, the four partitioning schemes, generators, metrics;
+//! - [`dist`] (`edgeswitch-dist`): BINV binomial sampling, sequential
+//!   and parallel multinomial generation, visit-rate math;
+//! - [`mpi`] (`mpilite`): the thread-backed message-passing runtime;
+//! - [`core`] (`edgeswitch-core`): the sequential and distributed
+//!   edge-switch algorithms;
+//! - [`scalesim`] (`edgeswitch-scalesim`): the virtual-time cluster for
+//!   scaling studies.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use edge_switching::prelude::*;
+//!
+//! // A random graph, switched at visit rate 0.5, sequentially.
+//! let mut rng = root_rng(7);
+//! let mut g = erdos_renyi_gnm(500, 2500, &mut rng);
+//! let degrees = g.degree_sequence();
+//! let (out, _t) = sequential_for_visit_rate(&mut g, 0.5, &mut rng);
+//! assert!((out.visit_rate() - 0.5).abs() < 0.05);
+//! assert_eq!(g.degree_sequence(), degrees);
+//!
+//! // The same operations, distributed over 4 ranks.
+//! let g2 = erdos_renyi_gnm(500, 2500, &mut rng);
+//! let cfg = ParallelConfig::new(4).with_seed(7);
+//! let out = parallel_edge_switch(&g2, 1000, &cfg);
+//! assert_eq!(out.performed(), 1000);
+//! assert_eq!(out.graph.degree_sequence(), g2.degree_sequence());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use edgeswitch_core as core;
+pub use edgeswitch_dist as dist;
+pub use edgeswitch_graph as graph;
+pub use edgeswitch_scalesim as scalesim;
+pub use mpilite as mpi;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use edgeswitch_core::config::{ParallelConfig, StepSize};
+    pub use edgeswitch_core::error_rate::error_rate;
+    pub use edgeswitch_core::parallel::{
+        parallel_edge_switch, simulate_parallel, ParallelOutcome,
+    };
+    pub use edgeswitch_core::sequential::{
+        sequential_edge_switch, sequential_for_visit_rate,
+    };
+    pub use edgeswitch_core::variants::{
+        sequential_edge_switch_connected, sequential_exact_visit,
+    };
+    pub use edgeswitch_core::visit::VisitTracker;
+    pub use edgeswitch_dist::harmonic::{expected_touches, switch_ops_for_visit_rate};
+    pub use edgeswitch_dist::rng::{rank_rng, root_rng};
+    pub use edgeswitch_dist::{binomial, multinomial};
+    pub use edgeswitch_graph::degree::{erdos_gallai, havel_hakimi, power_law_sequence};
+    pub use edgeswitch_graph::generators::{
+        contact_network, erdos_renyi_gnm, erdos_renyi_gnp, preferential_attachment,
+        random_regular, small_world, stochastic_block_model, ContactParams, Dataset,
+    };
+    pub use edgeswitch_graph::metrics::{
+        average_clustering_exact, average_clustering_sampled, average_shortest_path_sampled,
+        degree_assortativity, is_connected, transitivity, triangle_count,
+    };
+    pub use edgeswitch_graph::{Edge, Graph, Partitioner, SchemeKind, VertexId};
+    pub use edgeswitch_scalesim::{des_parallel, strong_scaling, CostModel};
+}
