@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Rebuild the offline shadow workspace at .typecheck/work from the repo
+# sources and the stub dependency crates, so `cargo check` / `cargo test`
+# run in environments with no access to crates.io. See README.md here.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+rm -rf work
+mkdir -p work
+tar -C .. \
+    --exclude=./.typecheck \
+    --exclude=./target \
+    --exclude=./.git \
+    --exclude=./results \
+    -cf - . | tar -C work -xf -
+
+# The proptest suite and the criterion benches need the real crates;
+# the stubs are resolve-only, so drop those targets from the shadow.
+rm -f work/tests/property_based.rs
+rm -rf work/crates/bench/benches
+sed -i '/^\[\[bench\]\]/,$d' work/crates/bench/Cargo.toml
+
+# Route every registry dependency to the stubs.
+cat patch.toml >> work/Cargo.toml
+
+echo "shadow workspace ready: $(cd work && pwd)"
+echo "  cd .typecheck/work && cargo test --offline"

@@ -1,0 +1,3 @@
+//! Resolve-only stand-in for `criterion`. The shadow workspace strips
+//! the `benches/` targets before checking, so this crate only needs to
+//! exist for dependency resolution.

@@ -1,0 +1,3 @@
+//! Resolve-only stand-in for `proptest`. The shadow workspace strips the
+//! proptest suites before checking, so this crate only needs to exist
+//! for dependency resolution.

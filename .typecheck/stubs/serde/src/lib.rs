@@ -1,0 +1,129 @@
+//! Offline stand-in for `serde`: the `Serialize`/`Deserialize` traits as
+//! derive targets and bounds, plus a simple self-describing content tree
+//! that the `serde_json` stub renders. Derived impls fall back to
+//! `Content::Null`; primitives and std collections serialize for real.
+
+/// Self-describing serialized form (consumed by the `serde_json` stub).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+/// Serializable types. The stub bypasses serde's visitor machinery:
+/// types render themselves straight to [`Content`].
+pub trait Serialize {
+    fn stub_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+/// Deserializable types (marker only in the stub).
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserializable marker, mirroring serde's blanket.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn stub_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn stub_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn stub_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+impl Serialize for f64 {
+    fn stub_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl<'de> Deserialize<'de> for f32 {}
+impl<'de> Deserialize<'de> for f64 {}
+
+impl Serialize for bool {
+    fn stub_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {}
+
+impl Serialize for str {
+    fn stub_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Serialize for String {
+    fn stub_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn stub_content(&self) -> Content {
+        (**self).stub_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn stub_content(&self) -> Content {
+        Content::Seq(self.iter().map(|v| v.stub_content()).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn stub_content(&self) -> Content {
+        Content::Seq(self.iter().map(|v| v.stub_content()).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn stub_content(&self) -> Content {
+        Content::Seq(self.iter().map(|v| v.stub_content()).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn stub_content(&self) -> Content {
+        match self {
+            Some(v) => v.stub_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn stub_content(&self) -> Content {
+        Content::Seq(vec![self.0.stub_content(), self.1.stub_content()])
+    }
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

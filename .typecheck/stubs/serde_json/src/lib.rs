@@ -1,0 +1,335 @@
+//! Offline stand-in for `serde_json`: a `Value` tree, the `json!` macro
+//! for the literal shapes this workspace writes, and pretty-printing.
+//! Derived structs (stub `serde`) serialize as `null`; primitives and
+//! std collections serialize for real.
+
+use serde::{Content, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// Ordered map used for JSON objects.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map(pub Vec<(String, Value)>);
+
+impl Map {
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    pub fn insert(&mut self, key: String, value: Value) {
+        self.0.push((key, value));
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.0.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// JSON value.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+fn content_to_value(c: Content) -> Value {
+    match c {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(b),
+        Content::U64(v) => Value::U64(v),
+        Content::I64(v) => Value::I64(v),
+        Content::F64(v) => Value::F64(v),
+        Content::Str(s) => Value::String(s),
+        Content::Seq(vs) => Value::Array(vs.into_iter().map(content_to_value).collect()),
+        Content::Map(kvs) => Value::Object(Map(kvs
+            .into_iter()
+            .map(|(k, v)| (k, content_to_value(v)))
+            .collect())),
+    }
+}
+
+impl Serialize for Value {
+    fn stub_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::U64(v) => Content::U64(*v),
+            Value::I64(v) => Content::I64(*v),
+            Value::F64(v) => Content::F64(*v),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(vs) => Content::Seq(vs.iter().map(|v| v.stub_content()).collect()),
+            Value::Object(m) => Content::Map(
+                m.0.iter()
+                    .map(|(k, v)| (k.clone(), v.stub_content()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Serialize any `Serialize` into a `Value`.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    content_to_value(value.stub_content())
+}
+
+/// Serialization error (the stub never fails; the type exists so `?`
+/// conversions compile).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::other(e)
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render(v: &Value, indent: usize, pretty: bool, out: &mut String) {
+    let pad = if pretty { "  ".repeat(indent + 1) } else { String::new() };
+    let close_pad = if pretty { "  ".repeat(indent) } else { String::new() };
+    let nl = if pretty { "\n" } else { "" };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(n) => {
+            if n.is_finite() {
+                out.push_str(&format!("{n}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => escape(s, out),
+        Value::Array(vs) => {
+            if vs.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in vs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                render(item, indent + 1, pretty, out);
+            }
+            out.push_str(nl);
+            out.push_str(&close_pad);
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.0.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in m.0.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                escape(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                render(item, indent + 1, pretty, out);
+            }
+            out.push_str(nl);
+            out.push_str(&close_pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Compact rendering.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&to_value(value), 0, false, &mut out);
+    Ok(out)
+}
+
+/// Pretty rendering.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&to_value(value), 0, true, &mut out);
+    Ok(out)
+}
+
+/// Build a [`Value`] from a JSON-ish literal. Supports the shapes this
+/// workspace writes: object literals with string-literal keys, array
+/// literals, nested objects/arrays, and arbitrary serializable
+/// expressions as values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elems:tt)* ]) => {{
+        let mut array = ::std::vec::Vec::new();
+        $crate::json_array_internal!(array; $($elems)*);
+        $crate::Value::Array(array)
+    }};
+    ({ $($entries:tt)* }) => {{
+        let mut object = $crate::Map::new();
+        $crate::json_object_internal!(object; $($entries)*);
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    ($obj:ident;) => {};
+    ($obj:ident; $key:literal : { $($val:tt)* } $(, $($rest:tt)*)?) => {
+        $obj.insert($key.to_string(), $crate::json!({ $($val)* }));
+        $( $crate::json_object_internal!($obj; $($rest)*); )?
+    };
+    ($obj:ident; $key:literal : [ $($val:tt)* ] $(, $($rest:tt)*)?) => {
+        $obj.insert($key.to_string(), $crate::json!([ $($val)* ]));
+        $( $crate::json_object_internal!($obj; $($rest)*); )?
+    };
+    ($obj:ident; $key:literal : $val:expr , $($rest:tt)*) => {
+        $obj.insert($key.to_string(), $crate::json!($val));
+        $crate::json_object_internal!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : $val:expr) => {
+        $obj.insert($key.to_string(), $crate::json!($val));
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    ($arr:ident;) => {};
+    ($arr:ident; { $($val:tt)* } $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!({ $($val)* }));
+        $( $crate::json_array_internal!($arr; $($rest)*); )?
+    };
+    ($arr:ident; [ $($val:tt)* ] $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!([ $($val)* ]));
+        $( $crate::json_array_internal!($arr; $($rest)*); )?
+    };
+    ($arr:ident; $val:expr , $($rest:tt)*) => {
+        $arr.push($crate::json!($val));
+        $crate::json_array_internal!($arr; $($rest)*);
+    };
+    ($arr:ident; $val:expr) => {
+        $arr.push($crate::json!($val));
+    };
+}

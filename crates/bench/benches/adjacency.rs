@@ -33,7 +33,10 @@ fn bench_edge_pool(c: &mut Criterion) {
             for _ in 0..ops {
                 let e = pool.sample(&mut rng).unwrap();
                 pool.remove(e);
-                pool.insert(Edge::new(e.src(), e.dst() + 1_000_000 + rng.gen_range(0..97)));
+                pool.insert(Edge::new(
+                    e.src(),
+                    e.dst() + 1_000_000 + rng.gen_range(0..97),
+                ));
             }
         })
     });
@@ -76,7 +79,6 @@ fn bench_adjacency_probe(c: &mut Criterion) {
     });
     group.finish();
 }
-
 
 /// Short-run configuration: this repository benches on a single-core
 /// machine; 10 samples x ~2s per benchmark keeps the full suite fast

@@ -36,14 +36,17 @@ fn bench_multinomial(c: &mut Criterion) {
     // The per-rank decomposition of Algorithm 5 (single-process form).
     for parts in [16usize, 256] {
         let q = vec![1.0 / 32.0; 32];
-        group.bench_with_input(BenchmarkId::new("partitioned", parts), &parts, |b, &parts| {
-            let mut rng = root_rng(3);
-            b.iter(|| multinomial_partitioned(n, &q, parts, &mut rng))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("partitioned", parts),
+            &parts,
+            |b, &parts| {
+                let mut rng = root_rng(3);
+                b.iter(|| multinomial_partitioned(n, &q, parts, &mut rng))
+            },
+        );
     }
     group.finish();
 }
-
 
 /// Short-run configuration: this repository benches on a single-core
 /// machine; 10 samples x ~2s per benchmark keeps the full suite fast

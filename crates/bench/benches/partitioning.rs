@@ -62,7 +62,6 @@ fn bench_store_build(c: &mut Criterion) {
     });
 }
 
-
 /// Short-run configuration: this repository benches on a single-core
 /// machine; 10 samples x ~2s per benchmark keeps the full suite fast
 /// while still flagging order-of-magnitude regressions.

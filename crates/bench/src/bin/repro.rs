@@ -6,13 +6,13 @@
 //! repro all [--out results]       # everything, archived to --out
 //! ```
 
-use edgeswitch_bench::experiments::{ablation_ids, all_ids, run, ExpConfig};
+use edgeswitch_bench::experiments::{ablation_ids, all_ids, diagnostic_ids, run, ExpConfig};
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment|all|ablations|list> [--scale S] [--reps N] [--seed X] [--out DIR]\n\
+        "usage: repro <experiment|all|ablations|diagnostics|list> [--scale S] [--reps N] [--seed X] [--out DIR]\n\
          experiments: {}",
         all_ids().join(", ")
     );
@@ -31,19 +31,31 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                cfg.scale = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                cfg.scale = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--reps" => {
-                cfg.reps = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                cfg.reps = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--seed" => {
-                cfg.seed = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                cfg.seed = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--out" => {
-                out_dir = args.get(i + 1).map(PathBuf::from).unwrap_or_else(|| usage());
+                out_dir = args
+                    .get(i + 1)
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             _ => usage(),
@@ -58,9 +70,19 @@ fn main() {
             for id in ablation_ids() {
                 println!("{id}");
             }
+            for id in diagnostic_ids() {
+                println!("{id}");
+            }
         }
         "ablations" => {
             for id in ablation_ids() {
+                let report = run(id, &cfg).expect("known id");
+                report.print();
+                report.save(&out_dir).expect("write results");
+            }
+        }
+        "diagnostics" => {
+            for id in diagnostic_ids() {
                 let report = run(id, &cfg).expect("known id");
                 report.print();
                 report.save(&out_dir).expect("write results");

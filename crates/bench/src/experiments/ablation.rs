@@ -68,7 +68,12 @@ pub fn ablation_quota(cfg: &ExpConfig) -> Report {
         title: "ablation: edge-proportional vs uniform quota/partner weighting".into(),
         data: serde_json::Value::Array(data),
         rendered: table(
-            &["quota policy", "ER(seq,par) %", "contended aborts", "forfeited"],
+            &[
+                "quota policy",
+                "ER(seq,par) %",
+                "contended aborts",
+                "forfeited",
+            ],
             &rows,
         ),
     }
@@ -94,8 +99,10 @@ pub fn ablation_latency(cfg: &ExpConfig) -> Report {
             f(report.speedup, 1),
             f(report.runtime_ns / 1e6, 1),
         ]);
-        data.push(json!({"latency_ns": cost.latency_ns, "speedup": report.speedup,
-                         "runtime_ms": report.runtime_ns / 1e6}));
+        data.push(
+            json!({"latency_ns": cost.latency_ns, "speedup": report.speedup,
+                         "runtime_ms": report.runtime_ns / 1e6}),
+        );
     }
     Report {
         id: "ablation-latency".into(),

@@ -73,17 +73,35 @@ fn summary_json(counts: &[u64]) -> serde_json::Value {
 }
 
 const SUMMARY_HEADER: [&str; 9] = [
-    "scheme", "quantity", "min", "max", "mean", "max/mean", "cv", "rank 0-10%", "rank 90-100%",
+    "scheme",
+    "quantity",
+    "min",
+    "max",
+    "mean",
+    "max/mean",
+    "cv",
+    "rank 0-10%",
+    "rank 90-100%",
 ];
 
 /// Figure 16: vertices per processor, by scheme (Miami).
 pub fn fig16(cfg: &ExpConfig) -> Report {
-    initial_distribution(cfg, true, "fig16", "vertices per processor by scheme, Miami, p = 64")
+    initial_distribution(
+        cfg,
+        true,
+        "fig16",
+        "vertices per processor by scheme, Miami, p = 64",
+    )
 }
 
 /// Figure 17: initial edges per processor, by scheme (Miami).
 pub fn fig17(cfg: &ExpConfig) -> Report {
-    initial_distribution(cfg, false, "fig17", "initial edges per processor by scheme, Miami, p = 64")
+    initial_distribution(
+        cfg,
+        false,
+        "fig17",
+        "initial edges per processor by scheme, Miami, p = 64",
+    )
 }
 
 fn initial_distribution(cfg: &ExpConfig, vertices: bool, id: &str, title: &str) -> Report {
@@ -93,7 +111,11 @@ fn initial_distribution(cfg: &ExpConfig, vertices: bool, id: &str, title: &str) 
     for scheme in SchemeKind::all() {
         let part = build(scheme, &g, cfg.seed);
         let stats = PartitionStats::measure(&g, &part);
-        let counts = if vertices { &stats.vertices } else { &stats.edges };
+        let counts = if vertices {
+            &stats.vertices
+        } else {
+            &stats.edges
+        };
         let mut row = vec![
             scheme.label().to_string(),
             if vertices { "vertices" } else { "edges" }.to_string(),
@@ -111,12 +133,7 @@ fn initial_distribution(cfg: &ExpConfig, vertices: bool, id: &str, title: &str) 
 }
 
 /// Run a full-visit parallel process and return (final edges, workload).
-fn full_run(
-    g: &Graph,
-    scheme: SchemeKind,
-    part: &Partitioner,
-    seed: u64,
-) -> (Vec<u64>, Vec<u64>) {
+fn full_run(g: &Graph, scheme: SchemeKind, part: &Partitioner, seed: u64) -> (Vec<u64>, Vec<u64>) {
     let t = full_visit_ops(g.num_edges());
     let pcfg = ParallelConfig::new(P)
         .with_scheme(scheme)
@@ -151,14 +168,22 @@ pub fn fig18(cfg: &ExpConfig) -> Report {
 
 /// Figure 19: workload (switch operations) per processor, Miami.
 pub fn fig19(cfg: &ExpConfig) -> Report {
-    workload_figure(cfg, Dataset::Miami, "fig19",
-        "workload distribution by scheme, Miami, p = 64")
+    workload_figure(
+        cfg,
+        Dataset::Miami,
+        "fig19",
+        "workload distribution by scheme, Miami, p = 64",
+    )
 }
 
 /// Figure 20: workload per processor, PA graph.
 pub fn fig20(cfg: &ExpConfig) -> Report {
-    workload_figure(cfg, Dataset::Pa100M, "fig20",
-        "workload distribution by scheme, PA, p = 64")
+    workload_figure(
+        cfg,
+        Dataset::Pa100M,
+        "fig20",
+        "workload distribution by scheme, PA, p = 64",
+    )
 }
 
 fn workload_figure(cfg: &ExpConfig, ds: Dataset, id: &str, title: &str) -> Report {

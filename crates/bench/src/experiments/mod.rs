@@ -9,6 +9,7 @@ pub mod properties;
 pub mod scaling;
 pub mod similarity;
 pub mod stepsize;
+pub mod telemetry;
 pub mod visit;
 
 use crate::report::Report;
@@ -49,11 +50,18 @@ pub fn ablation_ids() -> Vec<&'static str> {
     vec!["ablation-quota", "ablation-latency"]
 }
 
+/// Diagnostic experiment ids (protocol telemetry, not paper figures; run
+/// via `repro <id>` or `repro diagnostics`).
+pub fn diagnostic_ids() -> Vec<&'static str> {
+    vec!["telemetry-steps"]
+}
+
 /// Run one experiment by id; `None` for an unknown id.
 pub fn run(id: &str, cfg: &ExpConfig) -> Option<Report> {
     Some(match id {
         "ablation-quota" => ablation::ablation_quota(cfg),
         "ablation-latency" => ablation::ablation_latency(cfg),
+        "telemetry-steps" => telemetry::telemetry_steps(cfg),
         "table1" => visit::table1(cfg),
         "fig2" => visit::fig2(cfg),
         "table2" => visit::table2(cfg),

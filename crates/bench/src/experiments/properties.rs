@@ -3,8 +3,8 @@
 //! coefficient and average shortest-path distance the same way.
 
 use super::ExpConfig;
-use crate::report::{f, table, Report};
 use crate::dataset_graph;
+use crate::report::{f, table, Report};
 use edgeswitch_core::config::{ParallelConfig, StepSize};
 use edgeswitch_core::parallel::simulate_parallel;
 use edgeswitch_core::sequential::sequential_edge_switch;

@@ -10,7 +10,9 @@ use edgeswitch_dist::rng::root_rng;
 use edgeswitch_graph::generators::{preferential_attachment, Dataset};
 use edgeswitch_graph::partition::adversary::division_worst_case;
 use edgeswitch_graph::{Partitioner, SchemeKind};
-use edgeswitch_scalesim::{strong_scaling, strong_scaling_with, weak_scaling, CostModel, ScalePoint};
+use edgeswitch_scalesim::{
+    strong_scaling, strong_scaling_with, weak_scaling, CostModel, ScalePoint,
+};
 use serde_json::json;
 
 fn cfg_for(scheme: SchemeKind, seed: u64) -> impl Fn(usize) -> ParallelConfig {
@@ -48,22 +50,25 @@ fn curves_json(curves: &[(String, Vec<ScalePoint>)]) -> serde_json::Value {
 /// Strong scaling of the CP algorithm over the eight scaling datasets
 /// (Figure 4): visit rate 1, step size `t/100`.
 pub fn fig4(cfg: &ExpConfig) -> Report {
-    strong_scaling_figure(cfg, SchemeKind::Consecutive, "fig4",
-        "strong scaling, CP scheme, 8 graphs (x = 1, s = t/100)")
+    strong_scaling_figure(
+        cfg,
+        SchemeKind::Consecutive,
+        "fig4",
+        "strong scaling, CP scheme, 8 graphs (x = 1, s = t/100)",
+    )
 }
 
 /// Strong scaling of the HP-U algorithm (Figure 14).
 pub fn fig14(cfg: &ExpConfig) -> Report {
-    strong_scaling_figure(cfg, SchemeKind::HashUniversal, "fig14",
-        "strong scaling, HP-U scheme, 8 graphs (x = 1, s = t/100)")
+    strong_scaling_figure(
+        cfg,
+        SchemeKind::HashUniversal,
+        "fig14",
+        "strong scaling, HP-U scheme, 8 graphs (x = 1, s = t/100)",
+    )
 }
 
-fn strong_scaling_figure(
-    cfg: &ExpConfig,
-    scheme: SchemeKind,
-    id: &str,
-    title: &str,
-) -> Report {
+fn strong_scaling_figure(cfg: &ExpConfig, scheme: SchemeKind, id: &str, title: &str) -> Report {
     let cost = CostModel::default();
     let ps = scaling_processor_grid();
     let mut curves = Vec::new();
@@ -106,22 +111,25 @@ pub fn fig15(cfg: &ExpConfig) -> Report {
 /// Weak scaling of the CP algorithm on PA graphs (Figure 5): a fixed
 /// graph and a `p`-proportional graph, `t = p·c`, `s = t/1000`.
 pub fn fig5(cfg: &ExpConfig) -> Report {
-    weak_scaling_figure(cfg, &[SchemeKind::Consecutive], "fig5",
-        "weak scaling, CP scheme, fixed & growing PA graphs")
+    weak_scaling_figure(
+        cfg,
+        &[SchemeKind::Consecutive],
+        "fig5",
+        "weak scaling, CP scheme, fixed & growing PA graphs",
+    )
 }
 
 /// Weak scaling of all four schemes (Figure 23).
 pub fn fig23(cfg: &ExpConfig) -> Report {
-    weak_scaling_figure(cfg, &SchemeKind::all(), "fig23",
-        "weak scaling comparison of the four schemes on PA graphs")
+    weak_scaling_figure(
+        cfg,
+        &SchemeKind::all(),
+        "fig23",
+        "weak scaling comparison of the four schemes on PA graphs",
+    )
 }
 
-fn weak_scaling_figure(
-    cfg: &ExpConfig,
-    schemes: &[SchemeKind],
-    id: &str,
-    title: &str,
-) -> Report {
+fn weak_scaling_figure(cfg: &ExpConfig, schemes: &[SchemeKind], id: &str, title: &str) -> Report {
     let cost = CostModel::default();
     let ps = vec![16usize, 64, 256, 1024];
     // Paper: growing = p × 0.1M vertices, fixed = 102.4M vertices,
@@ -144,7 +152,10 @@ fn weak_scaling_figure(
             |p| {
                 let mut rng = root_rng(seed ^ p as u64);
                 let n = (per_p_vertices * p).max(64);
-                (preferential_attachment(n, 10, &mut rng), ops_per_p * p as u64)
+                (
+                    preferential_attachment(n, 10, &mut rng),
+                    ops_per_p * p as u64,
+                )
             },
             make_config,
         );
@@ -181,14 +192,9 @@ pub fn fig22(cfg: &ExpConfig) -> Report {
     let mut rows = Vec::new();
     let mut data = Vec::new();
     let mut run = |label: &str, graph: &edgeswitch_graph::Graph, part: Partitioner, scheme| {
-        let pts = strong_scaling_with(
-            graph,
-            t,
-            &[p],
-            &cost,
-            cfg_for(scheme, cfg.seed),
-            |_| part.clone(),
-        );
+        let pts = strong_scaling_with(graph, t, &[p], &cost, cfg_for(scheme, cfg.seed), |_| {
+            part.clone()
+        });
         let pt = &pts[0];
         rows.push(vec![
             label.to_string(),

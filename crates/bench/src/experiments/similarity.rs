@@ -86,7 +86,15 @@ pub fn table3(cfg: &ExpConfig) -> Report {
         title: format!("error-rate comparison of schemes vs sequential (x = 1, p = {P}, r = 20)"),
         data: serde_json::Value::Array(data),
         rendered: table(
-            &["network", "seq-vs-seq", "HP-D 1step", "HP-M 1step", "HP-U 1step", "CP 1step", "CP t/100"],
+            &[
+                "network",
+                "seq-vs-seq",
+                "HP-D 1step",
+                "HP-M 1step",
+                "HP-U 1step",
+                "CP 1step",
+                "CP t/100",
+            ],
             &rows,
         ),
     }

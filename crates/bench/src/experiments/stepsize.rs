@@ -69,10 +69,7 @@ fn error_rates(
         par_vs_seq += error_rate(&gs1, &out.graph, R_BLOCKS);
         seq_vs_seq += error_rate(&gs1, &gs2, R_BLOCKS);
     }
-    (
-        par_vs_seq / cfg.reps as f64,
-        seq_vs_seq / cfg.reps as f64,
-    )
+    (par_vs_seq / cfg.reps as f64, seq_vs_seq / cfg.reps as f64)
 }
 
 /// Figure 6: strong scaling of CP on Miami for several step sizes.
@@ -138,22 +135,35 @@ pub fn fig7(cfg: &ExpConfig) -> Report {
 
 /// Figure 8: speedup vs step size at `p = 1024` (Miami, CP).
 pub fn fig8(cfg: &ExpConfig) -> Report {
-    step_sweep_speedup(cfg, &[Dataset::Miami], "fig8",
-        "speedup vs step size, Miami, CP, p = 1024")
+    step_sweep_speedup(
+        cfg,
+        &[Dataset::Miami],
+        "fig8",
+        "speedup vs step size, Miami, CP, p = 1024",
+    )
 }
 
 /// Figure 9: error rate vs step size at `p = 1024` with the seq-vs-seq
 /// baseline (Miami, CP).
 pub fn fig9(cfg: &ExpConfig) -> Report {
-    step_sweep_error(cfg, &[Dataset::Miami], "fig9",
-        "error rate vs step size, Miami, CP, p = 64 (r = 20)")
+    step_sweep_error(
+        cfg,
+        &[Dataset::Miami],
+        "fig9",
+        "error rate vs step size, Miami, CP, p = 64 (r = 20)",
+    )
 }
 
 /// Figure 10: speedup vs step size for four graphs.
 pub fn fig10(cfg: &ExpConfig) -> Report {
     step_sweep_speedup(
         cfg,
-        &[Dataset::Flickr, Dataset::Miami, Dataset::LiveJournal, Dataset::ErdosRenyi],
+        &[
+            Dataset::Flickr,
+            Dataset::Miami,
+            Dataset::LiveJournal,
+            Dataset::ErdosRenyi,
+        ],
         "fig10",
         "speedup vs step size, 4 graphs, CP, p = 1024",
     )
@@ -163,7 +173,12 @@ pub fn fig10(cfg: &ExpConfig) -> Report {
 pub fn fig11(cfg: &ExpConfig) -> Report {
     step_sweep_error(
         cfg,
-        &[Dataset::Flickr, Dataset::Miami, Dataset::LiveJournal, Dataset::ErdosRenyi],
+        &[
+            Dataset::Flickr,
+            Dataset::Miami,
+            Dataset::LiveJournal,
+            Dataset::ErdosRenyi,
+        ],
         "fig11",
         "error rate vs step size, 4 graphs, CP, p = 64 (r = 20)",
     )
@@ -223,6 +238,9 @@ fn step_sweep_error(cfg: &ExpConfig, sets: &[Dataset], id: &str, title: &str) ->
         id: id.into(),
         title: title.into(),
         data: serde_json::Value::Array(data),
-        rendered: table(&["graph", "step size", "ER(seq,par) %", "ER(seq,seq) %"], &rows),
+        rendered: table(
+            &["graph", "step size", "ER(seq,par) %", "ER(seq,seq) %"],
+            &rows,
+        ),
     }
 }

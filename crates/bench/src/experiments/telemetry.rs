@@ -1,0 +1,142 @@
+//! Per-step protocol diagnostics from the [`StepTelemetry`] layer the
+//! drivers now record: operation starts vs completions, contention
+//! blocking, message-variant traffic, and (for the DES) how each step's
+//! virtual time splits between its collective boundary and its
+//! conversation drain. Not a paper figure — a diagnostic surface for the
+//! protocol itself, run via `repro diagnostics`.
+
+use super::ExpConfig;
+use crate::report::{f, table, Report};
+use crate::{dataset_graph, full_visit_ops};
+use edgeswitch_core::config::{ParallelConfig, StepSize};
+use edgeswitch_core::parallel::{simulate_parallel, MsgKind, StepTelemetry};
+use edgeswitch_graph::generators::Dataset;
+use edgeswitch_graph::SchemeKind;
+use edgeswitch_scalesim::{des_parallel, CostModel};
+use serde_json::json;
+
+fn step_rows(telemetry: &[StepTelemetry], with_phases: bool) -> Vec<Vec<String>> {
+    telemetry
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut row = vec![
+                i.to_string(),
+                s.ops.to_string(),
+                s.started.to_string(),
+                s.performed.to_string(),
+                s.served.to_string(),
+                s.blocked.to_string(),
+                s.messages.get(MsgKind::Propose).to_string(),
+                s.messages.get(MsgKind::Abort).to_string(),
+                s.messages.total().to_string(),
+            ];
+            if with_phases {
+                row.push(f(s.boundary_ns / 1e3, 1));
+                row.push(f(s.drain_ns / 1e3, 1));
+            }
+            row
+        })
+        .collect()
+}
+
+fn step_json(telemetry: &[StepTelemetry]) -> Vec<serde_json::Value> {
+    telemetry
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            json!({
+                "step": i as u64,
+                "ops": s.ops,
+                "started": s.started,
+                "performed": s.performed,
+                "forfeited": s.forfeited,
+                "served": s.served,
+                "blocked": s.blocked,
+                "messages": s.messages.total(),
+                "boundary_ns": s.boundary_ns,
+                "drain_ns": s.drain_ns,
+            })
+        })
+        .collect()
+}
+
+/// Per-step telemetry of a FIFO run and a DES run of the same
+/// configuration: the two must agree on every logical column (same
+/// schedule), and the DES adds the virtual-time phase split.
+pub fn telemetry_steps(cfg: &ExpConfig) -> Report {
+    let g = dataset_graph(Dataset::Miami, cfg.scale, cfg.seed);
+    let t = full_visit_ops(g.num_edges());
+    let p = 16;
+    let steps = 8;
+    let pcfg = ParallelConfig::new(p)
+        .with_scheme(SchemeKind::Consecutive)
+        .with_step_size(StepSize::FractionOfT(steps))
+        .with_seed(cfg.seed);
+
+    let fifo = simulate_parallel(&g, t, &pcfg);
+    let (des, des_report) = des_parallel(&g, t, &pcfg, &CostModel::default());
+
+    let mut rendered = String::from("FIFO driver, per step:\n");
+    rendered.push_str(&table(
+        &[
+            "step",
+            "ops",
+            "started",
+            "performed",
+            "served",
+            "blocked",
+            "propose",
+            "abort",
+            "msgs",
+        ],
+        &step_rows(&fifo.telemetry, false),
+    ));
+    rendered.push_str("\nDES driver (same logical schedule + virtual time), per step:\n");
+    rendered.push_str(&table(
+        &[
+            "step",
+            "ops",
+            "started",
+            "performed",
+            "served",
+            "blocked",
+            "propose",
+            "abort",
+            "msgs",
+            "boundary (us)",
+            "drain (us)",
+        ],
+        &step_rows(&des.telemetry, true),
+    ));
+    let totals = fifo.message_totals();
+    rendered.push_str("\nmessage totals by variant (FIFO):\n");
+    rendered.push_str(&table(
+        &["variant", "count"],
+        &MsgKind::ALL
+            .iter()
+            .filter(|k| totals.get(**k) > 0)
+            .map(|k| vec![k.label().to_string(), totals.get(*k).to_string()])
+            .collect::<Vec<_>>(),
+    ));
+
+    let kinds: Vec<serde_json::Value> = totals
+        .iter()
+        .map(|(k, c)| json!({"variant": k.label(), "count": c}))
+        .collect();
+    Report {
+        id: "telemetry-steps".into(),
+        title: "per-step protocol telemetry: FIFO vs DES on the Miami stand-in".into(),
+        data: json!({
+            "p": p as u64,
+            "t": t,
+            "fifo_steps": step_json(&fifo.telemetry),
+            "des_steps": step_json(&des.telemetry),
+            "message_kinds": kinds,
+            "blocked_events": fifo.blocked_events(),
+            "des_runtime_ns": des_report.runtime_ns,
+            "drivers_agree": fifo.graph.same_edge_set(&des.graph),
+        }),
+        rendered,
+    }
+}

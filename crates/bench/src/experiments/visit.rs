@@ -46,8 +46,7 @@ pub fn table1(cfg: &ExpConfig) -> Report {
     let mut max_err: f64 = 0.0;
     for (x, obs) in &series {
         let mean = obs.iter().sum::<f64>() / obs.len() as f64;
-        let var =
-            obs.iter().map(|o| (o - mean) * (o - mean)).sum::<f64>() / obs.len() as f64;
+        let var = obs.iter().map(|o| (o - mean) * (o - mean)).sum::<f64>() / obs.len() as f64;
         for o in obs {
             abs_err_sum += (x - o).abs();
             x_sum += x;
@@ -112,7 +111,11 @@ pub fn table2(cfg: &ExpConfig) -> Report {
         rows.push(vec![
             spec.name.to_string(),
             spec.class.to_string(),
-            format!("{:.2}M/{:.1}M", spec.paper_vertices as f64 / 1e6, spec.paper_edges as f64 / 1e6),
+            format!(
+                "{:.2}M/{:.1}M",
+                spec.paper_vertices as f64 / 1e6,
+                spec.paper_edges as f64 / 1e6
+            ),
             format!("{}", g.num_vertices()),
             format!("{}", g.num_edges()),
             f(g.avg_degree(), 2),
@@ -131,7 +134,16 @@ pub fn table2(cfg: &ExpConfig) -> Report {
         title: "dataset inventory (scaled stand-ins for Table 2)".into(),
         data: serde_json::Value::Array(data),
         rendered: table(
-            &["network", "class", "paper n/m", "n", "m", "avg deg", "paper deg", "t(x=1)"],
+            &[
+                "network",
+                "class",
+                "paper n/m",
+                "n",
+                "m",
+                "avg deg",
+                "paper deg",
+                "t(x=1)",
+            ],
             &rows,
         ),
     }

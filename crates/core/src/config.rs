@@ -1,7 +1,13 @@
 //! Configuration of a parallel edge-switch run.
 
+use edgeswitch_dist::Rng64;
 use edgeswitch_graph::SchemeKind;
 use serde::{Deserialize, Serialize};
+
+/// Salt decorrelating the driver-level root stream (partitioning,
+/// world-building) from the per-rank protocol streams derived from the
+/// same master seed.
+const ROOT_STREAM_SALT: u64 = 0x9a17;
 
 /// How the step size `s` is chosen (Section 4.5: the probability vector
 /// `q` is refreshed every `s` operations).
@@ -92,6 +98,14 @@ impl ParallelConfig {
         self.quota_policy = quota_policy;
         self
     }
+
+    /// The driver-level root stream for this configuration: seeds
+    /// partition construction and any other pre-protocol randomness.
+    /// Every driver (threaded, FIFO, DES, predictor) derives it the same
+    /// way so a given `(graph, config)` pair partitions identically.
+    pub fn root_rng(&self) -> Rng64 {
+        edgeswitch_dist::root_rng(self.seed ^ ROOT_STREAM_SALT)
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +121,16 @@ mod tests {
         assert_eq!(StepSize::Ops(0).resolve(10), 1);
         assert_eq!(StepSize::FractionOfT(100).resolve(5), 1);
         assert_eq!(StepSize::SingleStep.resolve(0), 1);
+    }
+
+    #[test]
+    fn root_rng_depends_on_seed_only() {
+        use rand::Rng;
+        let a: u64 = ParallelConfig::new(4).with_seed(9).root_rng().gen();
+        let b: u64 = ParallelConfig::new(8).with_seed(9).root_rng().gen();
+        let c: u64 = ParallelConfig::new(4).with_seed(10).root_rng().gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -39,10 +39,10 @@ pub mod visit;
 
 pub use config::{ParallelConfig, StepSize};
 pub use error_rate::{error_rate, BlockMatrix};
-pub use parallel::{parallel_edge_switch, simulate_parallel, ParallelOutcome};
-pub use sequential::{sequential_edge_switch, sequential_for_visit_rate, SequentialOutcome};
-pub use variants::{
-    sequential_edge_switch_connected, sequential_exact_visit, ConstrainedOutcome,
+pub use parallel::{
+    parallel_edge_switch, simulate_parallel, MsgCounts, ParallelOutcome, StepTelemetry,
 };
+pub use sequential::{sequential_edge_switch, sequential_for_visit_rate, SequentialOutcome};
 pub use switch::{RejectReason, SwitchKind};
+pub use variants::{sequential_edge_switch_connected, sequential_exact_visit, ConstrainedOutcome};
 pub use visit::VisitTracker;

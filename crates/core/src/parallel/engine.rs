@@ -1,72 +1,30 @@
 //! The threaded driver: runs the distributed protocol over real
 //! message-passing ranks (`mpilite`), one thread per processor.
 //!
-//! Step structure (Section 4.5):
-//! 1. allgather `|E_i|` and rebuild the probability vector `q`;
-//! 2. distribute the step's `s` operations by the parallel multinomial
-//!    algorithm (owned layout, Algorithm 5);
-//! 3. every rank performs its quota while serving others, then signals
-//!    `EndOfStep` and keeps serving until all signals arrive.
+//! All step machinery lives in [`super::harness`]; this driver only
+//! binds it to real threads: each rank wraps its [`Comm`] endpoint in a
+//! [`MpiliteTransport`] and runs [`run_rank_step`] for every step of the
+//! [`StepHarness`], then the per-rank results and telemetry are merged
+//! into one [`ParallelOutcome`].
 
-use super::msg::{Msg, Outbox};
-use super::rank::{RankState, RankStats, StartResult};
-use crate::config::{ParallelConfig, QuotaPolicy};
-use crate::visit::VisitTracker;
-use edgeswitch_dist::parallel::parallel_multinomial_owned;
-use edgeswitch_graph::store::{assemble_graph, build_stores};
+use super::harness::{
+    assemble_outcome, run_rank_step, MpiliteTransport, RankOutput, StepHarness, StepTelemetry,
+};
+use super::msg::Msg;
+use super::rank::RankState;
+use edgeswitch_graph::store::build_stores;
 use edgeswitch_graph::{Graph, PartitionStore, Partitioner};
-use mpilite::{run_world, Comm, CommStats, WorldConfig};
+use mpilite::{run_world, Comm, WorldConfig};
 use parking_lot::Mutex;
 
-/// Tag for protocol messages (collectives use the reserved namespace).
-const TAG_PROTO: u32 = 1;
+pub use super::harness::ParallelOutcome;
 
-/// Result of a parallel run.
-#[derive(Debug)]
-pub struct ParallelOutcome {
-    /// The switched graph, reassembled from all partitions.
-    pub graph: Graph,
-    /// Steps executed.
-    pub steps: u64,
-    /// Per-rank protocol statistics (workload distribution etc.).
-    pub per_rank: Vec<RankStats>,
-    /// Final `|E_i|` per rank (Figure 18).
-    pub final_edges: Vec<u64>,
-    /// Initial `|E_i|` per rank (Figure 17).
-    pub initial_edges: Vec<u64>,
-    /// Per-rank communication counters.
-    pub comm: Vec<CommStats>,
-    /// Merged visit tracking over the whole graph.
-    pub tracker: VisitTracker,
-}
-
-impl ParallelOutcome {
-    /// Observed visit rate.
-    pub fn visit_rate(&self) -> f64 {
-        self.tracker.visit_rate()
-    }
-
-    /// Total operations performed across ranks.
-    pub fn performed(&self) -> u64 {
-        self.per_rank.iter().map(|s| s.performed).sum()
-    }
-
-    /// Total operations forfeited (degenerate graphs only).
-    pub fn forfeited(&self) -> u64 {
-        self.per_rank.iter().map(|s| s.forfeited).sum()
-    }
-
-    /// Workload per rank: operations performed as initiator
-    /// (Figures 19–21).
-    pub fn workload(&self) -> Vec<u64> {
-        self.per_rank.iter().map(|s| s.performed).collect()
-    }
-}
+use crate::config::ParallelConfig;
 
 /// Run `t` switch operations on `graph` under `config`, using the
 /// partitioner built for the configured scheme.
 pub fn parallel_edge_switch(graph: &Graph, t: u64, config: &ParallelConfig) -> ParallelOutcome {
-    let mut rng = edgeswitch_dist::root_rng(config.seed ^ 0x9a17);
+    let mut rng = config.root_rng();
     let part = Partitioner::build(config.scheme, graph, config.processors, &mut rng);
     parallel_edge_switch_with(graph, t, config, &part)
 }
@@ -85,8 +43,8 @@ pub fn parallel_edge_switch_with(
     let initial_edges: Vec<u64> = stores.iter().map(|s| s.num_edges() as u64).collect();
     let n = graph.num_vertices();
 
-    let s = config.step_size.resolve(t);
-    let steps = t.div_ceil(s.max(1));
+    let harness = StepHarness::new(t, config);
+    let steps = harness.steps();
 
     // Hand one store to each rank thread.
     let slots: Vec<Mutex<Option<PartitionStore>>> =
@@ -96,139 +54,47 @@ pub fn parallel_edge_switch_with(
     let part_ref = &part;
     let slots_ref = &slots;
 
-    let results: Vec<(PartitionStore, VisitTracker, RankStats, CommStats)> = run_world(
-        p,
-        WorldConfig::default(),
-        move |comm: &mut Comm<Msg>| {
+    let results: Vec<(RankOutput, Vec<StepTelemetry>)> =
+        run_world(p, WorldConfig::default(), move |comm: &mut Comm<Msg>| {
             let store = slots_ref[comm.rank()]
                 .lock()
                 .take()
                 .expect("store taken once per rank");
             let mut state = RankState::new(comm.rank(), (*part_ref).clone(), store, seed);
-            let uniform_q = config.quota_policy == QuotaPolicy::Uniform;
-            for step in 0..steps {
-                let quota_total = if step == steps - 1 { t - s * (steps - 1) } else { s };
-                run_one_step(comm, &mut state, quota_total, uniform_q);
-            }
-            let stats = comm.stats();
-            let (store, tracker, rank_stats) = state.into_parts();
-            (store, tracker, rank_stats, stats)
-        },
-    );
+            let telemetry: Vec<StepTelemetry> = {
+                let mut transport = MpiliteTransport::new(comm);
+                (0..steps)
+                    .map(|step| {
+                        run_rank_step(
+                            &mut transport,
+                            &mut state,
+                            harness.step_ops(step),
+                            harness.uniform_q(),
+                        )
+                    })
+                    .collect()
+            };
+            let comm_stats = comm.stats();
+            let (store, tracker, stats) = state.into_parts();
+            (
+                RankOutput {
+                    store,
+                    tracker,
+                    stats,
+                    comm: comm_stats,
+                },
+                telemetry,
+            )
+        });
 
-    let mut per_rank = Vec::with_capacity(p);
-    let mut comm_stats = Vec::with_capacity(p);
-    let mut final_edges = Vec::with_capacity(p);
-    let mut tracker_acc: Option<VisitTracker> = None;
-    let mut final_stores = Vec::with_capacity(p);
-    for (store, tracker, rank_stats, cstats) in results {
-        per_rank.push(rank_stats);
-        comm_stats.push(cstats);
-        final_edges.push(store.num_edges() as u64);
-        final_stores.push(store);
-        match &mut tracker_acc {
-            None => tracker_acc = Some(tracker),
-            Some(acc) => acc.merge_disjoint(tracker),
+    // Merge each rank's per-step telemetry into whole-world records.
+    let mut telemetry = vec![StepTelemetry::default(); steps as usize];
+    let mut outputs = Vec::with_capacity(p);
+    for (output, rank_telemetry) in results {
+        for (acc, step) in telemetry.iter_mut().zip(&rank_telemetry) {
+            acc.merge(step);
         }
+        outputs.push(output);
     }
-    let graph = assemble_graph(n, &final_stores);
-    ParallelOutcome {
-        graph,
-        steps,
-        per_rank,
-        final_edges,
-        initial_edges,
-        comm: comm_stats,
-        tracker: tracker_acc.unwrap_or_else(|| VisitTracker::new(std::iter::empty())),
-    }
-}
-
-/// One step: refresh `q`, draw quotas, switch until everyone signals.
-fn run_one_step(comm: &mut Comm<Msg>, state: &mut RankState, step_ops: u64, uniform_q: bool) {
-    let p = comm.size();
-    // (1) Probability vector from current edge counts.
-    let counts = comm.allgather_u64(state.edge_count());
-    let total: u64 = counts.iter().sum();
-    let q: Vec<f64> = if total == 0 || uniform_q {
-        vec![1.0 / p as f64; p]
-    } else {
-        counts.iter().map(|&c| c as f64 / total as f64).collect()
-    };
-    // (2) Multinomial distribution of the step's operations (Alg. 5).
-    let quota = parallel_multinomial_owned(comm, step_ops, &q, state.rng_mut());
-    state.begin_step(quota, &q);
-
-    // (3) Event loop.
-    let mut outbox = Outbox::new();
-    let mut eos = 0usize;
-    let mut signaled = false;
-    loop {
-        // Drain everything already delivered.
-        while let Some(pkt) = comm.try_recv_tag(TAG_PROTO) {
-            dispatch(comm, state, pkt.src, pkt.payload, &mut outbox, &mut eos);
-        }
-        if !signaled && state.step_done() {
-            for dst in 0..p {
-                if dst != comm.rank() {
-                    comm.send(dst, TAG_PROTO, Msg::EndOfStep);
-                }
-            }
-            eos += 1; // count self
-            signaled = true;
-        }
-        if signaled {
-            if eos == p {
-                break;
-            }
-            // Nothing of our own left: block for the next message.
-            let pkt = comm.recv_tag(TAG_PROTO);
-            dispatch(comm, state, pkt.src, pkt.payload, &mut outbox, &mut eos);
-            continue;
-        }
-        match state.try_start(&mut outbox) {
-            StartResult::Started => {
-                flush(comm, state, &mut outbox, &mut eos);
-            }
-            StartResult::Idle | StartResult::Blocked => {
-                if state.step_done() {
-                    continue; // signal on next iteration
-                }
-                // Waiting on a response or on contended edges: block.
-                let pkt = comm.recv_tag(TAG_PROTO);
-                dispatch(comm, state, pkt.src, pkt.payload, &mut outbox, &mut eos);
-            }
-        }
-    }
-    debug_assert!(state.step_done());
-}
-
-/// Handle one incoming message and route whatever it generated.
-fn dispatch(
-    comm: &mut Comm<Msg>,
-    state: &mut RankState,
-    src: usize,
-    msg: Msg,
-    outbox: &mut Outbox,
-    eos: &mut usize,
-) {
-    match msg {
-        Msg::EndOfStep => *eos += 1,
-        Msg::Coll(_) => unreachable!("tag-filtered receive cannot yield collective traffic"),
-        m => {
-            state.handle(src, m, outbox);
-            flush(comm, state, outbox, eos);
-        }
-    }
-}
-
-/// Deliver queued messages: self-addressed ones re-enter the state
-/// machine immediately; the rest go over the wire.
-fn flush(comm: &mut Comm<Msg>, state: &mut RankState, outbox: &mut Outbox, _eos: &mut usize) {
-    while let Some((dst, msg)) = outbox.pop() {
-        if dst == comm.rank() {
-            state.handle(dst, msg, outbox);
-        } else {
-            comm.send(dst, TAG_PROTO, msg);
-        }
-    }
+    assemble_outcome(n, steps, initial_edges, outputs, telemetry)
 }

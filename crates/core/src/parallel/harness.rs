@@ -1,0 +1,792 @@
+//! Shared step machinery of the three protocol drivers.
+//!
+//! Every driver — the threaded engine over `mpilite`, the deterministic
+//! FIFO simulator, and the virtual-time DES in `edgeswitch-scalesim` —
+//! executes the same per-step protocol of Section 4.5: exchange the
+//! live edge counts `|E_i|`, refresh the probability vector `q`, draw
+//! per-rank operation quotas with the parallel multinomial algorithm
+//! (Algorithm 5), then run conversations until the step quiesces. This
+//! module factors that machinery out of the drivers:
+//!
+//! - [`Transport`] abstracts message delivery and exposes cost hooks
+//!   (no-ops everywhere except the DES, which charges virtual time);
+//! - [`WorldTransport`] is the single-process form driving all `p`
+//!   [`RankState`] machines from one loop (FIFO simulator, DES);
+//! - [`RankTransport`] is the per-rank form where each state machine
+//!   runs on its own thread with real collectives (threaded engine);
+//! - [`StepHarness`] owns step sizing, the `q` refresh and the quota
+//!   draw, so no driver carries its own copy;
+//! - [`StepTelemetry`] is recorded per step by every driver and
+//!   surfaced on [`ParallelOutcome`].
+
+use super::msg::{Msg, MsgKind, Outbox};
+use super::rank::{RankState, RankStats, StartResult};
+use crate::config::{ParallelConfig, QuotaPolicy};
+use crate::visit::VisitTracker;
+use edgeswitch_dist::rng::Rng64;
+use edgeswitch_graph::store::{assemble_graph, build_stores};
+use edgeswitch_graph::{Graph, PartitionStore, Partitioner};
+use mpilite::{CollCarrier, Comm, CommStats};
+use std::collections::VecDeque;
+
+/// Tag for protocol messages (collectives use the reserved namespace).
+const TAG_PROTO: u32 = 1;
+
+// ---------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------
+
+/// Dense per-[`MsgKind`] message counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MsgCounts {
+    counts: [u64; MsgKind::COUNT],
+}
+
+impl MsgCounts {
+    /// Count one message.
+    pub fn record(&mut self, msg: &Msg) {
+        self.counts[MsgKind::of(msg) as usize] += 1;
+    }
+
+    /// Count for one kind.
+    pub fn get(&self, kind: MsgKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// Total messages across kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&mut self, other: &MsgCounts) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `(kind, count)` pairs in slot order, for reports.
+    pub fn iter(&self) -> impl Iterator<Item = (MsgKind, u64)> + '_ {
+        MsgKind::ALL
+            .iter()
+            .map(move |&k| (k, self.counts[k as usize]))
+    }
+}
+
+/// What happened during one step, aggregated over all ranks.
+///
+/// Drivers record one of these per step; the threaded engine records one
+/// per rank per step and merges them, so the fields below are always
+/// whole-world totals.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StepTelemetry {
+    /// Operations assigned this step (the summed quota).
+    pub ops: u64,
+    /// Switch operations initiated (`try_start` → `Started`).
+    pub started: u64,
+    /// Operations completed as initiator this step.
+    pub performed: u64,
+    /// Operations forfeited this step (degenerate graphs only).
+    pub forfeited: u64,
+    /// Conversations served for other ranks (proposals + validations).
+    pub served: u64,
+    /// Blocked-on-contention events: a rank wanted to start an operation
+    /// but every sampled edge was locked by in-flight conversations.
+    pub blocked: u64,
+    /// Protocol messages sent between distinct ranks, by variant
+    /// (self-deliveries are handled in place and not counted).
+    pub messages: MsgCounts,
+    /// DES only: virtual time of the step boundary (collective + quota
+    /// draw). Zero for drivers without a clock.
+    pub boundary_ns: f64,
+    /// DES only: virtual time of the step's conversation drain. Zero for
+    /// drivers without a clock.
+    pub drain_ns: f64,
+}
+
+impl StepTelemetry {
+    /// Merge another rank's record of the same step into this one.
+    /// Counters add; the virtual-time phases are step-global already and
+    /// combine by maximum.
+    pub fn merge(&mut self, other: &StepTelemetry) {
+        self.ops += other.ops;
+        self.started += other.started;
+        self.performed += other.performed;
+        self.forfeited += other.forfeited;
+        self.served += other.served;
+        self.blocked += other.blocked;
+        self.messages.merge(&other.messages);
+        self.boundary_ns = self.boundary_ns.max(other.boundary_ns);
+        self.drain_ns = self.drain_ns.max(other.drain_ns);
+    }
+
+    /// Served-versus-performed diff of `after - before` rank statistics,
+    /// folded into this record.
+    fn absorb_stats_delta(&mut self, before: &RankStats, after: &RankStats) {
+        self.performed += after.performed - before.performed;
+        self.forfeited += after.forfeited - before.forfeited;
+        self.served += (after.proposals_served + after.validations_served)
+            - (before.proposals_served + before.validations_served);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Outcome
+// ---------------------------------------------------------------------
+
+/// Result of a parallel run (any driver).
+#[derive(Debug)]
+pub struct ParallelOutcome {
+    /// The switched graph, reassembled from all partitions.
+    pub graph: Graph,
+    /// Steps executed.
+    pub steps: u64,
+    /// Per-rank protocol statistics (workload distribution etc.).
+    pub per_rank: Vec<RankStats>,
+    /// Final `|E_i|` per rank (Figure 18).
+    pub final_edges: Vec<u64>,
+    /// Initial `|E_i|` per rank (Figure 17).
+    pub initial_edges: Vec<u64>,
+    /// Per-rank communication counters.
+    pub comm: Vec<CommStats>,
+    /// Merged visit tracking over the whole graph.
+    pub tracker: VisitTracker,
+    /// Per-step telemetry, aggregated over ranks.
+    pub telemetry: Vec<StepTelemetry>,
+}
+
+impl ParallelOutcome {
+    /// Observed visit rate.
+    pub fn visit_rate(&self) -> f64 {
+        self.tracker.visit_rate()
+    }
+
+    /// Total operations performed across ranks.
+    pub fn performed(&self) -> u64 {
+        self.per_rank.iter().map(|s| s.performed).sum()
+    }
+
+    /// Total operations forfeited (degenerate graphs only).
+    pub fn forfeited(&self) -> u64 {
+        self.per_rank.iter().map(|s| s.forfeited).sum()
+    }
+
+    /// Workload per rank: operations performed as initiator
+    /// (Figures 19–21).
+    pub fn workload(&self) -> Vec<u64> {
+        self.per_rank.iter().map(|s| s.performed).collect()
+    }
+
+    /// Total protocol messages by variant, summed over steps.
+    pub fn message_totals(&self) -> MsgCounts {
+        let mut acc = MsgCounts::default();
+        for step in &self.telemetry {
+            acc.merge(&step.messages);
+        }
+        acc
+    }
+
+    /// Total blocked-on-contention events across steps.
+    pub fn blocked_events(&self) -> u64 {
+        self.telemetry.iter().map(|s| s.blocked).sum()
+    }
+}
+
+/// One rank's contribution to a [`ParallelOutcome`].
+#[derive(Debug)]
+pub struct RankOutput {
+    /// Final partition store.
+    pub store: PartitionStore,
+    /// This partition's visit tracker.
+    pub tracker: VisitTracker,
+    /// Protocol statistics.
+    pub stats: RankStats,
+    /// Communication counters.
+    pub comm: CommStats,
+}
+
+/// Assemble the final [`ParallelOutcome`] from per-rank outputs — the
+/// one gather/merge path shared by every driver.
+pub fn assemble_outcome(
+    n: usize,
+    steps: u64,
+    initial_edges: Vec<u64>,
+    outputs: Vec<RankOutput>,
+    telemetry: Vec<StepTelemetry>,
+) -> ParallelOutcome {
+    let p = outputs.len();
+    let mut per_rank = Vec::with_capacity(p);
+    let mut comm = Vec::with_capacity(p);
+    let mut final_edges = Vec::with_capacity(p);
+    let mut final_stores = Vec::with_capacity(p);
+    let mut tracker_acc: Option<VisitTracker> = None;
+    for out in outputs {
+        per_rank.push(out.stats);
+        comm.push(out.comm);
+        final_edges.push(out.store.num_edges() as u64);
+        final_stores.push(out.store);
+        match &mut tracker_acc {
+            None => tracker_acc = Some(out.tracker),
+            Some(acc) => acc.merge_disjoint(out.tracker),
+        }
+    }
+    ParallelOutcome {
+        graph: assemble_graph(n, &final_stores),
+        steps,
+        per_rank,
+        final_edges,
+        initial_edges,
+        comm,
+        tracker: tracker_acc.unwrap_or_else(|| VisitTracker::new(std::iter::empty())),
+        telemetry,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transports
+// ---------------------------------------------------------------------
+
+/// Base transport interface: cost hooks shared by both driver shapes.
+/// All hooks default to no-ops; only the DES transport charges time.
+pub trait Transport {
+    /// A rank initiated one of its own switch operations.
+    fn on_op_started(&mut self, _rank: usize) {}
+    /// A rank handled one of its own messages in place.
+    fn on_self_delivery(&mut self, _rank: usize) {}
+}
+
+/// Transport of a single-process world driving all `p` rank machines
+/// from one loop: messages between distinct ranks pass through here.
+pub trait WorldTransport: Transport {
+    /// Queue `msg` from `src` for delivery to `dst` (`src != dst`).
+    fn deliver(&mut self, src: usize, dst: usize, msg: Msg);
+    /// Next `(dst, src, msg)` to hand to a state machine, if any.
+    fn pop_any(&mut self) -> Option<(usize, usize, Msg)>;
+    /// Whether any message is still in flight.
+    fn is_empty(&self) -> bool;
+    /// A step boundary begins: `step_ops` operations over `p` ranks.
+    fn begin_step(&mut self, _step_ops: u64, _p: usize) {}
+    /// A step ended; report its `(boundary, drain)` virtual-time phases
+    /// in nanoseconds (zero for transports without a clock).
+    fn end_step(&mut self) -> (f64, f64) {
+        (0.0, 0.0)
+    }
+}
+
+/// Transport of one rank inside a real `p`-rank world (one instance per
+/// thread): point-to-point sends plus the step-boundary collectives.
+pub trait RankTransport: Transport {
+    /// This rank's id.
+    fn rank(&self) -> usize;
+    /// Number of ranks `p`.
+    fn size(&self) -> usize;
+    /// Allgather of the live `|E_i|` (Section 4.5 step boundary).
+    fn exchange_edge_counts(&mut self, count: u64) -> Vec<u64>;
+    /// Distributed Algorithm-5 quota draw: this rank's share of
+    /// `step_ops` operations under `q`, consuming `rng` exactly like
+    /// every other driver.
+    fn draw_quota(&mut self, step_ops: u64, q: &[f64], rng: &mut Rng64) -> u64;
+    /// Send a protocol message to another rank.
+    fn send(&mut self, dst: usize, msg: Msg);
+    /// Non-blocking receive of the next protocol message `(src, msg)`.
+    fn try_recv(&mut self) -> Option<(usize, Msg)>;
+    /// Blocking receive of the next protocol message `(src, msg)`.
+    fn recv_block(&mut self) -> (usize, Msg);
+}
+
+/// Deterministic global-FIFO transport: the queue *is* the network.
+/// Causal order (a message is delivered after everything queued before
+/// it) with no notion of time — the simulator's transport.
+#[derive(Debug, Default)]
+pub struct FifoTransport {
+    queue: VecDeque<(usize, usize, Msg)>,
+}
+
+impl FifoTransport {
+    /// Empty transport.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Transport for FifoTransport {}
+
+impl WorldTransport for FifoTransport {
+    fn deliver(&mut self, src: usize, dst: usize, msg: Msg) {
+        self.queue.push_back((dst, src, msg));
+    }
+    fn pop_any(&mut self) -> Option<(usize, usize, Msg)> {
+        self.queue.pop_front()
+    }
+    fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// The threaded engine's transport: a thin shim over one rank's
+/// [`Comm`] endpoint. Collectives are real collectives; sends are real
+/// channel sends; the cost hooks stay no-ops because time is real here.
+pub struct MpiliteTransport<'a> {
+    comm: &'a mut Comm<Msg>,
+}
+
+impl<'a> MpiliteTransport<'a> {
+    /// Wrap a rank's communicator.
+    pub fn new(comm: &'a mut Comm<Msg>) -> Self {
+        MpiliteTransport { comm }
+    }
+}
+
+impl Transport for MpiliteTransport<'_> {}
+
+impl RankTransport for MpiliteTransport<'_> {
+    fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+    fn size(&self) -> usize {
+        self.comm.size()
+    }
+    fn exchange_edge_counts(&mut self, count: u64) -> Vec<u64> {
+        self.comm.allgather_u64(count)
+    }
+    fn draw_quota(&mut self, step_ops: u64, q: &[f64], rng: &mut Rng64) -> u64 {
+        edgeswitch_dist::parallel_multinomial_owned(self.comm, step_ops, q, rng)
+    }
+    fn send(&mut self, dst: usize, msg: Msg) {
+        self.comm.send(dst, TAG_PROTO, msg);
+    }
+    fn try_recv(&mut self) -> Option<(usize, Msg)> {
+        self.comm
+            .try_recv_tag(TAG_PROTO)
+            .map(|p| (p.src, p.payload))
+    }
+    fn recv_block(&mut self) -> (usize, Msg) {
+        let p = self.comm.recv_tag(TAG_PROTO);
+        (p.src, p.payload)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Step harness
+// ---------------------------------------------------------------------
+
+/// Step sizing and per-step sampling policy of one run — the driver-
+/// independent core of Section 4.5.
+#[derive(Clone, Copy, Debug)]
+pub struct StepHarness {
+    t: u64,
+    s: u64,
+    steps: u64,
+    uniform_q: bool,
+}
+
+impl StepHarness {
+    /// Resolve the step structure of a `t`-operation run under `config`.
+    pub fn new(t: u64, config: &ParallelConfig) -> Self {
+        let s = config.step_size.resolve(t);
+        StepHarness {
+            t,
+            s,
+            steps: t.div_ceil(s.max(1)),
+            uniform_q: config.quota_policy == QuotaPolicy::Uniform,
+        }
+    }
+
+    /// Number of steps in the run.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Operations assigned to step `step` (the last step takes the
+    /// remainder).
+    pub fn step_ops(&self, step: u64) -> u64 {
+        if step == self.steps - 1 {
+            self.t - self.s * (self.steps - 1)
+        } else {
+            self.s
+        }
+    }
+
+    /// Whether the uniform quota ablation is active.
+    pub fn uniform_q(&self) -> bool {
+        self.uniform_q
+    }
+
+    /// The probability vector `q_i = |E_i| / |E|` from live edge counts,
+    /// falling back to uniform when the graph is empty or the
+    /// [`QuotaPolicy::Uniform`] ablation is selected.
+    pub fn probability_vector(&self, counts: &[u64]) -> Vec<f64> {
+        probability_vector(counts, self.uniform_q)
+    }
+}
+
+/// Driver-independent `q` refresh: proportional to `counts` unless they
+/// are all zero or `uniform` is forced.
+pub fn probability_vector(counts: &[u64], uniform: bool) -> Vec<f64> {
+    let p = counts.len();
+    let total: u64 = counts.iter().sum();
+    if total == 0 || uniform {
+        vec![1.0 / p as f64; p]
+    } else {
+        counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-rank step loop (threaded engine)
+// ---------------------------------------------------------------------
+
+/// One rank's step (Section 4.5): refresh `q`, draw the quota, then
+/// switch/serve until every rank has signalled `EndOfStep`. Returns this
+/// rank's telemetry for the step.
+pub fn run_rank_step<T: RankTransport>(
+    transport: &mut T,
+    state: &mut RankState,
+    step_ops: u64,
+    uniform_q: bool,
+) -> StepTelemetry {
+    let p = transport.size();
+    // (1) Probability vector from current edge counts.
+    let counts = transport.exchange_edge_counts(state.edge_count());
+    let q = probability_vector(&counts, uniform_q);
+    // (2) Multinomial distribution of the step's operations (Alg. 5).
+    let quota = transport.draw_quota(step_ops, &q, state.rng_mut());
+    state.begin_step(quota, &q);
+
+    let mut tel = StepTelemetry {
+        ops: quota,
+        ..StepTelemetry::default()
+    };
+    let before = state.stats;
+
+    // (3) Event loop.
+    let mut outbox = Outbox::new();
+    let mut eos = 0usize;
+    let mut signaled = false;
+    loop {
+        // Drain everything already delivered.
+        while let Some((src, msg)) = transport.try_recv() {
+            dispatch(transport, state, src, msg, &mut outbox, &mut eos, &mut tel);
+        }
+        if !signaled && state.step_done() {
+            for dst in 0..p {
+                if dst != transport.rank() {
+                    tel.messages.record(&Msg::EndOfStep);
+                    transport.send(dst, Msg::EndOfStep);
+                }
+            }
+            eos += 1; // count self
+            signaled = true;
+        }
+        if signaled {
+            if eos == p {
+                break;
+            }
+            // Nothing of our own left: block for the next message.
+            let (src, msg) = transport.recv_block();
+            dispatch(transport, state, src, msg, &mut outbox, &mut eos, &mut tel);
+            continue;
+        }
+        match state.try_start(&mut outbox) {
+            StartResult::Started => {
+                tel.started += 1;
+                transport.on_op_started(transport.rank());
+                flush(transport, state, &mut outbox, &mut tel);
+            }
+            res => {
+                if res == StartResult::Blocked {
+                    tel.blocked += 1;
+                }
+                if state.step_done() {
+                    continue; // signal on next iteration
+                }
+                // Waiting on a response or on contended edges: block.
+                let (src, msg) = transport.recv_block();
+                dispatch(transport, state, src, msg, &mut outbox, &mut eos, &mut tel);
+            }
+        }
+    }
+    debug_assert!(state.step_done());
+    tel.absorb_stats_delta(&before, &state.stats);
+    tel
+}
+
+/// Handle one incoming message and route whatever it generated.
+fn dispatch<T: RankTransport>(
+    transport: &mut T,
+    state: &mut RankState,
+    src: usize,
+    msg: Msg,
+    outbox: &mut Outbox,
+    eos: &mut usize,
+    tel: &mut StepTelemetry,
+) {
+    match msg {
+        Msg::EndOfStep => *eos += 1,
+        Msg::Coll(_) => unreachable!("tag-filtered receive cannot yield collective traffic"),
+        m => {
+            state.handle(src, m, outbox);
+            flush(transport, state, outbox, tel);
+        }
+    }
+}
+
+/// Deliver queued messages: self-addressed ones re-enter the state
+/// machine immediately; the rest go over the wire.
+fn flush<T: RankTransport>(
+    transport: &mut T,
+    state: &mut RankState,
+    outbox: &mut Outbox,
+    tel: &mut StepTelemetry,
+) {
+    while let Some((dst, msg)) = outbox.pop() {
+        if dst == transport.rank() {
+            transport.on_self_delivery(dst);
+            state.handle(dst, msg, outbox);
+        } else {
+            tel.messages.record(&msg);
+            transport.send(dst, msg);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// World step loop (FIFO simulator, DES)
+// ---------------------------------------------------------------------
+
+/// One step of a single-process world over all `p` rank machines:
+/// the same protocol as [`run_rank_step`], with the allgather and
+/// alltoall computed in place and quiescence detected structurally
+/// (no messages in flight, nothing startable) instead of via
+/// `EndOfStep` signalling.
+pub fn run_world_step<T: WorldTransport>(
+    transport: &mut T,
+    states: &mut [RankState],
+    step_ops: u64,
+    uniform_q: bool,
+    comm_stats: &mut [CommStats],
+) -> StepTelemetry {
+    let p = states.len();
+    transport.begin_step(step_ops, p);
+    // The allgather: probability vector from current edge counts.
+    let counts: Vec<u64> = states.iter().map(|st| st.edge_count()).collect();
+    let q = probability_vector(&counts, uniform_q);
+    // Algorithm 5, faithfully: each rank draws a multinomial over its
+    // trial share from its own stream; quotas are the column sums.
+    let quotas = edgeswitch_dist::multinomial_owned_world(
+        step_ops,
+        &q,
+        states.iter_mut().map(|st| st.rng_mut()),
+    );
+    for (st, &qi) in states.iter_mut().zip(&quotas) {
+        st.begin_step(qi, &q);
+    }
+
+    let mut tel = StepTelemetry {
+        ops: step_ops,
+        ..StepTelemetry::default()
+    };
+    let before: Vec<RankStats> = states.iter().map(|st| st.stats).collect();
+
+    // Event loop: drain in-flight messages, round-robin op starts.
+    let mut out = Outbox::new();
+    loop {
+        while let Some((dst, src, msg)) = transport.pop_any() {
+            states[dst].handle(src, msg, &mut out);
+            route_world(transport, states, dst, &mut out, comm_stats, &mut tel);
+        }
+        let mut any_started = false;
+        for i in 0..p {
+            match states[i].try_start(&mut out) {
+                StartResult::Started => {
+                    any_started = true;
+                    tel.started += 1;
+                    transport.on_op_started(i);
+                    route_world(transport, states, i, &mut out, comm_stats, &mut tel);
+                }
+                StartResult::Blocked => tel.blocked += 1,
+                StartResult::Idle => {}
+            }
+        }
+        if !any_started && transport.is_empty() {
+            assert!(
+                states.iter().all(|st| st.step_done()),
+                "simulated world wedged: quiescent but quotas unfinished"
+            );
+            break;
+        }
+    }
+    debug_assert!(states.iter().all(|st| !st.serving_pending()));
+
+    for (b, st) in before.iter().zip(states.iter()) {
+        tel.absorb_stats_delta(b, &st.stats);
+    }
+    let (boundary_ns, drain_ns) = transport.end_step();
+    tel.boundary_ns = boundary_ns;
+    tel.drain_ns = drain_ns;
+    tel
+}
+
+/// Route one rank's outbox through a world transport: self-addressed
+/// messages re-enter the state machine in place; the rest are counted
+/// (traffic stats + per-variant telemetry) and delivered.
+fn route_world<T: WorldTransport>(
+    transport: &mut T,
+    states: &mut [RankState],
+    src: usize,
+    out: &mut Outbox,
+    comm_stats: &mut [CommStats],
+    tel: &mut StepTelemetry,
+) {
+    while let Some((dst, msg)) = out.pop() {
+        if dst == src {
+            transport.on_self_delivery(src);
+            states[src].handle(src, msg, out);
+        } else {
+            comm_stats[src].messages_sent += 1;
+            comm_stats[src].bytes_sent += msg.wire_size() as u64;
+            comm_stats[src].sent_by_kind[msg.kind_index()] += 1;
+            comm_stats[dst].messages_received += 1;
+            tel.messages.record(&msg);
+            transport.deliver(src, dst, msg);
+        }
+    }
+}
+
+/// Run a whole `t`-operation simulated world over `transport`: the
+/// driver body shared by the FIFO simulator and the DES.
+pub fn run_simulated_world<T: WorldTransport>(
+    graph: &Graph,
+    t: u64,
+    config: &ParallelConfig,
+    part: &Partitioner,
+    transport: &mut T,
+) -> ParallelOutcome {
+    let p = config.processors;
+    assert_eq!(part.num_parts(), p, "partitioner size must match config");
+    let stores = build_stores(graph, part);
+    let initial_edges: Vec<u64> = stores.iter().map(|s| s.num_edges() as u64).collect();
+    let n = graph.num_vertices();
+
+    let mut states: Vec<RankState> = stores
+        .into_iter()
+        .enumerate()
+        .map(|(rank, store)| RankState::new(rank, part.clone(), store, config.seed))
+        .collect();
+    let mut comm_stats = vec![CommStats::default(); p];
+
+    let harness = StepHarness::new(t, config);
+    let mut telemetry = Vec::with_capacity(harness.steps() as usize);
+    for step in 0..harness.steps() {
+        telemetry.push(run_world_step(
+            transport,
+            &mut states,
+            harness.step_ops(step),
+            harness.uniform_q(),
+            &mut comm_stats,
+        ));
+    }
+
+    let outputs: Vec<RankOutput> = states
+        .into_iter()
+        .zip(comm_stats)
+        .map(|(state, comm)| {
+            let (store, tracker, stats) = state.into_parts();
+            RankOutput {
+                store,
+                tracker,
+                stats,
+                comm,
+            }
+        })
+        .collect();
+    assemble_outcome(n, harness.steps(), initial_edges, outputs, telemetry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StepSize;
+
+    #[test]
+    fn step_harness_splits_remainder_onto_last_step() {
+        let cfg = ParallelConfig::new(4).with_step_size(StepSize::Ops(30));
+        let h = StepHarness::new(100, &cfg);
+        assert_eq!(h.steps(), 4);
+        assert_eq!(h.step_ops(0), 30);
+        assert_eq!(h.step_ops(2), 30);
+        assert_eq!(h.step_ops(3), 10);
+        let total: u64 = (0..h.steps()).map(|s| h.step_ops(s)).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn step_harness_zero_ops_means_zero_steps() {
+        let cfg = ParallelConfig::new(4);
+        let h = StepHarness::new(0, &cfg);
+        assert_eq!(h.steps(), 0);
+    }
+
+    #[test]
+    fn probability_vector_modes() {
+        let q = probability_vector(&[1, 3], false);
+        assert_eq!(q, vec![0.25, 0.75]);
+        let q = probability_vector(&[1, 3], true);
+        assert_eq!(q, vec![0.5, 0.5]);
+        let q = probability_vector(&[0, 0, 0], false);
+        assert_eq!(q, vec![1.0 / 3.0; 3]);
+    }
+
+    #[test]
+    fn msg_counts_record_and_merge() {
+        let mut a = MsgCounts::default();
+        a.record(&Msg::EndOfStep);
+        a.record(&Msg::EndOfStep);
+        let mut b = MsgCounts::default();
+        b.record(&Msg::EndOfStep);
+        a.merge(&b);
+        assert_eq!(a.get(MsgKind::EndOfStep), 3);
+        assert_eq!(a.get(MsgKind::Propose), 0);
+        assert_eq!(a.total(), 3);
+        assert_eq!(
+            a.iter().map(|(_, c)| c).sum::<u64>(),
+            a.total(),
+            "iter covers every slot"
+        );
+    }
+
+    #[test]
+    fn telemetry_merge_adds_counters_and_maxes_phases() {
+        let mut a = StepTelemetry {
+            ops: 10,
+            started: 4,
+            performed: 3,
+            forfeited: 1,
+            served: 2,
+            blocked: 5,
+            boundary_ns: 100.0,
+            drain_ns: 50.0,
+            ..StepTelemetry::default()
+        };
+        let b = StepTelemetry {
+            ops: 7,
+            started: 1,
+            performed: 1,
+            forfeited: 0,
+            served: 4,
+            blocked: 2,
+            boundary_ns: 80.0,
+            drain_ns: 90.0,
+            ..StepTelemetry::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.ops, 17);
+        assert_eq!(a.started, 5);
+        assert_eq!(a.performed, 4);
+        assert_eq!(a.forfeited, 1);
+        assert_eq!(a.served, 6);
+        assert_eq!(a.blocked, 7);
+        assert_eq!(a.boundary_ns, 100.0);
+        assert_eq!(a.drain_ns, 90.0);
+    }
+}

@@ -2,11 +2,14 @@
 //!
 //! - [`rank`]: the pure per-processor protocol state machine,
 //! - [`msg`]: the wire protocol,
+//! - [`harness`]: the shared step machinery — [`Transport`] /
+//!   [`StepHarness`] / per-step [`StepTelemetry`] — every driver runs on,
 //! - [`engine`]: the threaded driver over `mpilite` ranks,
 //! - [`sim`]: a deterministic single-threaded driver for large virtual
 //!   worlds and similarity experiments.
 
 pub mod engine;
+pub mod harness;
 pub mod msg;
 pub mod rank;
 pub mod sim;
@@ -16,7 +19,12 @@ mod rank_tests;
 #[cfg(test)]
 mod tests;
 
-pub use engine::{parallel_edge_switch, parallel_edge_switch_with, ParallelOutcome};
-pub use msg::{ConvId, Msg, Outbox};
+pub use engine::{parallel_edge_switch, parallel_edge_switch_with};
+pub use harness::{
+    assemble_outcome, probability_vector, run_rank_step, run_simulated_world, run_world_step,
+    FifoTransport, MpiliteTransport, MsgCounts, ParallelOutcome, RankOutput, RankTransport,
+    StepHarness, StepTelemetry, Transport, WorldTransport,
+};
+pub use msg::{ConvId, Msg, MsgKind, Outbox};
 pub use rank::{RankState, RankStats, StartResult};
 pub use sim::{simulate_parallel, simulate_parallel_with};

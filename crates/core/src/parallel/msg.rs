@@ -99,6 +99,95 @@ pub enum Msg {
     Coll(CollPayload),
 }
 
+/// Coarse classification of [`Msg`] variants, used to bucket per-variant
+/// traffic counters in [`mpilite::CommStats::sent_by_kind`] and in the
+/// per-step telemetry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum MsgKind {
+    /// [`Msg::Propose`].
+    Propose = 0,
+    /// [`Msg::Validate`].
+    Validate = 1,
+    /// [`Msg::ValidateOk`].
+    ValidateOk = 2,
+    /// [`Msg::ValidateFail`].
+    ValidateFail = 3,
+    /// [`Msg::Release`].
+    Release = 4,
+    /// [`Msg::CommitAdd`].
+    CommitAdd = 5,
+    /// [`Msg::CommitRemove`].
+    CommitRemove = 6,
+    /// [`Msg::CommitAck`].
+    CommitAck = 7,
+    /// [`Msg::Done`].
+    Done = 8,
+    /// [`Msg::Abort`].
+    Abort = 9,
+    /// [`Msg::EndOfStep`].
+    EndOfStep = 10,
+    /// [`Msg::Coll`] (collective bookkeeping traffic).
+    Coll = 11,
+}
+
+impl MsgKind {
+    /// Number of kinds (length of a dense per-kind counter array).
+    pub const COUNT: usize = 12;
+
+    /// All kinds, in counter-slot order.
+    pub const ALL: [MsgKind; MsgKind::COUNT] = [
+        MsgKind::Propose,
+        MsgKind::Validate,
+        MsgKind::ValidateOk,
+        MsgKind::ValidateFail,
+        MsgKind::Release,
+        MsgKind::CommitAdd,
+        MsgKind::CommitRemove,
+        MsgKind::CommitAck,
+        MsgKind::Done,
+        MsgKind::Abort,
+        MsgKind::EndOfStep,
+        MsgKind::Coll,
+    ];
+
+    /// Classify a message.
+    pub fn of(msg: &Msg) -> MsgKind {
+        match msg {
+            Msg::Propose { .. } => MsgKind::Propose,
+            Msg::Validate { .. } => MsgKind::Validate,
+            Msg::ValidateOk { .. } => MsgKind::ValidateOk,
+            Msg::ValidateFail { .. } => MsgKind::ValidateFail,
+            Msg::Release { .. } => MsgKind::Release,
+            Msg::CommitAdd { .. } => MsgKind::CommitAdd,
+            Msg::CommitRemove { .. } => MsgKind::CommitRemove,
+            Msg::CommitAck { .. } => MsgKind::CommitAck,
+            Msg::Done { .. } => MsgKind::Done,
+            Msg::Abort { .. } => MsgKind::Abort,
+            Msg::EndOfStep => MsgKind::EndOfStep,
+            Msg::Coll(_) => MsgKind::Coll,
+        }
+    }
+
+    /// Human-readable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MsgKind::Propose => "propose",
+            MsgKind::Validate => "validate",
+            MsgKind::ValidateOk => "validate-ok",
+            MsgKind::ValidateFail => "validate-fail",
+            MsgKind::Release => "release",
+            MsgKind::CommitAdd => "commit-add",
+            MsgKind::CommitRemove => "commit-remove",
+            MsgKind::CommitAck => "commit-ack",
+            MsgKind::Done => "done",
+            MsgKind::Abort => "abort",
+            MsgKind::EndOfStep => "end-of-step",
+            MsgKind::Coll => "coll",
+        }
+    }
+}
+
 impl CollCarrier for Msg {
     fn from_coll(p: CollPayload) -> Self {
         Msg::Coll(p)
@@ -123,6 +212,9 @@ impl CollCarrier for Msg {
             Msg::CommitAck { .. } | Msg::Done { .. } | Msg::Abort { .. } => 13,
             Msg::EndOfStep => 1,
         }
+    }
+    fn kind_index(&self) -> usize {
+        MsgKind::of(self) as usize
     }
 }
 
@@ -169,7 +261,10 @@ mod tests {
         let m = Msg::from_coll(CollPayload::U64(5));
         assert_eq!(m.clone().into_coll(), Some(CollPayload::U64(5)));
         let p = Msg::Propose {
-            conv: ConvId { initiator: 0, seq: 1 },
+            conv: ConvId {
+                initiator: 0,
+                seq: 1,
+            },
             e1: Edge::new(1, 2),
         };
         assert_eq!(p.into_coll(), None);
@@ -189,7 +284,29 @@ mod tests {
 
     #[test]
     fn conv_id_display() {
-        let c = ConvId { initiator: 3, seq: 17 };
+        let c = ConvId {
+            initiator: 3,
+            seq: 17,
+        };
         assert_eq!(c.to_string(), "3#17");
+    }
+
+    #[test]
+    fn kind_slots_are_dense_and_distinct() {
+        for (slot, kind) in MsgKind::ALL.iter().enumerate() {
+            assert_eq!(*kind as usize, slot);
+            assert!(!kind.label().is_empty());
+        }
+        assert_eq!(MsgKind::ALL.len(), MsgKind::COUNT);
+        const { assert!(MsgKind::COUNT <= mpilite::KIND_SLOTS) };
+        let m = Msg::Propose {
+            conv: ConvId {
+                initiator: 0,
+                seq: 1,
+            },
+            e1: Edge::new(1, 2),
+        };
+        assert_eq!(m.kind_index(), MsgKind::Propose as usize);
+        assert_eq!(Msg::EndOfStep.kind_index(), MsgKind::EndOfStep as usize);
     }
 }

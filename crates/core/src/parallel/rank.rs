@@ -41,8 +41,8 @@
 use super::msg::{ConvId, Msg, Outbox};
 use crate::switch::{flip_kind, recombine, Recombination, RejectReason};
 use crate::visit::VisitTracker;
-use edgeswitch_graph::{Edge, OrientedEdge, PartitionStore, Partitioner};
 use edgeswitch_dist::{rank_rng, Rng64};
+use edgeswitch_graph::{Edge, OrientedEdge, PartitionStore, Partitioner};
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
 
@@ -231,7 +231,10 @@ impl RankState {
     /// Tear down into the final store, tracker and stats.
     pub fn into_parts(self) -> (PartitionStore, VisitTracker, RankStats) {
         debug_assert!(self.serving.is_empty(), "conversations left open");
-        debug_assert!(self.pending_done.is_empty(), "unconfirmed operations leaked");
+        debug_assert!(
+            self.pending_done.is_empty(),
+            "unconfirmed operations leaked"
+        );
         debug_assert!(self.reserved.is_empty(), "edges left reserved");
         debug_assert!(self.potential.is_empty(), "potential edges leaked");
         (self.store, self.tracker, self.stats)
@@ -330,7 +333,10 @@ impl RankState {
     fn complete_early(&mut self, conv: ConvId) {
         let op = self.inflight.take().expect("commit for op not in flight");
         debug_assert_eq!(op.conv, conv, "commit for a different conversation");
-        debug_assert_ne!(op.partner, self.rank, "local switches never commit remotely");
+        debug_assert_ne!(
+            op.partner, self.rank,
+            "local switches never commit remotely"
+        );
         self.remaining -= 1;
         self.consecutive_aborts = 0;
         self.stats.performed += 1;
@@ -437,7 +443,11 @@ impl RankState {
             let i = if c.fs[0] == edge { 0 } else { 1 };
             debug_assert_eq!(c.fs[i], edge, "reply for unknown replacement");
             debug_assert_eq!(c.fstate[i], FState::RemotePending);
-            c.fstate[i] = if ok { FState::RemoteReserved } else { FState::Failed };
+            c.fstate[i] = if ok {
+                FState::RemoteReserved
+            } else {
+                FState::Failed
+            };
             c.failed |= !ok;
             c.awaiting -= 1;
             (c.awaiting, c.failed)
@@ -464,7 +474,10 @@ impl RankState {
                 FState::RemoteReserved => {
                     out.push(
                         self.part.owner(c.fs[i].src()),
-                        Msg::Release { conv, edge: c.fs[i] },
+                        Msg::Release {
+                            conv,
+                            edge: c.fs[i],
+                        },
                     );
                 }
                 FState::RemotePending | FState::Failed => {}

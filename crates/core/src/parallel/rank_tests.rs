@@ -47,16 +47,44 @@ fn validator_reserves_and_releases_potential_edges() {
     let mut out = Outbox::new();
     let c = conv(1, 1);
     // Rank 0 validates edge (0, 8): free -> Ok.
-    r0.handle(1, Msg::Validate { conv: c, edge: Edge::new(0, 8) }, &mut out);
+    r0.handle(
+        1,
+        Msg::Validate {
+            conv: c,
+            edge: Edge::new(0, 8),
+        },
+        &mut out,
+    );
     let (dst, reply) = out.pop().unwrap();
     assert_eq!(dst, 1);
     assert!(matches!(reply, Msg::ValidateOk { .. }));
     // The same edge is now a potential edge: a second validation fails.
-    r0.handle(1, Msg::Validate { conv: conv(1, 2), edge: Edge::new(0, 8) }, &mut out);
+    r0.handle(
+        1,
+        Msg::Validate {
+            conv: conv(1, 2),
+            edge: Edge::new(0, 8),
+        },
+        &mut out,
+    );
     assert!(matches!(out.pop().unwrap().1, Msg::ValidateFail { .. }));
     // Release frees it again.
-    r0.handle(1, Msg::Release { conv: c, edge: Edge::new(0, 8) }, &mut out);
-    r0.handle(1, Msg::Validate { conv: conv(1, 3), edge: Edge::new(0, 8) }, &mut out);
+    r0.handle(
+        1,
+        Msg::Release {
+            conv: c,
+            edge: Edge::new(0, 8),
+        },
+        &mut out,
+    );
+    r0.handle(
+        1,
+        Msg::Validate {
+            conv: conv(1, 3),
+            edge: Edge::new(0, 8),
+        },
+        &mut out,
+    );
     assert!(matches!(out.pop().unwrap().1, Msg::ValidateOk { .. }));
 }
 
@@ -64,7 +92,14 @@ fn validator_reserves_and_releases_potential_edges() {
 fn validator_rejects_existing_edge() {
     let (mut r0, _r1) = two_rank_world(&[(0, 2)], &[]);
     let mut out = Outbox::new();
-    r0.handle(1, Msg::Validate { conv: conv(1, 1), edge: Edge::new(0, 2) }, &mut out);
+    r0.handle(
+        1,
+        Msg::Validate {
+            conv: conv(1, 1),
+            edge: Edge::new(0, 2),
+        },
+        &mut out,
+    );
     assert!(matches!(out.pop().unwrap().1, Msg::ValidateFail { .. }));
 }
 
@@ -91,7 +126,10 @@ fn proposal_on_empty_partition_aborts_contended() {
     let mut out = Outbox::new();
     r0.handle(
         1,
-        Msg::Propose { conv: conv(1, 1), e1: Edge::new(1, 3) },
+        Msg::Propose {
+            conv: conv(1, 1),
+            e1: Edge::new(1, 3),
+        },
         &mut out,
     );
     match out.pop().unwrap().1 {

@@ -1,29 +1,23 @@
 //! Deterministic single-threaded driver of the distributed protocol.
 //!
-//! Runs the same [`RankState`] machines as the threaded engine, but
-//! delivers messages from a global FIFO queue in one thread. Results are
-//! bit-reproducible for a given seed, which makes this the driver of
-//! choice for similarity experiments (Figures 7–11, Table 3) and for
-//! world sizes far beyond the machine's core count. The virtual-time
-//! scaling simulator in `edgeswitch-scalesim` extends the same pattern
-//! with a cost model.
+//! Runs the same [`RankState`](super::rank::RankState) machines as the
+//! threaded engine, but delivers messages from a global FIFO queue in
+//! one thread — [`FifoTransport`] plugged into the shared world loop of
+//! [`super::harness`]. Results are bit-reproducible for a given seed,
+//! which makes this the driver of choice for similarity experiments
+//! (Figures 7–11, Table 3) and for world sizes far beyond the machine's
+//! core count. The virtual-time scaling simulator in
+//! `edgeswitch-scalesim` runs the *same* loop with a cost-charging
+//! transport, so the two produce identical logical results.
 
-use super::engine::ParallelOutcome;
-use super::msg::{Msg, Outbox};
-use super::rank::{RankState, StartResult};
-use crate::config::{ParallelConfig, QuotaPolicy};
-use crate::visit::VisitTracker;
-use edgeswitch_dist::multinomial::multinomial;
-use edgeswitch_dist::parallel::trial_share;
-use edgeswitch_graph::store::{assemble_graph, build_stores};
+use super::harness::{run_simulated_world, FifoTransport, ParallelOutcome};
+use crate::config::ParallelConfig;
 use edgeswitch_graph::{Graph, Partitioner};
-use mpilite::CommStats;
-use std::collections::VecDeque;
 
 /// Deterministically simulate `t` operations of the parallel algorithm
 /// on a world of `config.processors` virtual ranks.
 pub fn simulate_parallel(graph: &Graph, t: u64, config: &ParallelConfig) -> ParallelOutcome {
-    let mut rng = edgeswitch_dist::root_rng(config.seed ^ 0x9a17);
+    let mut rng = config.root_rng();
     let part = Partitioner::build(config.scheme, graph, config.processors, &mut rng);
     simulate_parallel_with(graph, t, config, &part)
 }
@@ -35,112 +29,6 @@ pub fn simulate_parallel_with(
     config: &ParallelConfig,
     part: &Partitioner,
 ) -> ParallelOutcome {
-    let p = config.processors;
-    assert_eq!(part.num_parts(), p);
-    let stores = build_stores(graph, part);
-    let initial_edges: Vec<u64> = stores.iter().map(|s| s.num_edges() as u64).collect();
-    let n = graph.num_vertices();
-
-    let mut states: Vec<RankState> = stores
-        .into_iter()
-        .enumerate()
-        .map(|(rank, store)| RankState::new(rank, part.clone(), store, config.seed))
-        .collect();
-    let mut msg_counts = vec![CommStats::default(); p];
-
-    let s = config.step_size.resolve(t);
-    let steps = t.div_ceil(s.max(1));
-    let uniform_q = config.quota_policy == QuotaPolicy::Uniform;
-    for step in 0..steps {
-        let step_ops = if step == steps - 1 { t - s * (steps - 1) } else { s };
-        run_step(&mut states, step_ops, &mut msg_counts, uniform_q);
-    }
-
-    // Gather results exactly like the threaded engine.
-    let mut per_rank = Vec::with_capacity(p);
-    let mut final_edges = Vec::with_capacity(p);
-    let mut tracker_acc: Option<VisitTracker> = None;
-    let mut final_stores = Vec::with_capacity(p);
-    for state in states {
-        let (store, tracker, stats) = state.into_parts();
-        per_rank.push(stats);
-        final_edges.push(store.num_edges() as u64);
-        final_stores.push(store);
-        match &mut tracker_acc {
-            None => tracker_acc = Some(tracker),
-            Some(acc) => acc.merge_disjoint(tracker),
-        }
-    }
-    ParallelOutcome {
-        graph: assemble_graph(n, &final_stores),
-        steps,
-        per_rank,
-        final_edges,
-        initial_edges,
-        comm: msg_counts,
-        tracker: tracker_acc.unwrap_or_else(|| VisitTracker::new(std::iter::empty())),
-    }
-}
-
-/// One step of the simulated world.
-fn run_step(states: &mut [RankState], step_ops: u64, msg_counts: &mut [CommStats], uniform_q: bool) {
-    let p = states.len();
-    // Probability vector from current edge counts (the allgather).
-    let counts: Vec<u64> = states.iter().map(|st| st.edge_count()).collect();
-    let total: u64 = counts.iter().sum();
-    let q: Vec<f64> = if total == 0 || uniform_q {
-        vec![1.0 / p as f64; p]
-    } else {
-        counts.iter().map(|&c| c as f64 / total as f64).collect()
-    };
-    // Algorithm 5, faithfully: each rank draws a multinomial over its
-    // trial share from its own stream; quotas are the column sums.
-    let mut quota = vec![0u64; p];
-    for (i, st) in states.iter_mut().enumerate() {
-        let share = trial_share(step_ops, p, i);
-        let row = multinomial(share, &q, st.rng_mut());
-        for (qj, xi) in quota.iter_mut().zip(row) {
-            *qj += xi;
-        }
-    }
-    for (st, &qi) in states.iter_mut().zip(&quota) {
-        st.begin_step(qi, &q);
-    }
-
-    // Event loop: global FIFO, round-robin op starts.
-    let mut queue: VecDeque<(usize, usize, Msg)> = VecDeque::new();
-    let mut out = Outbox::new();
-    loop {
-        while let Some((dst, src, msg)) = queue.pop_front() {
-            states[dst].handle(src, msg, &mut out);
-            while let Some((d2, m2)) = out.pop() {
-                if d2 != dst {
-                    msg_counts[dst].messages_sent += 1;
-                    msg_counts[d2].messages_received += 1;
-                }
-                queue.push_back((d2, dst, m2));
-            }
-        }
-        let mut any_started = false;
-        for i in 0..p {
-            if let StartResult::Started = states[i].try_start(&mut out) {
-                any_started = true;
-                while let Some((d2, m2)) = out.pop() {
-                    if d2 != i {
-                        msg_counts[i].messages_sent += 1;
-                        msg_counts[d2].messages_received += 1;
-                    }
-                    queue.push_back((d2, i, m2));
-                }
-            }
-        }
-        if !any_started && queue.is_empty() {
-            assert!(
-                states.iter().all(|st| st.step_done()),
-                "simulated world wedged: quiescent but quotas unfinished"
-            );
-            break;
-        }
-    }
-    debug_assert!(states.iter().all(|st| !st.serving_pending()));
+    let mut transport = FifoTransport::new();
+    run_simulated_world(graph, t, config, part, &mut transport)
 }

@@ -20,10 +20,7 @@ fn check_outcome(g0: &Graph, out: &ParallelOutcome, t: u64) {
     assert_eq!(out.graph.degree_sequence(), g0.degree_sequence());
     // Edge count conserved, both globally and as the per-rank sum.
     assert_eq!(out.graph.num_edges(), g0.num_edges());
-    assert_eq!(
-        out.final_edges.iter().sum::<u64>() as usize,
-        g0.num_edges()
-    );
+    assert_eq!(out.final_edges.iter().sum::<u64>() as usize, g0.num_edges());
     // Every operation is accounted for.
     assert_eq!(out.performed() + out.forfeited(), t);
     assert_eq!(out.forfeited(), 0, "healthy graphs never forfeit");
@@ -134,10 +131,7 @@ fn visit_rate_tracks_target_in_parallel() {
             .with_seed(3);
         let out = simulate_parallel(&g, t, &cfg);
         let observed = out.visit_rate();
-        assert!(
-            (observed - x).abs() < 0.05,
-            "x = {x}: observed {observed}"
-        );
+        assert!((observed - x).abs() < 0.05, "x = {x}: observed {observed}");
     }
 }
 

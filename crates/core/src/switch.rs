@@ -58,7 +58,10 @@ pub enum Recombination {
 /// lists. The two input edges must be distinct *as edges* or the result
 /// is `Rejected` (same-edge draws are always useless or loops).
 pub fn recombine(e1: OrientedEdge, e2: OrientedEdge, kind: SwitchKind) -> Recombination {
-    debug_assert!(e1.tail < e1.head && e2.tail < e2.head, "inputs must be oriented");
+    debug_assert!(
+        e1.tail < e1.head && e2.tail < e2.head,
+        "inputs must be oriented"
+    );
     let (a, b) = match kind {
         SwitchKind::Cross => ((e1.tail, e2.head), (e2.tail, e1.head)),
         SwitchKind::Straight => ((e1.tail, e2.tail), (e1.head, e2.head)),
@@ -174,11 +177,7 @@ mod tests {
     fn degree_preservation() {
         // Whatever the recombination, each vertex keeps its incidence
         // count across {e1,e2} -> {f1,f2}.
-        let cases = [
-            (o(1, 2), o(3, 4)),
-            (o(1, 9), o(2, 8)),
-            (o(0, 3), o(2, 5)),
-        ];
+        let cases = [(o(1, 2), o(3, 4)), (o(1, 9), o(2, 8)), (o(0, 3), o(2, 5))];
         for (e1, e2) in cases {
             for kind in [SwitchKind::Straight, SwitchKind::Cross] {
                 if let Recombination::Candidate { f1, f2 } = recombine(e1, e2, kind) {

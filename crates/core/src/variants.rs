@@ -214,9 +214,9 @@ pub fn __endpoints_connected_for_tests(graph: &Graph, endpoints: [VertexId; 4]) 
 mod tests {
     use super::*;
     use edgeswitch_dist::root_rng;
-    use edgeswitch_graph::Edge;
     use edgeswitch_graph::generators::{erdos_renyi_gnm, small_world};
     use edgeswitch_graph::metrics::is_connected;
+    use edgeswitch_graph::Edge;
 
     #[test]
     fn connected_variant_preserves_connectivity() {

@@ -55,7 +55,10 @@ fn max_chunk(q: f64) -> u64 {
 /// # Panics
 /// Panics unless `0 ≤ q ≤ 1` and `q` is finite.
 pub fn binomial<R: Rng + ?Sized>(n: u64, q: f64, rng: &mut R) -> u64 {
-    assert!(q.is_finite() && (0.0..=1.0).contains(&q), "q = {q} out of [0,1]");
+    assert!(
+        q.is_finite() && (0.0..=1.0).contains(&q),
+        "q = {q} out of [0,1]"
+    );
     if n == 0 || q == 0.0 {
         return 0;
     }

@@ -26,5 +26,8 @@ mod gof_tests;
 pub use binomial::binomial;
 pub use harmonic::{expected_touches, harmonic, switch_ops_for_visit_rate};
 pub use multinomial::multinomial;
-pub use parallel::{multinomial_partitioned, parallel_multinomial, trial_share};
+pub use parallel::{
+    local_quota_row, multinomial_owned_world, multinomial_partitioned, parallel_multinomial,
+    parallel_multinomial_owned, trial_share,
+};
 pub use rng::{rank_rng, root_rng, substream_rng, Rng64};

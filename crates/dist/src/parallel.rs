@@ -67,6 +67,23 @@ where
     total
 }
 
+/// One rank's contribution to a distributed Algorithm-5 draw: the row
+/// `X_{rank,·} = M(N_rank, q)` of per-outcome counts over this rank's
+/// trial share. Both the real all-to-all exchange
+/// ([`parallel_multinomial_owned`]) and the simulated-world column sum
+/// ([`multinomial_owned_world`]) are reductions of these rows, so every
+/// driver consumes the per-rank RNG streams identically.
+pub fn local_quota_row<R: Rng + ?Sized>(
+    n: u64,
+    p: usize,
+    rank: usize,
+    q: &[f64],
+    rng: &mut R,
+) -> Vec<u64> {
+    assert_eq!(q.len(), p, "owned layout requires ℓ = p");
+    multinomial(trial_share(n, p, rank), q, rng)
+}
+
 /// Distributed Algorithm 5 in the paper's primary storage layout for
 /// `ℓ = p`: after the exchange, rank `i` holds only `X_i` (line 5's
 /// send of `X_{j,i}` to processor `P_j` is a personalized all-to-all).
@@ -76,11 +93,33 @@ where
     R: Rng + ?Sized,
 {
     let p = comm.size();
-    assert_eq!(q.len(), p, "owned layout requires ℓ = p");
-    let ni = trial_share(n, p, comm.rank());
-    let local = multinomial(ni, q, rng);
+    let local = local_quota_row(n, p, comm.rank(), q, rng);
     let mine = comm.alltoall_u64(&local);
     mine.into_iter().sum()
+}
+
+/// Algorithm 5 in the owned layout, computed centrally for simulated
+/// worlds that hold all `p` rank RNGs in one process: draws every rank's
+/// row and returns the column sums `X_i = Σ_j X_{j,i}`. Equivalent to
+/// running [`parallel_multinomial_owned`] on every rank of a real world
+/// (same rows, same per-rank RNG consumption).
+pub fn multinomial_owned_world<'a, R: Rng + 'a>(
+    n: u64,
+    q: &[f64],
+    rngs: impl Iterator<Item = &'a mut R>,
+) -> Vec<u64> {
+    let p = q.len();
+    let mut quotas = vec![0u64; p];
+    let mut ranks = 0usize;
+    for (rank, rng) in rngs.enumerate() {
+        ranks += 1;
+        for (quota, xi) in quotas.iter_mut().zip(local_quota_row(n, p, rank, q, rng)) {
+            *quota += xi;
+        }
+    }
+    assert_eq!(ranks, p, "need exactly one RNG per outcome/rank");
+    debug_assert_eq!(quotas.iter().sum::<u64>(), n);
+    quotas
 }
 
 #[cfg(test)]
@@ -97,7 +136,10 @@ mod tests {
             let shares: Vec<u64> = (0..p).map(|r| trial_share(n, p, r)).collect();
             let max = *shares.iter().max().unwrap();
             let min = *shares.iter().min().unwrap();
-            assert!(max - min <= 1, "shares must differ by at most 1: {shares:?}");
+            assert!(
+                max - min <= 1,
+                "shares must differ by at most 1: {shares:?}"
+            );
         }
     }
 
@@ -174,6 +216,26 @@ mod tests {
                 "share {xi} vs {expect}"
             );
         }
+    }
+
+    #[test]
+    fn world_draw_matches_distributed_owned_draw() {
+        // The centralized column-sum form must reproduce the real
+        // alltoall exchange exactly when fed the same per-rank streams.
+        let p = 5;
+        let q = vec![0.1, 0.2, 0.3, 0.25, 0.15];
+        let n = 12_345u64;
+        let distributed = {
+            let q = q.clone();
+            run_world_default::<CollPayload, u64, _>(p, move |comm| {
+                let mut rng = rank_rng(11, comm.rank() as u64);
+                parallel_multinomial_owned(comm, n, &q, &mut rng)
+            })
+        };
+        let mut rngs: Vec<_> = (0..p).map(|r| rank_rng(11, r as u64)).collect();
+        let world = multinomial_owned_world(n, &q, rngs.iter_mut());
+        assert_eq!(world, distributed);
+        assert_eq!(world.iter().sum::<u64>(), n);
     }
 
     #[test]

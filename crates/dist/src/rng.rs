@@ -28,7 +28,9 @@ pub fn root_rng(seed: u64) -> Rng64 {
 /// An independent stream for rank `rank` of a world seeded with `seed`.
 pub fn rank_rng(seed: u64, rank: u64) -> Rng64 {
     use rand::SeedableRng;
-    Pcg64::seed_from_u64(splitmix64(splitmix64(seed) ^ splitmix64(rank.wrapping_add(0xA5A5))))
+    Pcg64::seed_from_u64(splitmix64(
+        splitmix64(seed) ^ splitmix64(rank.wrapping_add(0xA5A5)),
+    ))
 }
 
 /// A named substream (e.g. one per step, per purpose) of a rank stream.

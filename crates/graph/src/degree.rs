@@ -127,9 +127,7 @@ pub fn power_law_sequence<R: Rng + ?Sized>(
     let d_max = d_max.min(n - 1);
     let d_min = d_min.min(d_max);
     // Precompute the discrete CDF.
-    let weights: Vec<f64> = (d_min..=d_max)
-        .map(|k| (k as f64).powf(-gamma))
-        .collect();
+    let weights: Vec<f64> = (d_min..=d_max).map(|k| (k as f64).powf(-gamma)).collect();
     let total: f64 = weights.iter().sum();
     let mut cdf = Vec::with_capacity(weights.len());
     let mut acc = 0.0;
@@ -227,7 +225,10 @@ mod tests {
         // Power law: low degrees dominate.
         let low = seq.iter().filter(|&&d| d <= 4).count();
         let high = seq.iter().filter(|&&d| d >= 50).count();
-        assert!(low > 10 * high.max(1), "not heavy-tailed: low={low} high={high}");
+        assert!(
+            low > 10 * high.max(1),
+            "not heavy-tailed: low={low} high={high}"
+        );
     }
 
     #[test]

@@ -167,10 +167,7 @@ mod tests {
         };
         let g = contact_network(params, &mut rng);
         let cc = average_clustering_exact(&g);
-        assert!(
-            cc > 0.2,
-            "contact network must be clustered, got cc = {cc}"
-        );
+        assert!(cc > 0.2, "contact network must be clustered, got cc = {cc}");
     }
 
     #[test]
@@ -184,10 +181,7 @@ mod tests {
             inter_degree: 2.0,
         };
         let g = contact_network(params, &mut rng);
-        let near = g
-            .edges()
-            .filter(|e| e.dst() - e.src() < 2 * 50)
-            .count();
+        let near = g.edges().filter(|e| e.dst() - e.src() < 2 * 50).count();
         assert!(
             near as f64 > 0.75 * g.num_edges() as f64,
             "expected label locality, got {near}/{}",
@@ -200,6 +194,9 @@ mod tests {
         let mut rng = Pcg64::seed_from_u64(4);
         let g = contact_network(ContactParams::miami_like(2100), &mut rng);
         let avg = g.avg_degree();
-        assert!((40.0..60.0).contains(&avg), "avg degree {avg} not Miami-like");
+        assert!(
+            (40.0..60.0).contains(&avg),
+            "avg degree {avg} not Miami-like"
+        );
     }
 }

@@ -97,18 +97,38 @@ impl Dataset {
     pub fn spec(&self, scale: f64) -> DatasetSpec {
         let (name, class, paper_v, paper_e, deg): (&str, &str, u64, u64, f64) = match self {
             Dataset::NewYork => ("NewYork", "Social Contact", 20_380_000, 587_300_000, 57.63),
-            Dataset::LosAngeles => {
-                ("LosAngeles", "Social Contact", 16_330_000, 479_400_000, 58.66)
-            }
+            Dataset::LosAngeles => (
+                "LosAngeles",
+                "Social Contact",
+                16_330_000,
+                479_400_000,
+                58.66,
+            ),
             Dataset::Miami => ("Miami", "Social Contact", 2_100_000, 52_700_000, 50.4),
             Dataset::Flickr => ("Flickr", "Online Community", 2_300_000, 22_800_000, 19.83),
             Dataset::LiveJournal => ("LiveJournal", "Social", 4_800_000, 42_800_000, 17.83),
             Dataset::SmallWorld => ("SmallWorld", "Random", 4_800_000, 48_000_000, 20.0),
-            Dataset::ErdosRenyi => {
-                ("ErdosRenyi", "Erdos-Renyi Random", 4_800_000, 48_000_000, 20.0)
-            }
-            Dataset::Pa100M => ("PA-100M", "Pref. Attachment", 100_000_000, 1_000_000_000, 20.0),
-            Dataset::Pa1B => ("PA-1B", "Pref. Attachment", 1_000_000_000, 10_000_000_000, 20.0),
+            Dataset::ErdosRenyi => (
+                "ErdosRenyi",
+                "Erdos-Renyi Random",
+                4_800_000,
+                48_000_000,
+                20.0,
+            ),
+            Dataset::Pa100M => (
+                "PA-100M",
+                "Pref. Attachment",
+                100_000_000,
+                1_000_000_000,
+                20.0,
+            ),
+            Dataset::Pa1B => (
+                "PA-1B",
+                "Pref. Attachment",
+                1_000_000_000,
+                10_000_000_000,
+                20.0,
+            ),
         };
         let n = ((paper_v as f64 / 1000.0 * scale) as usize).max(600);
         DatasetSpec {
@@ -192,7 +212,12 @@ mod tests {
     #[test]
     fn generated_degree_matches_paper() {
         let mut rng = Pcg64::seed_from_u64(1);
-        for ds in [Dataset::Miami, Dataset::Flickr, Dataset::ErdosRenyi, Dataset::SmallWorld] {
+        for ds in [
+            Dataset::Miami,
+            Dataset::Flickr,
+            Dataset::ErdosRenyi,
+            Dataset::SmallWorld,
+        ] {
             let spec = ds.spec(0.5);
             let g = spec.generate(&mut rng);
             let avg = g.avg_degree();

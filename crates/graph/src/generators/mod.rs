@@ -15,8 +15,8 @@ mod preferential;
 mod small_world;
 
 pub use contact::{contact_network, ContactParams};
-pub use families::{random_regular, stochastic_block_model};
 pub use datasets::{Dataset, DatasetSpec};
 pub use erdos_renyi::{erdos_renyi_gnm, erdos_renyi_gnp};
+pub use families::{random_regular, stochastic_block_model};
 pub use preferential::preferential_attachment;
 pub use small_world::small_world;

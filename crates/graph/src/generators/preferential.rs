@@ -37,7 +37,8 @@ pub fn preferential_attachment<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R)
             }
         }
         for &t in &targets {
-            g.add_edge(Edge::new(v, t)).expect("targets are distinct existing vertices");
+            g.add_edge(Edge::new(v, t))
+                .expect("targets are distinct existing vertices");
             endpoints.push(v);
             endpoints.push(t);
         }

@@ -13,7 +13,10 @@ use rand::Rng;
 /// # Panics
 /// Panics unless `k` is even, `k < n`, and `0 ≤ beta ≤ 1`.
 pub fn small_world<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
-    assert!(k.is_multiple_of(2), "k must be even (k/2 neighbors per side)");
+    assert!(
+        k.is_multiple_of(2),
+        "k must be even (k/2 neighbors per side)"
+    );
     assert!(k < n, "ring lattice needs k < n");
     assert!((0.0..=1.0).contains(&beta), "beta out of range");
     let n64 = n as u64;
@@ -22,7 +25,8 @@ pub fn small_world<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) 
         for j in 1..=(k as u64 / 2) {
             let w = (v + j) % n64;
             // Each lattice edge added once (by its "left" endpoint).
-            g.add_edge(Edge::new(v, w)).expect("lattice edge duplicated");
+            g.add_edge(Edge::new(v, w))
+                .expect("lattice edge duplicated");
         }
     }
     if beta == 0.0 {

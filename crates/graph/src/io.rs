@@ -78,11 +78,8 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let g = Graph::from_edges(
-            5,
-            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(3, 4)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(5, vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(3, 4)]).unwrap();
         let mut buf = Vec::new();
         write_edge_list(&g, &mut buf).unwrap();
         let h = read_edge_list(&buf[..], Some(5)).unwrap();

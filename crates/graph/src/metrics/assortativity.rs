@@ -42,11 +42,8 @@ mod tests {
     fn undefined_for_tiny_or_regular() {
         assert_eq!(degree_assortativity(&Graph::new(3)), None);
         // Triangle: 2-regular.
-        let tri = Graph::from_edges(
-            3,
-            vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)],
-        )
-        .unwrap();
+        let tri =
+            Graph::from_edges(3, vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)]).unwrap();
         assert_eq!(degree_assortativity(&tri), None);
     }
 

@@ -126,6 +126,9 @@ mod tests {
     fn empty_graph_is_zero() {
         assert_eq!(average_clustering_exact(&Graph::new(0)), 0.0);
         let mut rng = Pcg64::seed_from_u64(2);
-        assert_eq!(average_clustering_sampled(&Graph::new(0), 10, &mut rng), 0.0);
+        assert_eq!(
+            average_clustering_sampled(&Graph::new(0), 10, &mut rng),
+            0.0
+        );
     }
 }

@@ -48,7 +48,9 @@ impl Relabeling {
         assert_eq!(n, self.mapping.len());
         Graph::from_edges(
             n,
-            graph.edges().map(|e| Edge::new(self.map(e.src()), self.map(e.dst()))),
+            graph
+                .edges()
+                .map(|e| Edge::new(self.map(e.src()), self.map(e.dst()))),
         )
         .expect("bijective relabeling preserves simplicity")
     }

@@ -154,12 +154,7 @@ impl Partitioner {
     /// parameters. CP balances initial reduced-edge counts from `graph`;
     /// hash schemes ignore the graph structure entirely (that is their
     /// defining property).
-    pub fn build<R: Rng + ?Sized>(
-        kind: SchemeKind,
-        graph: &Graph,
-        p: usize,
-        rng: &mut R,
-    ) -> Self {
+    pub fn build<R: Rng + ?Sized>(kind: SchemeKind, graph: &Graph, p: usize, rng: &mut R) -> Self {
         match kind {
             SchemeKind::Consecutive => Self::consecutive(graph, p),
             SchemeKind::HashDivision => Self::hash_division(p),

@@ -55,7 +55,9 @@ fn rooted_collectives_compose_with_symmetric_ones() {
         let total = comm.allreduce_sum_u64(comm.rank() as u64);
         let scattered = comm.scatter_u64(
             1,
-            gathered.map(|g| g.iter().map(|x| x * 10).collect::<Vec<_>>()).as_deref(),
+            gathered
+                .map(|g| g.iter().map(|x| x * 10).collect::<Vec<_>>())
+                .as_deref(),
         );
         (scattered, total)
     });

@@ -19,6 +19,12 @@ pub trait CollCarrier: Sized {
     fn wire_size(&self) -> usize {
         std::mem::size_of::<Self>()
     }
+    /// Counter slot in [`CommStats::sent_by_kind`] for this message.
+    /// Protocol enums override this to get per-variant traffic counts;
+    /// the default buckets everything into the last (catch-all) slot.
+    fn kind_index(&self) -> usize {
+        crate::stats::KIND_SLOTS - 1
+    }
 }
 
 impl CollCarrier for CollPayload {
@@ -90,13 +96,17 @@ impl<M: CollCarrier> Comm<M> {
     /// Panics if `dst` is out of range, the tag collides with the
     /// collective namespace, or the destination has already shut down.
     pub fn send(&mut self, dst: usize, tag: u32, payload: M) {
-        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag:#x} reserved for collectives");
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag:#x} reserved for collectives"
+        );
         self.send_raw(dst, tag, payload);
     }
 
     pub(crate) fn send_raw(&mut self, dst: usize, tag: u32, payload: M) {
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += payload.wire_size() as u64;
+        self.stats.sent_by_kind[payload.kind_index().min(crate::stats::KIND_SLOTS - 1)] += 1;
         self.senders[dst]
             .send(Packet {
                 src: self.rank,
@@ -207,7 +217,10 @@ impl<M: CollCarrier> Comm<M> {
                 .receiver
                 .recv_timeout(self.timeout)
                 .unwrap_or_else(|_| {
-                    panic!("rank {}: recv_tag({tag:#x}) timed out (deadlock?)", self.rank)
+                    panic!(
+                        "rank {}: recv_tag({tag:#x}) timed out (deadlock?)",
+                        self.rank
+                    )
                 });
             if p.tag == tag {
                 self.stats.messages_received += 1;

@@ -32,7 +32,7 @@ mod tag_tests;
 pub use comm::{CollCarrier, Comm};
 pub use packet::{CollPayload, Packet, COLLECTIVE_TAG_BASE};
 pub use runtime::{run_world, run_world_default, WorldConfig};
-pub use stats::CommStats;
+pub use stats::{CommStats, KIND_SLOTS};
 
 #[cfg(test)]
 mod collective_tests {

@@ -1,5 +1,12 @@
 //! Per-rank traffic counters, consumed by the virtual-time cost models.
 
+/// Number of per-kind send counter slots in [`CommStats::sent_by_kind`].
+///
+/// Message types report a slot via [`crate::comm::CollCarrier::kind_index`];
+/// the last slot (`KIND_SLOTS - 1`) is the default catch-all for types that
+/// don't classify their variants.
+pub const KIND_SLOTS: usize = 16;
+
 /// Message and byte counts accumulated by one rank's [`crate::comm::Comm`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CommStats {
@@ -11,16 +18,23 @@ pub struct CommStats {
     pub messages_received: u64,
     /// Collective operations completed.
     pub collectives: u64,
+    /// Messages sent, bucketed by [`crate::comm::CollCarrier::kind_index`].
+    pub sent_by_kind: [u64; KIND_SLOTS],
 }
 
 impl CommStats {
     /// Element-wise sum, for aggregating a whole world's traffic.
     pub fn merge(&self, other: &CommStats) -> CommStats {
+        let mut sent_by_kind = self.sent_by_kind;
+        for (slot, v) in sent_by_kind.iter_mut().zip(other.sent_by_kind.iter()) {
+            *slot += v;
+        }
         CommStats {
             messages_sent: self.messages_sent + other.messages_sent,
             bytes_sent: self.bytes_sent + other.bytes_sent,
             messages_received: self.messages_received + other.messages_received,
             collectives: self.collectives + other.collectives,
+            sent_by_kind,
         }
     }
 }
@@ -31,22 +45,32 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
+        let mut ka = [0u64; KIND_SLOTS];
+        ka[0] = 7;
+        let mut kb = [0u64; KIND_SLOTS];
+        kb[0] = 2;
+        kb[3] = 1;
         let a = CommStats {
             messages_sent: 1,
             bytes_sent: 10,
             messages_received: 2,
             collectives: 3,
+            sent_by_kind: ka,
         };
         let b = CommStats {
             messages_sent: 4,
             bytes_sent: 40,
             messages_received: 5,
             collectives: 6,
+            sent_by_kind: kb,
         };
         let c = a.merge(&b);
         assert_eq!(c.messages_sent, 5);
         assert_eq!(c.bytes_sent, 50);
         assert_eq!(c.messages_received, 7);
         assert_eq!(c.collectives, 9);
+        assert_eq!(c.sent_by_kind[0], 9);
+        assert_eq!(c.sent_by_kind[3], 1);
+        assert_eq!(c.sent_by_kind[1], 0);
     }
 }

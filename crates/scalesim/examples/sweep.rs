@@ -6,10 +6,10 @@
 //! ```
 
 use edgeswitch_core::config::*;
-use edgeswitch_graph::SchemeKind;
-use edgeswitch_scalesim::{des_parallel, CostModel};
 use edgeswitch_dist::root_rng;
 use edgeswitch_graph::generators::erdos_renyi_gnm;
+use edgeswitch_graph::SchemeKind;
+use edgeswitch_scalesim::{des_parallel, CostModel};
 
 fn main() {
     let mut rng = root_rng(42);

@@ -1,27 +1,25 @@
 //! Discrete-event execution of the parallel edge-switch protocol under
 //! the virtual-time cost model.
 //!
-//! This driver runs the *same* [`RankState`] machines as the threaded
-//! engine — every message of Section 4.4 is logically exchanged — but
-//! delivery happens on a virtual clock: handling charges CPU overhead to
-//! the receiving rank, remote delivery adds network latency, and step
-//! boundaries add the collective and multinomial costs of Section 4.5.
-//! The maximum rank clock at the end is the predicted distributed
-//! runtime, from which speedup-vs-`p` curves are produced for worlds far
-//! larger than the host machine.
+//! This driver runs the *same* shared world loop as the deterministic
+//! FIFO simulator in `edgeswitch-core` — every message of Section 4.4 is
+//! logically exchanged in the same global causal order — but the
+//! transport charges virtual time as it goes (trace-driven simulation):
+//! handling charges CPU overhead to the receiving rank, remote delivery
+//! adds network latency, and step boundaries add the collective and
+//! multinomial costs of Section 4.5. Because the logical schedule is the
+//! FIFO one, a DES run and a FIFO run of the same `(graph, t, config)`
+//! produce identical [`ParallelOutcome`] results; the DES adds the
+//! timing axis. The maximum rank clock at the end is the predicted
+//! distributed runtime, from which speedup-vs-`p` curves are produced
+//! for worlds far larger than the host machine.
 
 use crate::model::CostModel;
-use edgeswitch_core::config::{ParallelConfig, QuotaPolicy};
-use edgeswitch_core::parallel::{Msg, Outbox, RankState, StartResult};
-use edgeswitch_core::visit::VisitTracker;
+use edgeswitch_core::config::ParallelConfig;
+use edgeswitch_core::parallel::{run_simulated_world, Msg, Transport, WorldTransport};
 use edgeswitch_core::ParallelOutcome;
-use edgeswitch_dist::multinomial::multinomial;
-use edgeswitch_dist::parallel::trial_share;
-use edgeswitch_graph::store::{assemble_graph, build_stores};
 use edgeswitch_graph::{Graph, Partitioner};
-use mpilite::CommStats;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 /// Virtual-time report of a DES run.
 #[derive(Clone, Debug)]
@@ -40,29 +38,99 @@ pub struct DesReport {
     pub busy_ns: Vec<f64>,
 }
 
-/// A scheduled message delivery (min-heap on arrival time).
-struct Delivery {
-    at: u64,
-    seq: u64,
-    dst: usize,
-    src: usize,
-    msg: Msg,
+/// The cost-charging transport: global causal-FIFO delivery (identical
+/// logical schedule to the core FIFO simulator) with per-rank virtual
+/// clocks advanced by the [`CostModel`] hooks.
+pub struct DesTransport {
+    clocks: Vec<u64>,
+    busy: Vec<u64>,
+    /// In-flight messages `(dst, src, msg, arrival_time)` in causal
+    /// order.
+    queue: VecDeque<(usize, usize, Msg, u64)>,
+    cost: CostModel,
+    /// Max clock when the current step began.
+    step_start: u64,
+    /// Boundary cost charged at the current step's start.
+    boundary: u64,
 }
 
-impl PartialEq for Delivery {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl DesTransport {
+    /// Fresh clocks for a `p`-rank world under `cost`.
+    pub fn new(p: usize, cost: CostModel) -> Self {
+        DesTransport {
+            clocks: vec![0; p],
+            busy: vec![0; p],
+            queue: VecDeque::new(),
+            cost,
+            step_start: 0,
+            boundary: 0,
+        }
+    }
+
+    /// Predicted total runtime so far: the maximum rank clock.
+    pub fn runtime_ns(&self) -> f64 {
+        self.clocks.iter().copied().max().unwrap_or(0) as f64
+    }
+
+    /// Per-rank busy CPU time in nanoseconds.
+    pub fn busy_ns(&self) -> Vec<f64> {
+        self.busy.iter().map(|&b| b as f64).collect()
+    }
+
+    fn charge(&mut self, rank: usize, ns: f64) {
+        self.clocks[rank] += ns as u64;
+        self.busy[rank] += ns as u64;
     }
 }
-impl Eq for Delivery {}
-impl PartialOrd for Delivery {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+impl Transport for DesTransport {
+    fn on_op_started(&mut self, rank: usize) {
+        self.charge(rank, self.cost.local_op_ns);
+    }
+    fn on_self_delivery(&mut self, rank: usize) {
+        // Local role change: pure CPU handling cost.
+        self.charge(rank, self.cost.msg_handle_ns);
     }
 }
-impl Ord for Delivery {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+
+impl WorldTransport for DesTransport {
+    fn deliver(&mut self, src: usize, dst: usize, msg: Msg) {
+        // Send overhead at the source, then latency on the wire.
+        self.charge(src, self.cost.msg_handle_ns);
+        let at = self.clocks[src] + self.cost.latency_ns as u64;
+        self.queue.push_back((dst, src, msg, at));
+    }
+
+    fn pop_any(&mut self) -> Option<(usize, usize, Msg)> {
+        let (dst, src, msg, at) = self.queue.pop_front()?;
+        // The receiver can't handle a message before it arrives.
+        self.clocks[dst] = self.clocks[dst].max(at) + self.cost.msg_handle_ns as u64;
+        self.busy[dst] += self.cost.msg_handle_ns as u64;
+        Some((dst, src, msg))
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn begin_step(&mut self, step_ops: u64, p: usize) {
+        // Step boundary: q refresh + multinomial, synchronizing all
+        // ranks (the collectives are barriers).
+        let boundary = self.cost.step_collective_ns(p) + self.cost.multinomial_step_ns(step_ops, p);
+        self.step_start = self.clocks.iter().copied().max().unwrap_or(0);
+        self.boundary = boundary as u64;
+        let start = self.step_start + self.boundary;
+        for c in self.clocks.iter_mut() {
+            *c = start;
+        }
+    }
+
+    fn end_step(&mut self) -> (f64, f64) {
+        let end = self.clocks.iter().copied().max().unwrap_or(0);
+        (
+            self.boundary as f64,
+            (end - self.step_start - self.boundary) as f64,
+        )
     }
 }
 
@@ -74,7 +142,7 @@ pub fn des_parallel(
     config: &ParallelConfig,
     cost: &CostModel,
 ) -> (ParallelOutcome, DesReport) {
-    let mut rng = edgeswitch_dist::root_rng(config.seed ^ 0x9a17);
+    let mut rng = config.root_rng();
     let part = Partitioner::build(config.scheme, graph, config.processors, &mut rng);
     des_parallel_with(graph, t, config, &part, cost)
 }
@@ -88,172 +156,29 @@ pub fn des_parallel_with(
     cost: &CostModel,
 ) -> (ParallelOutcome, DesReport) {
     let p = config.processors;
-    assert_eq!(part.num_parts(), p);
-    let stores = build_stores(graph, part);
-    let initial_edges: Vec<u64> = stores.iter().map(|s| s.num_edges() as u64).collect();
-    let n = graph.num_vertices();
+    let mut transport = DesTransport::new(p, *cost);
+    let outcome = run_simulated_world(graph, t, config, part, &mut transport);
 
-    let mut states: Vec<RankState> = stores
-        .into_iter()
-        .enumerate()
-        .map(|(rank, store)| RankState::new(rank, part.clone(), store, config.seed))
+    let runtime_ns = transport.runtime_ns();
+    let step_ns: Vec<f64> = outcome
+        .telemetry
+        .iter()
+        .map(|s| s.boundary_ns + s.drain_ns)
         .collect();
-
-    let s = config.step_size.resolve(t);
-    let steps = t.div_ceil(s.max(1));
-    let mut world = DesWorld {
-        clocks: vec![0u64; p],
-        busy: vec![0u64; p],
-        heap: BinaryHeap::new(),
-        seq: 0,
-        messages: 0,
-        cost: *cost,
-    };
-    let mut step_ns = Vec::with_capacity(steps as usize);
-    let mut step_start = 0u64;
-    let uniform_q = config.quota_policy == QuotaPolicy::Uniform;
-    for step in 0..steps {
-        let step_ops = if step == steps - 1 { t - s * (steps - 1) } else { s };
-        run_step(&mut world, &mut states, step_ops, uniform_q);
-        let end = *world.clocks.iter().max().unwrap();
-        step_ns.push((end - step_start) as f64);
-        step_start = end;
-    }
-    let runtime_ns = step_start as f64;
-
-    // Gather logical results.
-    let mut per_rank = Vec::with_capacity(p);
-    let mut final_edges = Vec::with_capacity(p);
-    let mut tracker_acc: Option<VisitTracker> = None;
-    let mut final_stores = Vec::with_capacity(p);
-    for state in states {
-        let (store, tracker, stats) = state.into_parts();
-        per_rank.push(stats);
-        final_edges.push(store.num_edges() as u64);
-        final_stores.push(store);
-        match &mut tracker_acc {
-            None => tracker_acc = Some(tracker),
-            Some(acc) => acc.merge_disjoint(tracker),
-        }
-    }
-    let outcome = ParallelOutcome {
-        graph: assemble_graph(n, &final_stores),
-        steps,
-        per_rank,
-        final_edges,
-        initial_edges,
-        comm: vec![CommStats::default(); p],
-        tracker: tracker_acc.unwrap_or_else(|| VisitTracker::new(std::iter::empty())),
-    };
+    let messages: u64 = outcome.comm.iter().map(|c| c.messages_sent).sum();
     let seq_ns = cost.sequential_time_ns(t);
     let report = DesReport {
         runtime_ns,
         step_ns,
-        messages: world.messages,
-        speedup: if runtime_ns > 0.0 { seq_ns / runtime_ns } else { 1.0 },
-        busy_ns: world.busy.iter().map(|&b| b as f64).collect(),
+        messages,
+        speedup: if runtime_ns > 0.0 {
+            seq_ns / runtime_ns
+        } else {
+            1.0
+        },
+        busy_ns: transport.busy_ns(),
     };
     (outcome, report)
-}
-
-struct DesWorld {
-    clocks: Vec<u64>,
-    busy: Vec<u64>,
-    heap: BinaryHeap<Reverse<Delivery>>,
-    seq: u64,
-    messages: u64,
-    cost: CostModel,
-}
-
-impl DesWorld {
-    /// Route queued outbox messages from `src`: self-addressed ones are
-    /// handled inline (pure CPU), remote ones are scheduled after
-    /// latency.
-    fn route(&mut self, states: &mut [RankState], src: usize, out: &mut Outbox) {
-        while let Some((dst, msg)) = out.pop() {
-            if dst == src {
-                // Local role change: charge handling cost and recurse.
-                self.clocks[src] += self.cost.msg_handle_ns as u64;
-                self.busy[src] += self.cost.msg_handle_ns as u64;
-                let mut out2 = Outbox::new();
-                states[src].handle(src, msg, &mut out2);
-                // Merge follow-ups into the same queue to preserve FIFO.
-                while let Some(x) = out2.pop() {
-                    out.push(x.0, x.1);
-                }
-            } else {
-                self.messages += 1;
-                self.clocks[src] += self.cost.msg_handle_ns as u64; // send overhead
-                self.busy[src] += self.cost.msg_handle_ns as u64;
-                self.seq += 1;
-                self.heap.push(Reverse(Delivery {
-                    at: self.clocks[src] + self.cost.latency_ns as u64,
-                    seq: self.seq,
-                    dst,
-                    src,
-                    msg,
-                }));
-            }
-        }
-    }
-
-    /// Start as many own operations on `rank` as possible right now.
-    fn pump(&mut self, states: &mut [RankState], rank: usize) {
-        let mut out = Outbox::new();
-        while let StartResult::Started = states[rank].try_start(&mut out) {
-            self.clocks[rank] += self.cost.local_op_ns as u64;
-            self.busy[rank] += self.cost.local_op_ns as u64;
-            self.route(states, rank, &mut out);
-        }
-    }
-}
-
-fn run_step(world: &mut DesWorld, states: &mut [RankState], step_ops: u64, uniform_q: bool) {
-    let p = states.len();
-    // Step boundary: q refresh + multinomial, charged to every rank.
-    let counts: Vec<u64> = states.iter().map(|st| st.edge_count()).collect();
-    let total: u64 = counts.iter().sum();
-    let q: Vec<f64> = if total == 0 || uniform_q {
-        vec![1.0 / p as f64; p]
-    } else {
-        counts.iter().map(|&c| c as f64 / total as f64).collect()
-    };
-    let boundary = world.cost.step_collective_ns(p) + world.cost.multinomial_step_ns(step_ops, p);
-    let start = *world.clocks.iter().max().unwrap() + boundary as u64;
-    for c in world.clocks.iter_mut() {
-        *c = start;
-    }
-    let mut quota = vec![0u64; p];
-    for (i, st) in states.iter_mut().enumerate() {
-        let share = trial_share(step_ops, p, i);
-        let row = multinomial(share, &q, st.rng_mut());
-        for (qj, xi) in quota.iter_mut().zip(row) {
-            *qj += xi;
-        }
-    }
-    for (st, &qi) in states.iter_mut().zip(&quota) {
-        st.begin_step(qi, &q);
-    }
-
-    // Kick every rank off, then drain deliveries in time order.
-    for rank in 0..p {
-        world.pump(states, rank);
-    }
-    while let Some(Reverse(d)) = world.heap.pop() {
-        let rank = d.dst;
-        let begin = world.clocks[rank].max(d.at);
-        world.clocks[rank] = begin + world.cost.msg_handle_ns as u64;
-        world.busy[rank] += world.cost.msg_handle_ns as u64;
-        let mut out = Outbox::new();
-        states[rank].handle(d.src, d.msg, &mut out);
-        world.route(states, rank, &mut out);
-        // Handling may have unblocked this rank's own pipeline.
-        world.pump(states, rank);
-    }
-    debug_assert!(
-        states.iter().all(|st| st.step_done()),
-        "DES step drained with unfinished quotas"
-    );
 }
 
 #[cfg(test)]
@@ -284,6 +209,11 @@ mod tests {
         assert!(report.runtime_ns > 0.0);
         assert_eq!(report.step_ns.len(), 5);
         assert!(report.messages > 0);
+        // The step phases and message kinds surface in the telemetry.
+        assert_eq!(out.telemetry.len(), 5);
+        assert!(out.telemetry.iter().all(|s| s.boundary_ns > 0.0));
+        assert_eq!(out.telemetry.iter().map(|s| s.ops).sum::<u64>(), t);
+        assert_eq!(out.message_totals().total(), report.messages);
     }
 
     #[test]

@@ -69,9 +69,8 @@ impl CostModel {
     /// ranks: `O(s/p + p·log p)` with the exchange on a tree.
     pub fn multinomial_step_ns(&self, s: u64, p: usize) -> f64 {
         let rounds = ceil_log2(p) as f64;
-        self.binv_trial_ns * (s as f64 / p as f64)
-            + rounds * self.latency_ns
-            + p as f64 * 2.0 // O(p) local vector update, a few ns per slot
+        self.binv_trial_ns * (s as f64 / p as f64) + rounds * self.latency_ns + p as f64 * 2.0
+        // O(p) local vector update, a few ns per slot
     }
 
     /// Virtual time of the *sequential* multinomial generation of `n`

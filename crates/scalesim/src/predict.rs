@@ -41,7 +41,7 @@ where
         .map(|&p| {
             let config = make_config(p);
             assert_eq!(config.processors, p);
-            let mut rng = edgeswitch_dist::root_rng(config.seed ^ 0x9a17);
+            let mut rng = config.root_rng();
             let part = Partitioner::build(config.scheme, graph, p, &mut rng);
             let (outcome, report) = des_parallel_with(graph, t, &config, &part, cost);
             scale_point(p, &outcome, &report)
@@ -90,7 +90,7 @@ where
         .map(|&p| {
             let (graph, t) = make_instance(p);
             let config = make_config(p);
-            let mut rng = edgeswitch_dist::root_rng(config.seed ^ 0x9a17);
+            let mut rng = config.root_rng();
             let part = Partitioner::build(config.scheme, &graph, p, &mut rng);
             let (outcome, report) = des_parallel_with(&graph, t, &config, &part, cost);
             scale_point(p, &outcome, &report)
@@ -128,11 +128,7 @@ pub fn multinomial_strong_scaling(
 
 /// Analytic multinomial weak-scaling series (Figure 25): `n = p·per_p`,
 /// `l = p`.
-pub fn multinomial_weak_scaling(
-    per_p: u64,
-    ps: &[usize],
-    cost: &CostModel,
-) -> Vec<(usize, f64)> {
+pub fn multinomial_weak_scaling(per_p: u64, ps: &[usize], cost: &CostModel) -> Vec<(usize, f64)> {
     ps.iter()
         .map(|&p| {
             let n = p as u64 * per_p;
@@ -223,12 +219,7 @@ mod tests {
     #[test]
     fn multinomial_series_shapes() {
         let cost = CostModel::default();
-        let strong = multinomial_strong_scaling(
-            10_000_000_000_000,
-            20,
-            &[64, 256, 1024],
-            &cost,
-        );
+        let strong = multinomial_strong_scaling(10_000_000_000_000, 20, &[64, 256, 1024], &cost);
         assert!(strong[2].2 > strong[0].2, "speedup grows with p");
         assert!(strong[2].2 > 800.0, "paper reports ≈925 at p=1024");
 

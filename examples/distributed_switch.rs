@@ -35,6 +35,7 @@ fn main() {
         "scheme", "edge imb.", "final imb.", "workload imb.", "aborts", "visit"
     );
 
+    let mut last_out = None;
     for scheme in SchemeKind::all() {
         let part = Partitioner::build(scheme, &g, p, &mut rng);
         let initial = PartitionStats::measure(&g, &part);
@@ -57,7 +58,23 @@ fn main() {
             aborts,
             out.visit_rate(),
         );
+        last_out = Some(out);
     }
+
+    // The drivers record per-step telemetry; summarize the last run.
+    let out = last_out.expect("at least one scheme ran");
+    let totals = out.message_totals();
+    println!(
+        "\ntelemetry of the last run: {} steps, {} ops started, {} blocked-on-contention events",
+        out.telemetry.len(),
+        out.telemetry.iter().map(|s| s.started).sum::<u64>(),
+        out.blocked_events(),
+    );
+    print!("messages by variant:");
+    for (kind, count) in totals.iter().filter(|(_, c)| *c > 0) {
+        print!(" {}={count}", kind.label());
+    }
+    println!();
 
     println!(
         "\nCP starts perfectly edge-balanced but ends skewed on clustered graphs;\n\

@@ -16,7 +16,10 @@ fn main() {
     let q = [0.1, 0.2, 0.3, 0.4];
     let n = 10_000_000u64;
     let x = multinomial(n, &q, &mut rng);
-    println!("sequential M({n}, {q:?}) = {x:?}  (sum = {})", x.iter().sum::<u64>());
+    println!(
+        "sequential M({n}, {q:?}) = {x:?}  (sum = {})",
+        x.iter().sum::<u64>()
+    );
 
     // The additive property: each rank samples its trial share and the
     // counts are reduced (Algorithm 5). Run it on 8 real ranks.
@@ -39,7 +42,10 @@ fn main() {
         assert_eq!(r, &results[0]);
         assert_eq!(r.iter().sum::<u64>(), n);
     }
-    println!("parallel  M({n}, q) = {:?}  (identical on all 8 ranks)", results[0]);
+    println!(
+        "parallel  M({n}, q) = {:?}  (identical on all 8 ranks)",
+        results[0]
+    );
 
     // Underflow robustness: the BINV split (Equations 14-15) handles
     // trial counts where (1-q)^N underflows any float.
@@ -55,7 +61,10 @@ fn main() {
     // across processors in the parallel edge-switch engine.
     let edges_per_rank = [50_000u64, 30_000, 15_000, 5_000];
     let total: u64 = edges_per_rank.iter().sum();
-    let probs: Vec<f64> = edges_per_rank.iter().map(|&e| e as f64 / total as f64).collect();
+    let probs: Vec<f64> = edges_per_rank
+        .iter()
+        .map(|&e| e as f64 / total as f64)
+        .collect();
     let quotas = multinomial(100_000, &probs, &mut rng);
     println!("step quotas for |E_i| = {edges_per_rank:?}: {quotas:?}");
 }

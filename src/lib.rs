@@ -51,22 +51,18 @@ pub mod prelude {
     pub use edgeswitch_core::config::{ParallelConfig, StepSize};
     pub use edgeswitch_core::error_rate::error_rate;
     pub use edgeswitch_core::parallel::{
-        parallel_edge_switch, simulate_parallel, ParallelOutcome,
+        parallel_edge_switch, simulate_parallel, MsgCounts, MsgKind, ParallelOutcome, StepTelemetry,
     };
-    pub use edgeswitch_core::sequential::{
-        sequential_edge_switch, sequential_for_visit_rate,
-    };
-    pub use edgeswitch_core::variants::{
-        sequential_edge_switch_connected, sequential_exact_visit,
-    };
+    pub use edgeswitch_core::sequential::{sequential_edge_switch, sequential_for_visit_rate};
+    pub use edgeswitch_core::variants::{sequential_edge_switch_connected, sequential_exact_visit};
     pub use edgeswitch_core::visit::VisitTracker;
     pub use edgeswitch_dist::harmonic::{expected_touches, switch_ops_for_visit_rate};
     pub use edgeswitch_dist::rng::{rank_rng, root_rng};
     pub use edgeswitch_dist::{binomial, multinomial};
     pub use edgeswitch_graph::degree::{erdos_gallai, havel_hakimi, power_law_sequence};
     pub use edgeswitch_graph::generators::{
-        contact_network, erdos_renyi_gnm, erdos_renyi_gnp, preferential_attachment,
-        random_regular, small_world, stochastic_block_model, ContactParams, Dataset,
+        contact_network, erdos_renyi_gnm, erdos_renyi_gnp, preferential_attachment, random_regular,
+        small_world, stochastic_block_model, ContactParams, Dataset,
     };
     pub use edgeswitch_graph::metrics::{
         average_clustering_exact, average_clustering_sampled, average_shortest_path_sampled,

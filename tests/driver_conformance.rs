@@ -1,0 +1,142 @@
+//! Driver conformance: all three protocol drivers run the shared
+//! `Transport`/`StepHarness` machinery, so their logical results must
+//! line up.
+//!
+//! - The FIFO simulator and the DES execute the *same* global causal
+//!   schedule (the DES only annotates it with virtual time), so for a
+//!   fixed `(graph, t, config)` their [`ParallelOutcome`]s must be
+//!   identical in every logical field.
+//! - The threaded engine's schedule depends on OS interleaving, so it is
+//!   held to the seed-independent invariants instead: degree sequence,
+//!   simplicity, and total performed + forfeited operations.
+
+use edge_switching::prelude::*;
+use edge_switching::scalesim::des_parallel;
+
+fn clustered_graph(seed: u64) -> Graph {
+    let mut rng = root_rng(seed);
+    contact_network(
+        ContactParams {
+            n: 1000,
+            community_size: 40,
+            intra_degree: 12.0,
+            inter_degree: 3.0,
+        },
+        &mut rng,
+    )
+}
+
+fn config(p: usize) -> ParallelConfig {
+    ParallelConfig::new(p)
+        .with_scheme(SchemeKind::HashUniversal)
+        .with_step_size(StepSize::FractionOfT(10))
+        .with_seed(4242)
+}
+
+#[test]
+fn fifo_and_des_produce_identical_logical_outcomes() {
+    let g = clustered_graph(31);
+    let t = 4_000;
+    let cfg = config(12);
+
+    let fifo = simulate_parallel(&g, t, &cfg);
+    let (des, report) = des_parallel(&g, t, &cfg, &CostModel::default());
+
+    // Same schedule → same graph, same counters, same telemetry.
+    assert!(fifo.graph.same_edge_set(&des.graph));
+    assert_eq!(fifo.steps, des.steps);
+    assert_eq!(fifo.per_rank, des.per_rank);
+    assert_eq!(fifo.final_edges, des.final_edges);
+    assert_eq!(fifo.initial_edges, des.initial_edges);
+    assert_eq!(fifo.performed(), des.performed());
+    assert_eq!(fifo.forfeited(), des.forfeited());
+    assert_eq!(fifo.visit_rate(), des.visit_rate());
+    assert_eq!(fifo.telemetry.len(), des.telemetry.len());
+    for (a, b) in fifo.telemetry.iter().zip(des.telemetry.iter()) {
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.started, b.started);
+        assert_eq!(a.performed, b.performed);
+        assert_eq!(a.forfeited, b.forfeited);
+        assert_eq!(a.served, b.served);
+        assert_eq!(a.blocked, b.blocked);
+        assert_eq!(a.messages, b.messages);
+    }
+    // The DES layers timing on top without changing message counts.
+    assert_eq!(
+        fifo.comm.iter().map(|c| c.messages_sent).sum::<u64>(),
+        report.messages
+    );
+    assert!(report.runtime_ns > 0.0);
+}
+
+#[test]
+fn threaded_engine_matches_schedule_independent_invariants() {
+    let g = clustered_graph(32);
+    let t = 3_000;
+    let cfg = config(6);
+
+    let sim = simulate_parallel(&g, t, &cfg);
+    let eng = parallel_edge_switch(&g, t, &cfg);
+
+    for out in [&sim, &eng] {
+        out.graph.check_invariants().unwrap();
+        assert_eq!(out.graph.degree_sequence(), g.degree_sequence());
+        assert_eq!(out.performed() + out.forfeited(), t);
+        assert_eq!(out.steps, sim.steps);
+        assert_eq!(out.initial_edges, sim.initial_edges);
+        // Telemetry totals account for every operation and completion.
+        assert_eq!(out.telemetry.len(), out.steps as usize);
+        assert_eq!(out.telemetry.iter().map(|s| s.ops).sum::<u64>(), t);
+        assert_eq!(
+            out.telemetry.iter().map(|s| s.performed).sum::<u64>(),
+            out.performed()
+        );
+        assert_eq!(
+            out.telemetry.iter().map(|s| s.forfeited).sum::<u64>(),
+            out.forfeited()
+        );
+        // Every started attempt terminates in exactly one Done or Abort
+        // (forfeits via an emptied partition never start).
+        let aborts: u64 = out.per_rank.iter().map(|s| s.aborts()).sum();
+        assert_eq!(
+            out.telemetry.iter().map(|s| s.started).sum::<u64>(),
+            out.performed() + aborts
+        );
+    }
+
+    // The engine's per-variant counters agree between the telemetry
+    // layer and the mpilite per-kind counters (protocol messages only;
+    // the comm stats additionally count collective traffic).
+    let eng_msgs = eng.message_totals();
+    for kind in MsgKind::ALL {
+        if kind == MsgKind::Coll {
+            continue;
+        }
+        let from_comm: u64 = eng.comm.iter().map(|c| c.sent_by_kind[kind as usize]).sum();
+        assert_eq!(
+            eng_msgs.get(kind),
+            from_comm,
+            "kind {:?} disagrees between telemetry and comm stats",
+            kind
+        );
+    }
+}
+
+#[test]
+fn fifo_des_conformance_holds_across_schemes_and_policies() {
+    let g = clustered_graph(33);
+    let t = 1_500;
+    for scheme in [SchemeKind::Consecutive, SchemeKind::HashUniversal] {
+        let cfg = ParallelConfig::new(8)
+            .with_scheme(scheme)
+            .with_step_size(StepSize::FractionOfT(5))
+            .with_seed(77);
+        let fifo = simulate_parallel(&g, t, &cfg);
+        let (des, _) = des_parallel(&g, t, &cfg, &CostModel::default());
+        assert!(
+            fifo.graph.same_edge_set(&des.graph),
+            "FIFO and DES diverged under {scheme:?}"
+        );
+        assert_eq!(fifo.per_rank, des.per_rank);
+    }
+}

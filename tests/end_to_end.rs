@@ -114,14 +114,22 @@ fn visit_rate_conversion_round_trips_through_both_algorithms() {
         let t = switch_ops_for_visit_rate(g.num_edges() as u64, x);
         let mut gs = g.clone();
         let seq = sequential_edge_switch(&mut gs, t, &mut rng);
-        assert!((seq.visit_rate() - x).abs() < 0.04, "seq x={x}: {}", seq.visit_rate());
+        assert!(
+            (seq.visit_rate() - x).abs() < 0.04,
+            "seq x={x}: {}",
+            seq.visit_rate()
+        );
 
         let cfg = ParallelConfig::new(8)
             .with_scheme(SchemeKind::HashDivision)
             .with_step_size(StepSize::FractionOfT(20))
             .with_seed(x.to_bits());
         let out = simulate_parallel(&g, t, &cfg);
-        assert!((out.visit_rate() - x).abs() < 0.04, "par x={x}: {}", out.visit_rate());
+        assert!(
+            (out.visit_rate() - x).abs() < 0.04,
+            "par x={x}: {}",
+            out.visit_rate()
+        );
     }
 }
 

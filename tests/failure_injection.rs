@@ -3,9 +3,7 @@
 //! quota-policy ablation.
 
 use edge_switching::core::config::QuotaPolicy;
-use edge_switching::core::variants::{
-    sequential_edge_switch_connected, sequential_exact_visit,
-};
+use edge_switching::core::variants::{sequential_edge_switch_connected, sequential_exact_visit};
 use edge_switching::prelude::*;
 
 #[test]
@@ -26,7 +24,10 @@ fn star_graph_forfeits_in_parallel_without_wedging() {
     let out = simulate_parallel(&g, 6, &cfg);
     assert_eq!(out.performed(), 0);
     assert_eq!(out.forfeited(), 6);
-    assert!(out.graph.same_edge_set(&g), "degenerate graph must be untouched");
+    assert!(
+        out.graph.same_edge_set(&g),
+        "degenerate graph must be untouched"
+    );
 }
 
 #[test]
@@ -62,7 +63,10 @@ fn near_complete_graph_mostly_aborts_but_terminates() {
     out.graph.check_invariants().unwrap();
     assert_eq!(out.performed() + out.forfeited(), 30);
     let aborts: u64 = out.per_rank.iter().map(|s| s.aborts()).sum();
-    assert!(aborts > 20, "dense graph should reject heavily, got {aborts}");
+    assert!(
+        aborts > 20,
+        "dense graph should reject heavily, got {aborts}"
+    );
 }
 
 #[test]
@@ -111,8 +115,7 @@ fn connectivity_constraint_on_a_tree_rejects_everything() {
     // regardless.
     let mut rng = root_rng(7);
     let n = 64u64;
-    let mut g =
-        Graph::from_edges(n as usize, (1..n).map(|v| Edge::new((v - 1) / 2, v))).unwrap();
+    let mut g = Graph::from_edges(n as usize, (1..n).map(|v| Edge::new((v - 1) / 2, v))).unwrap();
     let out = sequential_edge_switch_connected(&mut g, 10, &mut rng);
     assert!(is_connected(&g));
     assert!(out.connectivity_rejects > 0 || out.performed == 10);

@@ -1,10 +1,10 @@
 //! Property-based tests (proptest) over the core invariants:
 //! simplicity, degree preservation, partition coverage, sampler laws.
 
-use edge_switching::prelude::*;
 use edge_switching::core::switch::{recombine, Recombination, SwitchKind};
 use edge_switching::graph::store::{assemble_graph, build_stores};
 use edge_switching::graph::OrientedEdge;
+use edge_switching::prelude::*;
 use proptest::prelude::*;
 
 /// A random simple graph from a seed: ER with bounded size.

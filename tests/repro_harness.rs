@@ -16,7 +16,10 @@ fn table1_reports_small_error() {
     let r = run("table1", &tiny()).unwrap();
     assert_eq!(r.id, "table1");
     let avg = r.data["avg_error_pct"].as_f64().unwrap();
-    assert!(avg < 5.0, "visit-rate error {avg}% too large even for tiny scale");
+    assert!(
+        avg < 5.0,
+        "visit-rate error {avg}% too large even for tiny scale"
+    );
     assert!(r.rendered.contains("average error rate"));
 }
 
@@ -56,6 +59,33 @@ fn fig25_weak_scaling_flat() {
     let first = series.first().unwrap()["time_s"].as_f64().unwrap();
     let last = series.last().unwrap()["time_s"].as_f64().unwrap();
     assert!(last / first < 1.5, "weak scaling ratio {}", last / first);
+}
+
+#[test]
+fn telemetry_steps_reports_consistent_drivers() {
+    let r = run("telemetry-steps", &tiny()).unwrap();
+    assert_eq!(r.id, "telemetry-steps");
+    assert!(
+        r.data["drivers_agree"].as_bool().unwrap(),
+        "FIFO and DES diverged"
+    );
+    let fifo = r.data["fifo_steps"].as_array().unwrap();
+    let des = r.data["des_steps"].as_array().unwrap();
+    assert_eq!(fifo.len(), des.len());
+    assert!(!fifo.is_empty());
+    for (a, b) in fifo.iter().zip(des) {
+        // Same logical schedule step by step...
+        assert_eq!(a["performed"].as_u64(), b["performed"].as_u64());
+        assert_eq!(a["messages"].as_u64(), b["messages"].as_u64());
+        // ...and only the DES carries virtual time.
+        assert_eq!(a["boundary_ns"].as_f64().unwrap(), 0.0);
+        assert!(b["boundary_ns"].as_f64().unwrap() > 0.0);
+    }
+    let kinds = r.data["message_kinds"].as_array().unwrap();
+    assert!(kinds
+        .iter()
+        .any(|k| k["variant"].as_str() == Some("propose") && k["count"].as_u64().unwrap() > 0));
+    assert!(r.rendered.contains("DES driver"));
 }
 
 #[test]
