@@ -6,17 +6,34 @@
 //! repro all [--out results]       # everything, archived to --out
 //! ```
 
-use edgeswitch_bench::experiments::{ablation_ids, all_ids, diagnostic_ids, run, ExpConfig};
+use edgeswitch_bench::experiments::{
+    ablation_ids, all_ids, diagnostic_ids, perf_ids, run, ExpConfig,
+};
+use edgeswitch_bench::report::Report;
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment|all|ablations|diagnostics|list> [--scale S] [--reps N] [--seed X] [--out DIR]\n\
+        "usage: repro <experiment|all|ablations|diagnostics|list> [--scale S] [--reps N] [--seed X] [--out DIR] [--quick]\n\
          experiments: {}",
         all_ids().join(", ")
     );
     std::process::exit(2);
+}
+
+/// Perf-tracking experiments additionally archive their structured data
+/// as `BENCH_<id>.json` in the invocation directory (the repo root when
+/// run from a checkout), giving later changes a trajectory to regress
+/// against.
+fn archive_perf(report: &Report) {
+    if !perf_ids().contains(&report.id.as_str()) {
+        return;
+    }
+    let path = format!("BENCH_{}.json", report.id);
+    let body = serde_json::to_string_pretty(&report.data).expect("serializable report");
+    std::fs::write(&path, body + "\n").expect("write benchmark archive");
+    println!("# archived {path}");
 }
 
 fn main() {
@@ -58,6 +75,12 @@ fn main() {
                     .unwrap_or_else(|| usage());
                 i += 2;
             }
+            "--quick" => {
+                // CI smoke mode: tiny instances, single rep.
+                cfg.scale = 0.02;
+                cfg.reps = 1;
+                i += 1;
+            }
             _ => usage(),
         }
     }
@@ -71,6 +94,9 @@ fn main() {
                 println!("{id}");
             }
             for id in diagnostic_ids() {
+                println!("{id}");
+            }
+            for id in perf_ids() {
                 println!("{id}");
             }
         }
@@ -114,6 +140,7 @@ fn main() {
             Some(report) => {
                 report.print();
                 report.save(&out_dir).expect("write results");
+                archive_perf(&report);
             }
             None => usage(),
         },

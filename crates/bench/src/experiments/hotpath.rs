@@ -1,0 +1,166 @@
+//! Hot-path throughput: switches/sec as a first-class, tracked number.
+//!
+//! Not a paper figure. The paper's `O(t log d_max)` bound hides the
+//! constant factor set by adjacency/membership data layout (cf. the
+//! EM-LFR line of work), so this experiment measures raw edge-switch
+//! throughput — sequential Algorithm 1 and the threaded distributed
+//! engine at p ∈ {1, 2, 4, 8} — across three graph families, giving
+//! later PRs a perf trajectory to regress against.
+//!
+//! Run via `repro hotpath` (or `repro hotpath --quick` for a CI smoke
+//! pass); the repro binary additionally archives the structured result
+//! as `BENCH_hotpath.json` at the invocation directory (the repo root
+//! in CI) with schema
+//! `{"bench": "hotpath", "metric": "switches_per_sec", "cases": [...]}`.
+
+use super::ExpConfig;
+use crate::report::{f, table, Report};
+use edgeswitch_core::config::ParallelConfig;
+use edgeswitch_core::parallel::parallel_edge_switch;
+use edgeswitch_core::sequential::sequential_edge_switch;
+use edgeswitch_dist::root_rng;
+use edgeswitch_graph::generators::{erdos_renyi_gnm, preferential_attachment, small_world};
+use edgeswitch_graph::Graph;
+use serde_json::json;
+use std::time::Instant;
+
+/// Processor counts for the threaded-engine cases.
+const PROCESSORS: [usize; 4] = [1, 2, 4, 8];
+
+/// Sequential ops per measurement, as a multiple of `m` (long enough to
+/// amortize timer noise at full scale).
+const SEQ_OPS_PER_EDGE: u64 = 5;
+
+fn scaled(base: usize, scale: f64, floor: usize) -> usize {
+    ((base as f64 * scale) as usize).max(floor)
+}
+
+/// The 2–3 graph families measured, at `scale` of their 100k-edge
+/// reference size: uniform (ER), heavy-tailed (PA), clustered (WS).
+fn families(cfg: &ExpConfig) -> Vec<(&'static str, Graph)> {
+    let mut rng = root_rng(cfg.seed);
+    let er = erdos_renyi_gnm(
+        scaled(20_000, cfg.scale, 64),
+        scaled(100_000, cfg.scale, 128),
+        &mut rng,
+    );
+    let pa = preferential_attachment(scaled(10_000, cfg.scale, 64), 10, &mut rng);
+    let ws = small_world(scaled(20_000, cfg.scale, 64), 10, 0.1, &mut rng);
+    vec![
+        ("erdos_renyi_100k", er),
+        ("preferential_100k", pa),
+        ("small_world_100k", ws),
+    ]
+}
+
+/// Measure sequential switches/sec on `graph`: best of `reps` timed runs
+/// (best-of suppresses scheduler noise; the work per run is identical).
+fn bench_sequential(graph: &Graph, reps: u32, seed: u64) -> (u64, f64) {
+    let t = SEQ_OPS_PER_EDGE * graph.num_edges() as u64;
+    let mut best = 0.0f64;
+    for rep in 0..reps.max(1) {
+        let mut g = graph.clone();
+        let mut rng = root_rng(seed ^ (0xb0b0 + rep as u64));
+        let start = Instant::now();
+        let out = sequential_edge_switch(&mut g, t, &mut rng);
+        let secs = start.elapsed().as_secs_f64();
+        best = best.max(out.performed as f64 / secs);
+    }
+    (t, best)
+}
+
+/// Measure threaded-engine switches/sec at `p` ranks (single timed run;
+/// the engine's own thread startup is part of the measured protocol
+/// cost, as it would be in production).
+fn bench_threaded(graph: &Graph, p: usize, seed: u64) -> (u64, f64) {
+    let t = graph.num_edges() as u64;
+    let cfg = ParallelConfig::new(p).with_seed(seed);
+    let start = Instant::now();
+    let out = parallel_edge_switch(graph, t, &cfg);
+    let secs = start.elapsed().as_secs_f64();
+    (t, out.performed() as f64 / secs)
+}
+
+/// `hotpath` — sequential and threaded-engine switch throughput.
+pub fn hotpath(cfg: &ExpConfig) -> Report {
+    let mut cases = Vec::new();
+    let mut rows = Vec::new();
+    for (family, graph) in families(cfg) {
+        let m = graph.num_edges();
+        let (ops, rate) = bench_sequential(&graph, cfg.reps, cfg.seed);
+        cases.push(json!({
+            "family": family,
+            "mode": "sequential",
+            "p": 1,
+            "n": graph.num_vertices(),
+            "m": m,
+            "ops": ops,
+            "switches_per_sec": rate,
+        }));
+        rows.push(vec![
+            family.to_string(),
+            "sequential".into(),
+            "1".into(),
+            m.to_string(),
+            ops.to_string(),
+            f(rate, 0),
+        ]);
+        for p in PROCESSORS {
+            let (ops, rate) = bench_threaded(&graph, p, cfg.seed);
+            cases.push(json!({
+                "family": family,
+                "mode": "threaded",
+                "p": p,
+                "n": graph.num_vertices(),
+                "m": m,
+                "ops": ops,
+                "switches_per_sec": rate,
+            }));
+            rows.push(vec![
+                family.to_string(),
+                "threaded".into(),
+                p.to_string(),
+                m.to_string(),
+                ops.to_string(),
+                f(rate, 0),
+            ]);
+        }
+    }
+    let rendered = table(&["family", "mode", "p", "m", "ops", "switches/sec"], &rows);
+    Report {
+        id: "hotpath".into(),
+        title: "hot-path switch throughput (sequential + threaded engine)".into(),
+        data: json!({
+            "bench": "hotpath",
+            "metric": "switches_per_sec",
+            "cases": cases,
+        }),
+        rendered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotpath_smoke_at_tiny_scale() {
+        let cfg = ExpConfig {
+            scale: 0.002,
+            reps: 1,
+            seed: 7,
+        };
+        let r = hotpath(&cfg);
+        assert_eq!(r.id, "hotpath");
+        assert_eq!(r.data["bench"].as_str(), Some("hotpath"));
+        assert_eq!(r.data["metric"].as_str(), Some("switches_per_sec"));
+        let cases = r.data["cases"].as_array().unwrap();
+        // 3 families × (1 sequential + |PROCESSORS| threaded).
+        assert_eq!(cases.len(), 3 * (1 + PROCESSORS.len()));
+        for c in cases {
+            assert!(c["switches_per_sec"].as_f64().unwrap() > 0.0);
+            assert!(c["ops"].as_u64().unwrap() > 0);
+        }
+        assert!(r.rendered.contains("switches/sec"));
+    }
+}

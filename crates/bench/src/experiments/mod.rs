@@ -3,6 +3,7 @@
 //! id and archives results under `results/`.
 
 pub mod ablation;
+pub mod hotpath;
 pub mod loadbalance;
 pub mod multinomial;
 pub mod properties;
@@ -56,12 +57,19 @@ pub fn diagnostic_ids() -> Vec<&'static str> {
     vec!["telemetry-steps"]
 }
 
+/// Performance-tracking experiment ids (not paper figures; the repro
+/// binary archives these as `BENCH_<id>.json` for regression tracking).
+pub fn perf_ids() -> Vec<&'static str> {
+    vec!["hotpath"]
+}
+
 /// Run one experiment by id; `None` for an unknown id.
 pub fn run(id: &str, cfg: &ExpConfig) -> Option<Report> {
     Some(match id {
         "ablation-quota" => ablation::ablation_quota(cfg),
         "ablation-latency" => ablation::ablation_latency(cfg),
         "telemetry-steps" => telemetry::telemetry_steps(cfg),
+        "hotpath" => hotpath::hotpath(cfg),
         "table1" => visit::table1(cfg),
         "fig2" => visit::fig2(cfg),
         "table2" => visit::table2(cfg),

@@ -42,9 +42,9 @@ use super::msg::{ConvId, Msg, Outbox};
 use crate::switch::{flip_kind, recombine, Recombination, RejectReason};
 use crate::visit::VisitTracker;
 use edgeswitch_dist::{rank_rng, Rng64};
+use edgeswitch_graph::hashing::{FxHashMap, FxHashSet};
 use edgeswitch_graph::{Edge, OrientedEdge, PartitionStore, Partitioner};
 use rand::Rng;
-use std::collections::{HashMap, HashSet};
 
 /// Attempts to sample an unreserved edge before declaring contention.
 const SAMPLE_ATTEMPTS: usize = 64;
@@ -142,20 +142,20 @@ pub struct RankState {
     part: Partitioner,
     store: PartitionStore,
     /// Existing edges locked by in-flight conversations.
-    reserved: HashSet<Edge>,
+    reserved: FxHashSet<Edge>,
     /// Replacement edges reserved but not yet materialized.
-    potential: HashSet<Edge>,
+    potential: FxHashSet<Edge>,
     /// Cumulative partner-selection distribution (refreshed per step).
     cumq: Vec<f64>,
     remaining: u64,
     inflight: Option<InFlight>,
     consecutive_aborts: u64,
     conv_seq: u64,
-    serving: HashMap<ConvId, PartnerConv>,
+    serving: FxHashMap<ConvId, PartnerConv>,
     /// Own operations whose local update is applied but whose final
     /// `Done` confirmation is still outstanding (the initiator pipelines
     /// its next operation; end-of-step waits for these).
-    pending_done: HashSet<ConvId>,
+    pending_done: FxHashSet<ConvId>,
     rng: Rng64,
     /// Visit tracking over this partition's initial edges.
     pub tracker: VisitTracker,
@@ -172,15 +172,15 @@ impl RankState {
             rank,
             part,
             store,
-            reserved: HashSet::new(),
-            potential: HashSet::new(),
+            reserved: FxHashSet::default(),
+            potential: FxHashSet::default(),
             cumq: vec![0.0; p],
             remaining: 0,
             inflight: None,
             consecutive_aborts: 0,
             conv_seq: 0,
-            serving: HashMap::new(),
-            pending_done: HashSet::new(),
+            serving: FxHashMap::default(),
+            pending_done: FxHashSet::default(),
             rng: rank_rng(seed, rank as u64),
             tracker,
             stats: RankStats::default(),

@@ -6,20 +6,26 @@
 //! coincide with an already-visited initial edge; that does not un-visit
 //! it — the tracker counts only first removals of initial edges.
 
+use edgeswitch_graph::hashing::{set_with_capacity, FxHashSet};
 use edgeswitch_graph::Edge;
-use std::collections::HashSet;
 
 /// Tracks which of the initial `m` edges have been switched away.
+///
+/// Keyed on the packed edge ([`Edge::key`]) with the fast in-repo hasher:
+/// every performed switch probes this set twice, so it shares the hot
+/// path with the edge pool.
 #[derive(Clone, Debug)]
 pub struct VisitTracker {
     initial_count: usize,
-    remaining: HashSet<Edge>,
+    remaining: FxHashSet<u64>,
 }
 
 impl VisitTracker {
     /// Start tracking the given initial edge set.
     pub fn new<I: IntoIterator<Item = Edge>>(initial_edges: I) -> Self {
-        let remaining: HashSet<Edge> = initial_edges.into_iter().collect();
+        let iter = initial_edges.into_iter();
+        let mut remaining: FxHashSet<u64> = set_with_capacity(iter.size_hint().0);
+        remaining.extend(iter.map(|e| e.key()));
         VisitTracker {
             initial_count: remaining.len(),
             remaining,
@@ -29,7 +35,7 @@ impl VisitTracker {
     /// Record that `e` was removed by a switch. Returns `true` if this
     /// was the first visit of an initial edge.
     pub fn record_removal(&mut self, e: Edge) -> bool {
-        self.remaining.remove(&e)
+        self.remaining.remove(&e.key())
     }
 
     /// Number of initial edges.

@@ -79,7 +79,7 @@ pub fn havel_hakimi(degrees: &[usize]) -> Result<Graph, GraphError> {
             n.saturating_sub(1)
         )));
     }
-    let mut g = Graph::new(n);
+    let mut g = Graph::with_edge_capacity(n, degrees.iter().sum::<usize>() / 2);
     let mut heap: BinaryHeap<(usize, VertexId)> = degrees
         .iter()
         .enumerate()

@@ -55,7 +55,9 @@ pub fn contact_network<R: Rng + ?Sized>(params: ContactParams, rng: &mut R) -> G
     } = params;
     assert!(community_size >= 2, "communities need at least two members");
     assert!(n >= community_size, "graph smaller than one community");
-    let mut g = Graph::new(n);
+    // Mean degree ≈ intra + inter, so expect ≈ n·(intra+inter)/2 edges.
+    let expected = (n as f64 * (intra_degree + inter_degree) / 2.0) as usize;
+    let mut g = Graph::with_edge_capacity(n, expected);
 
     // Carve consecutive labels into communities.
     let mut boundaries: Vec<(u64, u64)> = Vec::new();

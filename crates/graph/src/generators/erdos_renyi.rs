@@ -20,7 +20,7 @@ pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Grap
         "rejection sampling would crawl at density m/max = {:.2}; use a denser generator",
         m as f64 / max_edges as f64
     );
-    let mut g = Graph::new(n);
+    let mut g = Graph::with_edge_capacity(n, m);
     while g.num_edges() < m {
         let a = rng.gen_range(0..n as u64);
         let b = rng.gen_range(0..n as u64);
@@ -35,7 +35,8 @@ pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Grap
 /// geometric skip method of Batagelj–Brandes, `O(n + m)`.
 pub fn erdos_renyi_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
     assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
-    let mut g = Graph::new(n);
+    let expected = (p * (n as f64) * (n as f64 - 1.0) / 2.0) as usize;
+    let mut g = Graph::with_edge_capacity(n, expected);
     if p == 0.0 || n < 2 {
         return g;
     }

@@ -7,7 +7,7 @@ use rand::Rng;
 
 /// Complete graph `K_n`.
 pub fn complete(n: usize) -> Graph {
-    let mut g = Graph::new(n);
+    let mut g = Graph::with_edge_capacity(n, n * n.saturating_sub(1) / 2);
     for a in 0..n as u64 {
         for b in (a + 1)..n as u64 {
             g.add_edge(Edge::new(a, b)).expect("fresh pair");
@@ -18,7 +18,7 @@ pub fn complete(n: usize) -> Graph {
 
 /// Path graph `P_n` (`n-1` edges).
 pub fn path(n: usize) -> Graph {
-    let mut g = Graph::new(n);
+    let mut g = Graph::with_edge_capacity(n, n.saturating_sub(1));
     for v in 1..n as u64 {
         g.add_edge(Edge::new(v - 1, v)).expect("fresh pair");
     }
@@ -38,7 +38,7 @@ pub fn cycle(n: usize) -> Graph {
 
 /// Star `K_{1,n-1}` with the hub at label 0.
 pub fn star(n: usize) -> Graph {
-    let mut g = Graph::new(n);
+    let mut g = Graph::with_edge_capacity(n, n.saturating_sub(1));
     for v in 1..n as u64 {
         g.add_edge(Edge::new(0, v)).expect("fresh pair");
     }
@@ -47,7 +47,8 @@ pub fn star(n: usize) -> Graph {
 
 /// `rows × cols` grid graph.
 pub fn grid(rows: usize, cols: usize) -> Graph {
-    let mut g = Graph::new(rows * cols);
+    let m = rows * cols.saturating_sub(1) + cols * rows.saturating_sub(1);
+    let mut g = Graph::with_edge_capacity(rows * cols, m);
     let at = |r: usize, c: usize| (r * cols + c) as VertexId;
     for r in 0..rows {
         for c in 0..cols {
@@ -100,7 +101,7 @@ pub fn random_regular<R: Rng + ?Sized>(
         for i in (1..stubs.len()).rev() {
             stubs.swap(i, rng.gen_range(0..=i));
         }
-        let mut g = Graph::new(n);
+        let mut g = Graph::with_edge_capacity(n, n * d / 2);
         while let Some(a) = stubs.pop() {
             let mut paired = false;
             for _try in 0..64 {

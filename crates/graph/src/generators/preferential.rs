@@ -14,7 +14,8 @@ use rand::Rng;
 /// Panics unless `1 ≤ d < n`.
 pub fn preferential_attachment<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
     assert!(d >= 1 && d < n, "need 1 <= d < n (d={d}, n={n})");
-    let mut g = Graph::new(n);
+    // Exact final edge count: d seed edges + d per later arrival.
+    let mut g = Graph::with_edge_capacity(n, d + n.saturating_sub(d + 1) * d);
     // Every edge endpoint is pushed here, so sampling an index uniformly
     // samples a vertex proportionally to degree.
     let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * d);

@@ -20,7 +20,7 @@ pub fn small_world<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) 
     assert!(k < n, "ring lattice needs k < n");
     assert!((0.0..=1.0).contains(&beta), "beta out of range");
     let n64 = n as u64;
-    let mut g = Graph::new(n);
+    let mut g = Graph::with_edge_capacity(n, n * k / 2);
     for v in 0..n64 {
         for j in 1..=(k as u64 / 2) {
             let w = (v + j) % n64;

@@ -20,10 +20,27 @@ pub struct Graph {
 
 impl Graph {
     /// Edgeless graph with `n` vertices labelled `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n > 2^32`: the packed-edge hot path
+    /// ([`crate::types::Edge::key`]) narrows endpoints to `u32`, so
+    /// larger graphs are out of scope and rejected here — at build, with
+    /// a clear message — rather than silently corrupted downstream.
     pub fn new(n: usize) -> Self {
+        Self::with_edge_capacity(n, 0)
+    }
+
+    /// Edgeless graph with `n` vertices and room for `m` edges
+    /// pre-allocated in the sampling pool (see [`Graph::new`] for the
+    /// vertex-count limit).
+    pub fn with_edge_capacity(n: usize, m: usize) -> Self {
+        assert!(
+            n as u128 <= 1 << 32,
+            "graph with {n} vertices exceeds the 2^32 packed-storage limit"
+        );
         Graph {
             adj: vec![NeighborSet::new(); n],
-            pool: EdgePool::new(),
+            pool: EdgePool::with_capacity(m),
         }
     }
 
@@ -32,7 +49,8 @@ impl Graph {
     where
         I: IntoIterator<Item = Edge>,
     {
-        let mut g = Graph::new(n);
+        let edges = edges.into_iter();
+        let mut g = Graph::with_edge_capacity(n, edges.size_hint().0);
         for e in edges {
             g.add_edge(e)?;
         }
@@ -85,11 +103,10 @@ impl Graph {
         &self.adj[v as usize]
     }
 
-    /// `O(log d)` edge-existence test.
+    /// `O(1)` edge-existence test via the pool's packed-key hash index
+    /// (cheaper than probing either endpoint's adjacency array).
     #[inline]
     pub fn has_edge(&self, e: Edge) -> bool {
-        // Probe the smaller endpoint list? Membership in either side is
-        // equivalent; use the pool's hash index which is O(1).
         self.pool.contains(e)
     }
 
@@ -199,6 +216,22 @@ mod tests {
         assert_eq!(g.degree(0), 1);
         assert_eq!(g.degree(1), 2);
         assert_eq!(g.max_degree(), 2);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "2^32")]
+    fn oversized_vertex_count_rejected_at_build() {
+        // The assert fires before any allocation is attempted.
+        let _ = Graph::new((1usize << 32) + 1);
+    }
+
+    #[test]
+    fn with_edge_capacity_behaves_like_new() {
+        let mut g = Graph::with_edge_capacity(3, 10);
+        g.add_edge(Edge::new(0, 1)).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 1);
         g.check_invariants().unwrap();
     }
 

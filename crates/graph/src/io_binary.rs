@@ -86,7 +86,10 @@ pub fn from_bytes(mut data: Bytes) -> Result<Graph, GraphError> {
     }
     let n = data.get_u64_le() as usize;
     let m = data.get_u64_le();
-    let mut g = Graph::new(n);
+    // Pre-size from the header, capped by what the payload could hold
+    // (>= 2 bytes per edge) so a corrupt length cannot force a huge
+    // allocation before the parse error surfaces.
+    let mut g = Graph::with_edge_capacity(n, (m as usize).min(data.remaining() / 2));
     let mut prev_src = 0u64;
     for _ in 0..m {
         let src = prev_src + get_varint(&mut data)?;

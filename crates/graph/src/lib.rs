@@ -6,7 +6,8 @@
 //!
 //! Provides:
 //! - simple undirected graphs with O(1) uniform edge sampling
-//!   ([`graph::Graph`], [`sampling::EdgePool`]),
+//!   ([`graph::Graph`], [`sampling::EdgePool`]) over cache-compact
+//!   packed-edge storage ([`hashing`], [`adjacency::NeighborSet`]),
 //! - per-processor *reduced adjacency* partitions ([`store::PartitionStore`]),
 //! - the paper's four partitioning schemes ([`partition::Partitioner`]),
 //! - generators for the Table 2 dataset inventory ([`generators`]),
@@ -20,6 +21,7 @@ pub mod adjacency;
 pub mod degree;
 pub mod generators;
 pub mod graph;
+pub mod hashing;
 pub mod io;
 pub mod io_binary;
 pub mod metrics;

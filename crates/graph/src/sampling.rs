@@ -6,16 +6,23 @@
 //! position index gives O(1) `sample`, O(1) `insert`, and O(1) `remove`
 //! (swap-remove), which is what makes the `O(t log d_max)` bound of the
 //! paper achievable in practice.
+//!
+//! The position index is keyed on the packed-`u64` edge key
+//! ([`Edge::key`]) and hashed with the in-repo [`crate::hashing`]
+//! multiply-rotate-xor hasher: one register-wide key, one multiply per
+//! probe, versus SipHash over a 16-byte struct with the default hasher.
+//! Every switch operation performs at least one existence probe and four
+//! index updates, so this map is the hottest structure in the system.
 
+use crate::hashing::{map_with_capacity, FxHashMap};
 use crate::types::Edge;
 use rand::Rng;
-use std::collections::HashMap;
 
 /// A dynamic multiset-free edge pool supporting uniform sampling.
 #[derive(Clone, Debug, Default)]
 pub struct EdgePool {
     edges: Vec<Edge>,
-    pos: HashMap<Edge, u32>,
+    pos: FxHashMap<u64, u32>,
 }
 
 impl EdgePool {
@@ -28,7 +35,7 @@ impl EdgePool {
     pub fn with_capacity(cap: usize) -> Self {
         EdgePool {
             edges: Vec::with_capacity(cap),
-            pos: HashMap::with_capacity(cap),
+            pos: map_with_capacity(cap),
         }
     }
 
@@ -47,24 +54,27 @@ impl EdgePool {
     /// Whether the pool contains `e`.
     #[inline]
     pub fn contains(&self, e: Edge) -> bool {
-        self.pos.contains_key(&e)
+        self.pos.contains_key(&e.key())
     }
 
     /// Insert `e`; returns `false` (and leaves the pool unchanged) if the
     /// edge is already present.
     pub fn insert(&mut self, e: Edge) -> bool {
-        if self.pos.contains_key(&e) {
-            return false;
-        }
         debug_assert!(self.edges.len() < u32::MAX as usize, "EdgePool overflow");
-        self.pos.insert(e, self.edges.len() as u32);
-        self.edges.push(e);
-        true
+        let idx = self.edges.len() as u32;
+        match self.pos.entry(e.key()) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(idx);
+                self.edges.push(e);
+                true
+            }
+        }
     }
 
     /// Remove `e`; returns `false` if it was not present.
     pub fn remove(&mut self, e: Edge) -> bool {
-        let Some(idx) = self.pos.remove(&e) else {
+        let Some(idx) = self.pos.remove(&e.key()) else {
             return false;
         };
         let idx = idx as usize;
@@ -73,7 +83,7 @@ impl EdgePool {
         self.edges.pop();
         if idx < self.edges.len() {
             // The formerly-last edge moved into `idx`.
-            self.pos.insert(self.edges[idx], idx as u32);
+            self.pos.insert(self.edges[idx].key(), idx as u32);
         }
         true
     }
@@ -107,13 +117,14 @@ impl EdgePool {
                 .edges
                 .iter()
                 .enumerate()
-                .all(|(i, e)| self.pos.get(e).map(|&p| p as usize) == Some(i))
+                .all(|(i, e)| self.pos.get(&e.key()).map(|&p| p as usize) == Some(i))
     }
 }
 
 impl FromIterator<Edge> for EdgePool {
     fn from_iter<I: IntoIterator<Item = Edge>>(iter: I) -> Self {
-        let mut pool = EdgePool::new();
+        let iter = iter.into_iter();
+        let mut pool = EdgePool::with_capacity(iter.size_hint().0);
         for e in iter {
             pool.insert(e);
         }

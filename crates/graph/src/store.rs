@@ -4,14 +4,19 @@
 //! that owns `u`. This guarantees an edge can be selected from only one
 //! partition, halves the memory footprint, and reduces the number of
 //! adjacency-list updates per switch from four to at most three.
+//!
+//! Reduced neighbor sets are flat sorted arrays ([`NeighborSet`]) and the
+//! vertex→set map uses the in-repo Fx hasher ([`crate::hashing`]) — the
+//! same cache-compact layout as the shared-memory [`Graph`], because the
+//! per-rank switch loop hits these structures on every operation.
 
 use crate::adjacency::NeighborSet;
 use crate::graph::Graph;
+use crate::hashing::{map_with_capacity, FxHashMap};
 use crate::partition::Partitioner;
 use crate::sampling::EdgePool;
 use crate::types::{Edge, VertexId};
 use rand::Rng;
-use std::collections::HashMap;
 
 /// One processor's share of the distributed graph.
 #[derive(Clone, Debug)]
@@ -19,7 +24,7 @@ pub struct PartitionStore {
     rank: usize,
     /// Reduced adjacency: `adj[u]` holds `{v : (u,v) ∈ E, u < v}` for
     /// every owned vertex `u` that currently has at least one such edge.
-    adj: HashMap<VertexId, NeighborSet>,
+    adj: FxHashMap<VertexId, NeighborSet>,
     /// The same edges, in a uniformly sampleable pool.
     pool: EdgePool,
 }
@@ -27,10 +32,18 @@ pub struct PartitionStore {
 impl PartitionStore {
     /// Empty store for processor `rank`.
     pub fn new(rank: usize) -> Self {
+        Self::with_capacity(rank, 0)
+    }
+
+    /// Empty store for processor `rank`, pre-sized for about `edges`
+    /// owned edges (the adjacency map is sized at half that — reduced
+    /// lists average two edges per non-empty vertex on real graphs; both
+    /// structures still grow on demand if the estimate is low).
+    pub fn with_capacity(rank: usize, edges: usize) -> Self {
         PartitionStore {
             rank,
-            adj: HashMap::new(),
-            pool: EdgePool::new(),
+            adj: map_with_capacity(edges / 2),
+            pool: EdgePool::with_capacity(edges),
         }
     }
 
@@ -116,7 +129,13 @@ impl PartitionStore {
 /// distribution step of Section 4.3.
 pub fn build_stores(graph: &Graph, part: &Partitioner) -> Vec<PartitionStore> {
     let p = part.num_parts();
-    let mut stores: Vec<PartitionStore> = (0..p).map(PartitionStore::new).collect();
+    // `m` is known up front; size every store for the balanced share so
+    // the distribution loop below never rehashes (skewed schemes may
+    // still grow the heavy stores once or twice).
+    let share = graph.num_edges() / p.max(1);
+    let mut stores: Vec<PartitionStore> = (0..p)
+        .map(|rank| PartitionStore::with_capacity(rank, share))
+        .collect();
     for e in graph.edges() {
         let owner = part.owner(e.src());
         let inserted = stores[owner].insert(e);
@@ -128,7 +147,8 @@ pub fn build_stores(graph: &Graph, part: &Partitioner) -> Vec<PartitionStore> {
 /// Reassemble the full graph from partition stores (gather step, used for
 /// post-run validation and metric computation).
 pub fn assemble_graph(n: usize, stores: &[PartitionStore]) -> Graph {
-    let mut g = Graph::new(n);
+    let m: usize = stores.iter().map(PartitionStore::num_edges).sum();
+    let mut g = Graph::with_edge_capacity(n, m);
     for s in stores {
         for e in s.edges() {
             g.add_edge(e)

@@ -7,6 +7,16 @@ use std::fmt;
 /// so that graphs with billions of vertices are representable.
 pub type VertexId = u64;
 
+/// Largest vertex label the packed-edge hot path supports (`2^32 - 1`).
+///
+/// [`Edge::key`] packs both endpoints of an edge into one `u64`, so the
+/// cache-compact storage ([`crate::sampling::EdgePool`],
+/// [`crate::adjacency::NeighborSet`]) handles graphs of up to `2^32`
+/// vertices — comfortably past the paper's largest instance (Friendster,
+/// 65M vertices). Larger graphs are rejected at construction
+/// ([`crate::graph::Graph::new`]) rather than silently corrupted.
+pub const MAX_PACKED_VERTEX: VertexId = u32::MAX as VertexId;
+
 /// An undirected edge stored in canonical orientation: `src() < dst()`.
 ///
 /// Simple graphs have no self-loops, so construction of an edge with equal
@@ -65,6 +75,43 @@ impl Edge {
     #[inline]
     pub fn touches(&self, w: VertexId) -> bool {
         self.u == w || self.v == w
+    }
+
+    /// Both endpoints packed into a single `u64`: `src << 32 | dst`.
+    ///
+    /// This is the key the hot-path hash maps use: one register-wide
+    /// value, one multiply to hash, no per-field dispatch. Because the
+    /// edge is canonical (`src < dst`), the packing is injective over
+    /// all edges with endpoints `<= MAX_PACKED_VERTEX`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint exceeds [`MAX_PACKED_VERTEX`]; graphs
+    /// that large are rejected at [`crate::graph::Graph::new`], so the
+    /// check only fires for hand-built edges fed directly into the
+    /// storage layer.
+    #[inline]
+    pub fn key(&self) -> u64 {
+        // Single-branch narrowing check for both endpoints: `v` is the
+        // larger label, so `v` fitting implies `u` fits.
+        assert!(
+            self.v <= MAX_PACKED_VERTEX,
+            "edge ({},{}) has an endpoint beyond 2^32-1; packed storage \
+             supports at most 2^32 vertices",
+            self.u,
+            self.v
+        );
+        (self.u << 32) | self.v
+    }
+
+    /// Inverse of [`Edge::key`].
+    #[inline]
+    pub fn from_key(key: u64) -> Self {
+        let e = Edge {
+            u: key >> 32,
+            v: key & 0xFFFF_FFFF,
+        };
+        debug_assert!(e.u < e.v, "key {key:#x} does not encode a canonical edge");
+        e
     }
 
     /// The endpoint that is not `w`.
@@ -218,6 +265,25 @@ mod tests {
         assert_eq!(o.tail, 4);
         assert_eq!(o.head, 11);
         assert_eq!(o.edge(), e);
+    }
+
+    #[test]
+    fn key_round_trips_and_orders() {
+        let e = Edge::new(7, 3);
+        assert_eq!(Edge::from_key(e.key()), e);
+        assert_eq!(e.key(), (3u64 << 32) | 7);
+        // Key order matches Ord order (both lexicographic on (src, dst)).
+        let a = Edge::new(1, 9);
+        let b = Edge::new(3, 4);
+        assert_eq!(a < b, a.key() < b.key());
+        let top = Edge::new(MAX_PACKED_VERTEX - 1, MAX_PACKED_VERTEX);
+        assert_eq!(Edge::from_key(top.key()), top);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^32")]
+    fn key_rejects_oversized_labels() {
+        let _ = Edge::new(1, MAX_PACKED_VERTEX + 1).key();
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Model-based equivalence: the cache-compact hot-path storage
+//! (`NeighborSet` over a sorted `Vec<u32>`, `EdgePool` keyed on packed
+//! `u64` edges with the in-repo Fx hasher) must be
+//! operation-for-operation indistinguishable from the obvious reference
+//! models (`BTreeSet`, `std` `HashSet`). Seeded exhaustive-ish random
+//! op sequences rather than proptest, so the suite runs in the offline
+//! shadow workspace where proptest is resolve-only.
+
+use edgeswitch_graph::adjacency::NeighborSet;
+use edgeswitch_graph::sampling::EdgePool;
+use edgeswitch_graph::{Edge, VertexId};
+use rand::{Rng, SeedableRng};
+use rand_pcg::Pcg64;
+use std::collections::{BTreeSet, HashSet};
+
+#[test]
+fn neighbor_set_matches_btreeset_model() {
+    for seed in 0..8u64 {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let mut sut = NeighborSet::new();
+        let mut model: BTreeSet<VertexId> = BTreeSet::new();
+        for step in 0..4000 {
+            let v: VertexId = rng.gen_range(0..120);
+            match rng.gen_range(0..3) {
+                0 => assert_eq!(sut.insert(v), model.insert(v), "insert {v} @ {step}"),
+                1 => assert_eq!(sut.remove(v), model.remove(&v), "remove {v} @ {step}"),
+                _ => assert_eq!(sut.contains(v), model.contains(&v), "contains {v} @ {step}"),
+            }
+            assert_eq!(sut.len(), model.len());
+            assert_eq!(sut.is_empty(), model.is_empty());
+        }
+        // Iteration agrees with the sorted model order exactly.
+        let got: Vec<VertexId> = sut.iter().collect();
+        let want: Vec<VertexId> = model.iter().copied().collect();
+        assert_eq!(got, want, "seed {seed}");
+    }
+}
+
+#[test]
+fn intersection_size_matches_btreeset_model() {
+    let mut rng = Pcg64::seed_from_u64(99);
+    for case in 0..40 {
+        // Skew the sizes so both the two-pointer merge and the galloping
+        // branch get exercised.
+        let (na, nb) = if case % 3 == 0 { (500, 6) } else { (60, 40) };
+        let a_model: BTreeSet<VertexId> = (0..na).map(|_| rng.gen_range(0..1000)).collect();
+        let b_model: BTreeSet<VertexId> = (0..nb).map(|_| rng.gen_range(0..1000)).collect();
+        let a: NeighborSet = a_model.iter().copied().collect();
+        let b: NeighborSet = b_model.iter().copied().collect();
+        let want = a_model.intersection(&b_model).count();
+        assert_eq!(a.intersection_size(&b), want, "case {case}");
+        assert_eq!(b.intersection_size(&a), want, "case {case} (swapped)");
+    }
+}
+
+fn random_edge<R: Rng + ?Sized>(rng: &mut R, universe: u64) -> Option<Edge> {
+    Edge::try_new(rng.gen_range(0..universe), rng.gen_range(0..universe))
+}
+
+#[test]
+fn edge_pool_matches_hashset_model() {
+    for seed in 0..8u64 {
+        let mut rng = Pcg64::seed_from_u64(1000 + seed);
+        let mut sut = EdgePool::new();
+        let mut model: HashSet<Edge> = HashSet::new();
+        for step in 0..4000 {
+            let Some(e) = random_edge(&mut rng, 40) else {
+                continue;
+            };
+            match rng.gen_range(0..3) {
+                0 => assert_eq!(sut.insert(e), model.insert(e), "insert {e} @ {step}"),
+                1 => assert_eq!(sut.remove(e), model.remove(&e), "remove {e} @ {step}"),
+                _ => assert_eq!(sut.contains(e), model.contains(&e), "contains {e} @ {step}"),
+            }
+            assert_eq!(sut.len(), model.len());
+        }
+        assert!(sut.check_consistent(), "seed {seed}");
+        let mut got: Vec<Edge> = sut.iter().collect();
+        let mut want: Vec<Edge> = model.into_iter().collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want, "seed {seed}");
+        // Samples come from the surviving set.
+        if !sut.is_empty() {
+            for _ in 0..50 {
+                let s = sut.sample(&mut rng).unwrap();
+                assert!(sut.contains(s));
+            }
+        }
+    }
+}
+
+/// The dense-array order inside the pool — which is what `sample` indexes
+/// and therefore what the switch algorithms' RNG draw sequence observes —
+/// must be a pure function of the operation sequence, independent of
+/// hasher state or allocation history. Same seed ⇒ same draw sequence ⇒
+/// same final edge set, the `deterministic_under_seed` guarantee.
+#[test]
+fn pool_order_is_a_pure_function_of_the_op_sequence() {
+    let build = || {
+        let mut rng = Pcg64::seed_from_u64(4242);
+        let mut pool = EdgePool::new();
+        for _ in 0..3000 {
+            if let Some(e) = random_edge(&mut rng, 60) {
+                if rng.gen_range(0..4) == 0 {
+                    pool.remove(e);
+                } else {
+                    pool.insert(e);
+                }
+            }
+        }
+        pool
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(
+        a.iter().collect::<Vec<_>>(),
+        b.iter().collect::<Vec<_>>(),
+        "dense order diverged between identical op sequences"
+    );
+    // And the sampled stream is identical draw for draw.
+    let mut ra = Pcg64::seed_from_u64(7);
+    let mut rb = Pcg64::seed_from_u64(7);
+    for _ in 0..500 {
+        assert_eq!(a.sample(&mut ra), b.sample(&mut rb));
+    }
+}
