@@ -7,7 +7,7 @@
 //! ```
 
 use edgeswitch_bench::experiments::{
-    ablation_ids, all_ids, diagnostic_ids, perf_ids, run, ExpConfig,
+    ablation_ids, all_ids, diagnostic_ids, hotpath::scaling_gate, perf_ids, run, ExpConfig,
 };
 use edgeswitch_bench::report::Report;
 use std::path::PathBuf;
@@ -15,7 +15,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment|all|ablations|diagnostics|list> [--scale S] [--reps N] [--seed X] [--out DIR] [--quick]\n\
+        "usage: repro <experiment|all|ablations|diagnostics|list> [--scale S] [--reps N] [--seed X] [--out DIR] [--quick] [--gate-scaling]\n\
          experiments: {}",
         all_ids().join(", ")
     );
@@ -44,6 +44,7 @@ fn main() {
     let target = args[0].clone();
     let mut cfg = ExpConfig::default();
     let mut out_dir = PathBuf::from("results");
+    let mut gate_scaling = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -79,6 +80,12 @@ fn main() {
                 // CI smoke mode: tiny instances, single rep.
                 cfg.scale = 0.02;
                 cfg.reps = 1;
+                i += 1;
+            }
+            "--gate-scaling" => {
+                // CI anti-scaling guard (hotpath only): exit non-zero if
+                // threaded p=2 falls below p=1 on the quick ER case.
+                gate_scaling = true;
                 i += 1;
             }
             _ => usage(),
@@ -141,6 +148,15 @@ fn main() {
                 report.print();
                 report.save(&out_dir).expect("write results");
                 archive_perf(&report);
+                if gate_scaling && report.id == "hotpath" {
+                    match scaling_gate(&report.data) {
+                        Ok(()) => println!("# scaling gate: ok (threaded p=2 >= p=1 on ER)"),
+                        Err(why) => {
+                            eprintln!("# scaling gate FAILED: {why}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
             }
             None => usage(),
         },

@@ -27,6 +27,10 @@ use std::time::Instant;
 /// Processor counts for the threaded-engine cases.
 const PROCESSORS: [usize; 4] = [1, 2, 4, 8];
 
+/// Pipelining windows swept for each threaded case: stop-and-wait,
+/// shallow, and the [`ParallelConfig`] default.
+const WINDOWS: [usize; 3] = [1, 4, 16];
+
 /// Sequential ops per measurement, as a multiple of `m` (long enough to
 /// amortize timer noise at full scale).
 const SEQ_OPS_PER_EDGE: u64 = 5;
@@ -69,12 +73,13 @@ fn bench_sequential(graph: &Graph, reps: u32, seed: u64) -> (u64, f64) {
     (t, best)
 }
 
-/// Measure threaded-engine switches/sec at `p` ranks (single timed run;
-/// the engine's own thread startup is part of the measured protocol
-/// cost, as it would be in production).
-fn bench_threaded(graph: &Graph, p: usize, seed: u64) -> (u64, f64) {
+/// Measure threaded-engine switches/sec at `p` ranks with a pipelining
+/// window of `window` conversations (single timed run; the engine's own
+/// thread startup is part of the measured protocol cost, as it would be
+/// in production).
+fn bench_threaded(graph: &Graph, p: usize, window: usize, seed: u64) -> (u64, f64) {
     let t = graph.num_edges() as u64;
-    let cfg = ParallelConfig::new(p).with_seed(seed);
+    let cfg = ParallelConfig::new(p).with_seed(seed).with_window(window);
     let start = Instant::now();
     let out = parallel_edge_switch(graph, t, &cfg);
     let secs = start.elapsed().as_secs_f64();
@@ -101,32 +106,57 @@ pub fn hotpath(cfg: &ExpConfig) -> Report {
             family.to_string(),
             "sequential".into(),
             "1".into(),
+            "-".into(),
             m.to_string(),
             ops.to_string(),
             f(rate, 0),
+            "-".into(),
         ]);
-        for p in PROCESSORS {
-            let (ops, rate) = bench_threaded(&graph, p, cfg.seed);
-            cases.push(json!({
-                "family": family,
-                "mode": "threaded",
-                "p": p,
-                "n": graph.num_vertices(),
-                "m": m,
-                "ops": ops,
-                "switches_per_sec": rate,
-            }));
-            rows.push(vec![
-                family.to_string(),
-                "threaded".into(),
-                p.to_string(),
-                m.to_string(),
-                ops.to_string(),
-                f(rate, 0),
-            ]);
+        for window in WINDOWS {
+            let mut p1_rate = 0.0f64;
+            for p in PROCESSORS {
+                let (ops, rate) = bench_threaded(&graph, p, window, cfg.seed);
+                if p == 1 {
+                    p1_rate = rate;
+                }
+                let speedup = rate / p1_rate;
+                cases.push(json!({
+                    "family": family,
+                    "mode": "threaded",
+                    "p": p,
+                    "window": window,
+                    "n": graph.num_vertices(),
+                    "m": m,
+                    "ops": ops,
+                    "switches_per_sec": rate,
+                    "speedup_vs_p1": speedup,
+                }));
+                rows.push(vec![
+                    family.to_string(),
+                    "threaded".into(),
+                    p.to_string(),
+                    window.to_string(),
+                    m.to_string(),
+                    ops.to_string(),
+                    f(rate, 0),
+                    f(speedup, 2),
+                ]);
+            }
         }
     }
-    let rendered = table(&["family", "mode", "p", "m", "ops", "switches/sec"], &rows);
+    let rendered = table(
+        &[
+            "family",
+            "mode",
+            "p",
+            "window",
+            "m",
+            "ops",
+            "switches/sec",
+            "vs p=1",
+        ],
+        &rows,
+    );
     Report {
         id: "hotpath".into(),
         title: "hot-path switch throughput (sequential + threaded engine)".into(),
@@ -137,6 +167,37 @@ pub fn hotpath(cfg: &ExpConfig) -> Report {
         }),
         rendered,
     }
+}
+
+/// Anti-scaling regression gate over an already-computed hotpath report:
+/// on the ER family at the default window, threaded p=2 must not fall
+/// below threaded p=1 (the collapse the pipelined window eliminated).
+/// Returns a human-readable error when the gate trips. Meaningful only
+/// on a multi-core host — with a single hardware thread, p ranks time-
+/// share one core and p=2 ≥ p=1 is physically unreachable.
+pub fn scaling_gate(data: &serde_json::Value) -> Result<(), String> {
+    let window = *WINDOWS.last().unwrap() as u64;
+    let rate = |p: u64| -> Result<f64, String> {
+        data["cases"]
+            .as_array()
+            .into_iter()
+            .flatten()
+            .find(|c| {
+                c["family"].as_str() == Some("erdos_renyi_100k")
+                    && c["mode"].as_str() == Some("threaded")
+                    && c["p"].as_u64() == Some(p)
+                    && c["window"].as_u64() == Some(window)
+            })
+            .and_then(|c| c["switches_per_sec"].as_f64())
+            .ok_or_else(|| format!("gate: no ER threaded p={p} window={window} case"))
+    };
+    let (p1, p2) = (rate(1)?, rate(2)?);
+    if p2 < p1 {
+        return Err(format!(
+            "anti-scaling regression: ER threaded p=2 ({p2:.0}/s) below p=1 ({p1:.0}/s) at window {window}"
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -155,12 +216,35 @@ mod tests {
         assert_eq!(r.data["bench"].as_str(), Some("hotpath"));
         assert_eq!(r.data["metric"].as_str(), Some("switches_per_sec"));
         let cases = r.data["cases"].as_array().unwrap();
-        // 3 families × (1 sequential + |PROCESSORS| threaded).
-        assert_eq!(cases.len(), 3 * (1 + PROCESSORS.len()));
+        // 3 families × (1 sequential + |WINDOWS| × |PROCESSORS| threaded).
+        assert_eq!(cases.len(), 3 * (1 + WINDOWS.len() * PROCESSORS.len()));
         for c in cases {
             assert!(c["switches_per_sec"].as_f64().unwrap() > 0.0);
             assert!(c["ops"].as_u64().unwrap() > 0);
+            if c["mode"].as_str() == Some("threaded") {
+                let speedup = c["speedup_vs_p1"].as_f64().unwrap();
+                assert!(speedup > 0.0);
+                if c["p"].as_u64() == Some(1) {
+                    assert!((speedup - 1.0).abs() < 1e-9);
+                }
+            }
         }
         assert!(r.rendered.contains("switches/sec"));
+        assert!(r.rendered.contains("window"));
+    }
+
+    #[test]
+    fn scaling_gate_reads_the_report_schema() {
+        let ok = json!({"cases": [
+            {"family": "erdos_renyi_100k", "mode": "threaded", "p": 1, "window": 16, "switches_per_sec": 100.0},
+            {"family": "erdos_renyi_100k", "mode": "threaded", "p": 2, "window": 16, "switches_per_sec": 150.0},
+        ]});
+        assert!(scaling_gate(&ok).is_ok());
+        let bad = json!({"cases": [
+            {"family": "erdos_renyi_100k", "mode": "threaded", "p": 1, "window": 16, "switches_per_sec": 100.0},
+            {"family": "erdos_renyi_100k", "mode": "threaded", "p": 2, "window": 16, "switches_per_sec": 60.0},
+        ]});
+        assert!(scaling_gate(&bad).unwrap_err().contains("anti-scaling"));
+        assert!(scaling_gate(&json!({"cases": []})).is_err());
     }
 }

@@ -30,6 +30,9 @@ fn step_rows(telemetry: &[StepTelemetry], with_phases: bool) -> Vec<Vec<String>>
                 s.messages.get(MsgKind::Propose).to_string(),
                 s.messages.get(MsgKind::Abort).to_string(),
                 s.messages.total().to_string(),
+                s.packets.to_string(),
+                s.window_peak.to_string(),
+                s.parked.to_string(),
             ];
             if with_phases {
                 row.push(f(s.boundary_ns / 1e3, 1));
@@ -54,6 +57,9 @@ fn step_json(telemetry: &[StepTelemetry]) -> Vec<serde_json::Value> {
                 "served": s.served,
                 "blocked": s.blocked,
                 "messages": s.messages.total(),
+                "packets": s.packets,
+                "window_peak": s.window_peak,
+                "parked": s.parked,
                 "boundary_ns": s.boundary_ns,
                 "drain_ns": s.drain_ns,
             })
@@ -89,6 +95,9 @@ pub fn telemetry_steps(cfg: &ExpConfig) -> Report {
             "propose",
             "abort",
             "msgs",
+            "pkts",
+            "wpeak",
+            "parked",
         ],
         &step_rows(&fifo.telemetry, false),
     ));
@@ -104,6 +113,9 @@ pub fn telemetry_steps(cfg: &ExpConfig) -> Report {
             "propose",
             "abort",
             "msgs",
+            "pkts",
+            "wpeak",
+            "parked",
             "boundary (us)",
             "drain (us)",
         ],
@@ -130,6 +142,10 @@ pub fn telemetry_steps(cfg: &ExpConfig) -> Report {
         data: json!({
             "p": p as u64,
             "t": t,
+            "window": pcfg.window as u64,
+            "window_peak": fifo.window_peak(),
+            "parked_events": fifo.parked_events(),
+            "packet_total": fifo.packet_total(),
             "fifo_steps": step_json(&fifo.telemetry),
             "des_steps": step_json(&des.telemetry),
             "message_kinds": kinds,

@@ -9,6 +9,15 @@ use serde::{Deserialize, Serialize};
 /// same master seed.
 const ROOT_STREAM_SALT: u64 = 0x9a17;
 
+/// Default bound on concurrently in-flight own conversations per rank
+/// (the pipelining window). 16 keeps several message round trips
+/// overlapped without flooding partner ranks with proposals.
+pub const DEFAULT_WINDOW: usize = 16;
+
+fn default_window() -> usize {
+    DEFAULT_WINDOW
+}
+
 /// How the step size `s` is chosen (Section 4.5: the probability vector
 /// `q` is refreshed every `s` operations).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -60,6 +69,11 @@ pub struct ParallelConfig {
     pub quota_policy: QuotaPolicy,
     /// Master seed; all rank streams derive from it.
     pub seed: u64,
+    /// Bound on concurrently in-flight own conversations per rank
+    /// (clamped to ≥ 1). `1` reproduces the original stop-and-wait
+    /// protocol exactly; larger values pipeline message round trips.
+    #[serde(default = "default_window")]
+    pub window: usize,
 }
 
 impl ParallelConfig {
@@ -72,6 +86,7 @@ impl ParallelConfig {
             step_size: StepSize::FractionOfT(100),
             quota_policy: QuotaPolicy::EdgeProportional,
             seed: 0,
+            window: default_window(),
         }
     }
 
@@ -90,6 +105,12 @@ impl ParallelConfig {
     /// Builder-style seed override.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style pipelining-window override (`1` = stop-and-wait).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
         self
     }
 
@@ -138,10 +159,15 @@ mod tests {
         let cfg = ParallelConfig::new(8)
             .with_scheme(SchemeKind::HashUniversal)
             .with_step_size(StepSize::SingleStep)
-            .with_seed(42);
+            .with_seed(42)
+            .with_window(4);
         assert_eq!(cfg.processors, 8);
         assert_eq!(cfg.scheme, SchemeKind::HashUniversal);
         assert_eq!(cfg.step_size, StepSize::SingleStep);
         assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.window, 4);
+        // The window is clamped to at least one conversation.
+        assert_eq!(ParallelConfig::new(2).with_window(0).window, 1);
+        assert_eq!(ParallelConfig::new(2).window, DEFAULT_WINDOW);
     }
 }

@@ -51,6 +51,7 @@ pub fn parallel_edge_switch_with(
         stores.into_iter().map(|st| Mutex::new(Some(st))).collect();
 
     let seed = config.seed;
+    let window = config.window;
     let part_ref = &part;
     let slots_ref = &slots;
 
@@ -60,7 +61,7 @@ pub fn parallel_edge_switch_with(
                 .lock()
                 .take()
                 .expect("store taken once per rank");
-            let mut state = RankState::new(comm.rank(), (*part_ref).clone(), store, seed);
+            let mut state = RankState::new(comm.rank(), (*part_ref).clone(), store, seed, window);
             let telemetry: Vec<StepTelemetry> = {
                 let mut transport = MpiliteTransport::new(comm);
                 (0..steps)

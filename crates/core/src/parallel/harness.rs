@@ -93,6 +93,18 @@ pub struct StepTelemetry {
     /// Blocked-on-contention events: a rank wanted to start an operation
     /// but every sampled edge was locked by in-flight conversations.
     pub blocked: u64,
+    /// Subset of `blocked` where the rank already had at least one
+    /// conversation in flight: the would-be conversation parked on a
+    /// local reservation conflict while the pipeline kept moving.
+    pub parked: u64,
+    /// High-water mark of concurrently in-flight own conversations on
+    /// any single rank (bounded by `ParallelConfig::window`).
+    pub window_peak: u64,
+    /// Network packets sent between distinct ranks. The threaded driver
+    /// coalesces per-destination message runs into `Msg::Batch` frames,
+    /// so this is ≤ `messages.total()`; the simulators deliver one
+    /// logical message per packet, so there it equals `messages.total()`.
+    pub packets: u64,
     /// Protocol messages sent between distinct ranks, by variant
     /// (self-deliveries are handled in place and not counted).
     pub messages: MsgCounts,
@@ -115,6 +127,9 @@ impl StepTelemetry {
         self.forfeited += other.forfeited;
         self.served += other.served;
         self.blocked += other.blocked;
+        self.parked += other.parked;
+        self.window_peak = self.window_peak.max(other.window_peak);
+        self.packets += other.packets;
         self.messages.merge(&other.messages);
         self.boundary_ns = self.boundary_ns.max(other.boundary_ns);
         self.drain_ns = self.drain_ns.max(other.drain_ns);
@@ -189,6 +204,27 @@ impl ParallelOutcome {
     /// Total blocked-on-contention events across steps.
     pub fn blocked_events(&self) -> u64 {
         self.telemetry.iter().map(|s| s.blocked).sum()
+    }
+
+    /// Total conversations parked on a local reservation conflict while
+    /// the rank's pipeline had other conversations in flight.
+    pub fn parked_events(&self) -> u64 {
+        self.telemetry.iter().map(|s| s.parked).sum()
+    }
+
+    /// Peak concurrently in-flight own conversations on any rank.
+    pub fn window_peak(&self) -> u64 {
+        self.telemetry
+            .iter()
+            .map(|s| s.window_peak)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total network packets between distinct ranks (≤ message total
+    /// under the threaded driver's coalescing).
+    pub fn packet_total(&self) -> u64 {
+        self.telemetry.iter().map(|s| s.packets).sum()
     }
 }
 
@@ -326,14 +362,37 @@ impl WorldTransport for FifoTransport {
 /// The threaded engine's transport: a thin shim over one rank's
 /// [`Comm`] endpoint. Collectives are real collectives; sends are real
 /// channel sends; the cost hooks stay no-ops because time is real here.
+/// Incoming [`Msg::Batch`] frames are unpacked here, so the step loop
+/// only ever sees logical protocol messages.
 pub struct MpiliteTransport<'a> {
     comm: &'a mut Comm<Msg>,
+    /// Logical messages unpacked from a batch frame, awaiting delivery.
+    inbox: VecDeque<(usize, Msg)>,
 }
 
 impl<'a> MpiliteTransport<'a> {
     /// Wrap a rank's communicator.
     pub fn new(comm: &'a mut Comm<Msg>) -> Self {
-        MpiliteTransport { comm }
+        MpiliteTransport {
+            comm,
+            inbox: VecDeque::new(),
+        }
+    }
+
+    /// Unpack one received packet: batches queue their tail behind the
+    /// first framed message; bare messages pass through.
+    fn unpack(&mut self, src: usize, payload: Msg) -> (usize, Msg) {
+        match payload {
+            Msg::Batch(msgs) => {
+                let mut it = msgs.into_iter();
+                let first = it.next().expect("batch frames are never empty");
+                for m in it {
+                    self.inbox.push_back((src, m));
+                }
+                (src, first)
+            }
+            m => (src, m),
+        }
     }
 }
 
@@ -347,6 +406,7 @@ impl RankTransport for MpiliteTransport<'_> {
         self.comm.size()
     }
     fn exchange_edge_counts(&mut self, count: u64) -> Vec<u64> {
+        debug_assert!(self.inbox.is_empty(), "protocol traffic across step end");
         self.comm.allgather_u64(count)
     }
     fn draw_quota(&mut self, step_ops: u64, q: &[f64], rng: &mut Rng64) -> u64 {
@@ -356,13 +416,63 @@ impl RankTransport for MpiliteTransport<'_> {
         self.comm.send(dst, TAG_PROTO, msg);
     }
     fn try_recv(&mut self) -> Option<(usize, Msg)> {
-        self.comm
-            .try_recv_tag(TAG_PROTO)
-            .map(|p| (p.src, p.payload))
+        if let Some(x) = self.inbox.pop_front() {
+            return Some(x);
+        }
+        let p = self.comm.try_recv_tag(TAG_PROTO)?;
+        Some(self.unpack(p.src, p.payload))
     }
     fn recv_block(&mut self) -> (usize, Msg) {
+        if let Some(x) = self.inbox.pop_front() {
+            return x;
+        }
         let p = self.comm.recv_tag(TAG_PROTO);
-        (p.src, p.payload)
+        self.unpack(p.src, p.payload)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Send coalescing (threaded engine)
+// ---------------------------------------------------------------------
+
+/// Per-destination send coalescing: messages accumulate during one
+/// event-loop iteration and leave as one packet per destination —
+/// [`Msg::Batch`] framing when a destination gets more than one.
+struct Coalescer {
+    batches: Vec<Vec<Msg>>,
+    /// Destinations with a non-empty batch, in first-touch order.
+    dirty: Vec<usize>,
+}
+
+impl Coalescer {
+    fn new(p: usize) -> Self {
+        Coalescer {
+            batches: vec![Vec::new(); p],
+            dirty: Vec::with_capacity(p),
+        }
+    }
+
+    fn push(&mut self, dst: usize, msg: Msg) {
+        if self.batches[dst].is_empty() {
+            self.dirty.push(dst);
+        }
+        self.batches[dst].push(msg);
+    }
+
+    /// Send every pending batch as one packet; returns packets sent.
+    fn flush<T: RankTransport>(&mut self, transport: &mut T) -> u64 {
+        let packets = self.dirty.len() as u64;
+        for dst in self.dirty.drain(..) {
+            let mut batch = std::mem::take(&mut self.batches[dst]);
+            if batch.len() == 1 {
+                let msg = batch.pop().expect("dirty batch is non-empty");
+                self.batches[dst] = batch; // keep the allocation
+                transport.send(dst, msg);
+            } else {
+                transport.send(dst, Msg::Batch(batch));
+            }
+        }
+        packets
     }
 }
 
@@ -439,6 +549,13 @@ pub fn probability_vector(counts: &[u64], uniform: bool) -> Vec<f64> {
 /// One rank's step (Section 4.5): refresh `q`, draw the quota, then
 /// switch/serve until every rank has signalled `EndOfStep`. Returns this
 /// rank's telemetry for the step.
+///
+/// Each event-loop iteration drains every delivered message, fills the
+/// conversation window (up to `ParallelConfig::window` own conversations
+/// in flight), then flushes the send coalescer — one packet per touched
+/// destination — before parking on the next message. The coalescer is
+/// always flushed before a blocking receive, so no reply a peer is
+/// waiting on can be stranded in a batch.
 pub fn run_rank_step<T: RankTransport>(
     transport: &mut T,
     state: &mut RankState,
@@ -461,82 +578,122 @@ pub fn run_rank_step<T: RankTransport>(
 
     // (3) Event loop.
     let mut outbox = Outbox::new();
+    let mut coalescer = Coalescer::new(p);
     let mut eos = 0usize;
     let mut signaled = false;
     loop {
-        // Drain everything already delivered.
+        // (a) Drain everything already delivered.
         while let Some((src, msg)) = transport.try_recv() {
-            dispatch(transport, state, src, msg, &mut outbox, &mut eos, &mut tel);
+            dispatch(
+                transport,
+                state,
+                src,
+                msg,
+                &mut outbox,
+                &mut coalescer,
+                &mut eos,
+                &mut tel,
+            );
         }
+        // (b) Fill the conversation window: at most `window` starts per
+        // iteration, so a run of synchronously-completing self-partner
+        // switches cannot starve the peers waiting in (a) for service.
+        let mut starts = 0;
+        loop {
+            match state.try_start(&mut outbox) {
+                StartResult::Started => {
+                    tel.started += 1;
+                    starts += 1;
+                    transport.on_op_started(transport.rank());
+                    drain_outbox(transport, state, &mut outbox, &mut coalescer, &mut tel);
+                    if starts >= state.window() {
+                        break;
+                    }
+                }
+                StartResult::Blocked => {
+                    tel.blocked += 1;
+                    if state.inflight_len() > 0 {
+                        tel.parked += 1;
+                    }
+                    break;
+                }
+                StartResult::Idle => break,
+            }
+        }
+        tel.window_peak = tel.window_peak.max(state.inflight_len() as u64);
+        // (c) Quota finished and every conversation settled: tell the
+        // other ranks (once), but keep serving until they all say so.
         if !signaled && state.step_done() {
             for dst in 0..p {
                 if dst != transport.rank() {
                     tel.messages.record(&Msg::EndOfStep);
-                    transport.send(dst, Msg::EndOfStep);
+                    coalescer.push(dst, Msg::EndOfStep);
                 }
             }
             eos += 1; // count self
             signaled = true;
         }
-        if signaled {
-            if eos == p {
-                break;
-            }
-            // Nothing of our own left: block for the next message.
-            let (src, msg) = transport.recv_block();
-            dispatch(transport, state, src, msg, &mut outbox, &mut eos, &mut tel);
+        // (d) One packet per touched destination.
+        tel.packets += coalescer.flush(transport);
+        // (e) Quiesce, or park until the next message.
+        if signaled && eos == p {
+            break;
+        }
+        if starts >= state.window() {
+            // The start cap ended (b): synchronous self-partner
+            // completions may have freed window slots, so sweep again
+            // instead of parking (if the window is genuinely full, the
+            // next sweep starts nothing and parks here).
             continue;
         }
-        match state.try_start(&mut outbox) {
-            StartResult::Started => {
-                tel.started += 1;
-                transport.on_op_started(transport.rank());
-                flush(transport, state, &mut outbox, &mut tel);
-            }
-            res => {
-                if res == StartResult::Blocked {
-                    tel.blocked += 1;
-                }
-                if state.step_done() {
-                    continue; // signal on next iteration
-                }
-                // Waiting on a response or on contended edges: block.
-                let (src, msg) = transport.recv_block();
-                dispatch(transport, state, src, msg, &mut outbox, &mut eos, &mut tel);
-            }
-        }
+        let (src, msg) = transport.recv_block();
+        dispatch(
+            transport,
+            state,
+            src,
+            msg,
+            &mut outbox,
+            &mut coalescer,
+            &mut eos,
+            &mut tel,
+        );
     }
     debug_assert!(state.step_done());
     tel.absorb_stats_delta(&before, &state.stats);
     tel
 }
 
-/// Handle one incoming message and route whatever it generated.
+/// Handle one incoming message; replies accumulate in the coalescer.
+#[allow(clippy::too_many_arguments)]
 fn dispatch<T: RankTransport>(
     transport: &mut T,
     state: &mut RankState,
     src: usize,
     msg: Msg,
     outbox: &mut Outbox,
+    coalescer: &mut Coalescer,
     eos: &mut usize,
     tel: &mut StepTelemetry,
 ) {
     match msg {
         Msg::EndOfStep => *eos += 1,
         Msg::Coll(_) => unreachable!("tag-filtered receive cannot yield collective traffic"),
+        Msg::Batch(_) => unreachable!("the transport unpacks batch frames"),
         m => {
             state.handle(src, m, outbox);
-            flush(transport, state, outbox, tel);
+            drain_outbox(transport, state, outbox, coalescer, tel);
         }
     }
 }
 
-/// Deliver queued messages: self-addressed ones re-enter the state
-/// machine immediately; the rest go over the wire.
-fn flush<T: RankTransport>(
+/// Move queued messages out of the outbox: self-addressed ones re-enter
+/// the state machine immediately; the rest accumulate per destination in
+/// the coalescer until the event loop flushes it.
+fn drain_outbox<T: RankTransport>(
     transport: &mut T,
     state: &mut RankState,
     outbox: &mut Outbox,
+    coalescer: &mut Coalescer,
     tel: &mut StepTelemetry,
 ) {
     while let Some((dst, msg)) = outbox.pop() {
@@ -545,7 +702,7 @@ fn flush<T: RankTransport>(
             state.handle(dst, msg, outbox);
         } else {
             tel.messages.record(&msg);
-            transport.send(dst, msg);
+            coalescer.push(dst, msg);
         }
     }
 }
@@ -588,7 +745,7 @@ pub fn run_world_step<T: WorldTransport>(
     };
     let before: Vec<RankStats> = states.iter().map(|st| st.stats).collect();
 
-    // Event loop: drain in-flight messages, round-robin op starts.
+    // Event loop: drain in-flight messages, round-robin window fills.
     let mut out = Outbox::new();
     loop {
         while let Some((dst, src, msg)) = transport.pop_any() {
@@ -597,16 +754,37 @@ pub fn run_world_step<T: WorldTransport>(
         }
         let mut any_started = false;
         for i in 0..p {
-            match states[i].try_start(&mut out) {
-                StartResult::Started => {
-                    any_started = true;
-                    tel.started += 1;
-                    transport.on_op_started(i);
-                    route_world(transport, states, i, &mut out, comm_stats, &mut tel);
+            // Fill rank i's conversation window: at most `window` starts
+            // per sweep. The start cap (rather than just the occupancy
+            // gate inside `try_start`) matters for reproducibility: a
+            // self-partner switch completes synchronously inside
+            // `route_world`, freeing its slot immediately, and at
+            // window = 1 the rank must still wait for the next sweep —
+            // exactly the pre-window schedule.
+            let mut starts = 0;
+            loop {
+                match states[i].try_start(&mut out) {
+                    StartResult::Started => {
+                        any_started = true;
+                        tel.started += 1;
+                        starts += 1;
+                        transport.on_op_started(i);
+                        route_world(transport, states, i, &mut out, comm_stats, &mut tel);
+                        if starts >= states[i].window() {
+                            break;
+                        }
+                    }
+                    StartResult::Blocked => {
+                        tel.blocked += 1;
+                        if states[i].inflight_len() > 0 {
+                            tel.parked += 1;
+                        }
+                        break;
+                    }
+                    StartResult::Idle => break,
                 }
-                StartResult::Blocked => tel.blocked += 1,
-                StartResult::Idle => {}
             }
+            tel.window_peak = tel.window_peak.max(states[i].inflight_len() as u64);
         }
         if !any_started && transport.is_empty() {
             assert!(
@@ -645,9 +823,12 @@ fn route_world<T: WorldTransport>(
         } else {
             comm_stats[src].messages_sent += 1;
             comm_stats[src].bytes_sent += msg.wire_size() as u64;
-            comm_stats[src].sent_by_kind[msg.kind_index()] += 1;
+            msg.record_kinds(&mut comm_stats[src].sent_by_kind);
             comm_stats[dst].messages_received += 1;
             tel.messages.record(&msg);
+            // The simulators deliver one logical message per packet (no
+            // coalescing — it would reorder the deterministic schedule).
+            tel.packets += 1;
             transport.deliver(src, dst, msg);
         }
     }
@@ -671,7 +852,7 @@ pub fn run_simulated_world<T: WorldTransport>(
     let mut states: Vec<RankState> = stores
         .into_iter()
         .enumerate()
-        .map(|(rank, store)| RankState::new(rank, part.clone(), store, config.seed))
+        .map(|(rank, store)| RankState::new(rank, part.clone(), store, config.seed, config.window))
         .collect();
     let mut comm_stats = vec![CommStats::default(); p];
 

@@ -97,6 +97,11 @@ pub enum Msg {
     EndOfStep,
     /// Collective payloads (step-boundary bookkeeping).
     Coll(CollPayload),
+    /// Framing: several protocol messages to the same destination,
+    /// coalesced into one packet by the threaded driver. Never nested;
+    /// the receiving transport unpacks it before the state machine runs,
+    /// so [`super::rank::RankState::handle`] never sees one.
+    Batch(Vec<Msg>),
 }
 
 /// Coarse classification of [`Msg`] variants, used to bucket per-variant
@@ -129,11 +134,15 @@ pub enum MsgKind {
     EndOfStep = 10,
     /// [`Msg::Coll`] (collective bookkeeping traffic).
     Coll = 11,
+    /// [`Msg::Batch`] (coalescing frame — carries no slot of its own in
+    /// traffic accounting: the framed messages are counted by their own
+    /// kinds, so this counter stays zero on every driver).
+    Batch = 12,
 }
 
 impl MsgKind {
     /// Number of kinds (length of a dense per-kind counter array).
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 13;
 
     /// All kinds, in counter-slot order.
     pub const ALL: [MsgKind; MsgKind::COUNT] = [
@@ -149,6 +158,7 @@ impl MsgKind {
         MsgKind::Abort,
         MsgKind::EndOfStep,
         MsgKind::Coll,
+        MsgKind::Batch,
     ];
 
     /// Classify a message.
@@ -166,6 +176,7 @@ impl MsgKind {
             Msg::Abort { .. } => MsgKind::Abort,
             Msg::EndOfStep => MsgKind::EndOfStep,
             Msg::Coll(_) => MsgKind::Coll,
+            Msg::Batch(_) => MsgKind::Batch,
         }
     }
 
@@ -184,6 +195,7 @@ impl MsgKind {
             MsgKind::Abort => "abort",
             MsgKind::EndOfStep => "end-of-step",
             MsgKind::Coll => "coll",
+            MsgKind::Batch => "batch",
         }
     }
 }
@@ -211,10 +223,25 @@ impl CollCarrier for Msg {
             | Msg::CommitRemove { .. } => 28,
             Msg::CommitAck { .. } | Msg::Done { .. } | Msg::Abort { .. } => 13,
             Msg::EndOfStep => 1,
+            // Length prefix plus the framed messages.
+            Msg::Batch(msgs) => 4 + msgs.iter().map(|m| m.wire_size()).sum::<usize>(),
         }
     }
     fn kind_index(&self) -> usize {
         MsgKind::of(self) as usize
+    }
+    fn record_kinds(&self, slots: &mut [u64]) {
+        match self {
+            // The frame is transparent to traffic accounting: each framed
+            // message counts under its own kind, the wrapper under none —
+            // so per-kind counts stay driver-independent.
+            Msg::Batch(msgs) => {
+                for m in msgs {
+                    m.record_kinds(slots);
+                }
+            }
+            m => slots[m.kind_index().min(slots.len() - 1)] += 1,
+        }
     }
 }
 
@@ -289,6 +316,31 @@ mod tests {
             seq: 17,
         };
         assert_eq!(c.to_string(), "3#17");
+    }
+
+    #[test]
+    fn batch_framing_is_transparent_to_kind_counters() {
+        let conv = ConvId {
+            initiator: 0,
+            seq: 1,
+        };
+        let inner = vec![
+            Msg::Propose {
+                conv,
+                e1: Edge::new(1, 2),
+            },
+            Msg::CommitAck { conv },
+            Msg::CommitAck { conv },
+        ];
+        let framed_size: usize = inner.iter().map(|m| m.wire_size()).sum();
+        let batch = Msg::Batch(inner);
+        assert_eq!(batch.wire_size(), 4 + framed_size);
+        let mut slots = [0u64; MsgKind::COUNT];
+        batch.record_kinds(&mut slots);
+        assert_eq!(slots[MsgKind::Propose as usize], 1);
+        assert_eq!(slots[MsgKind::CommitAck as usize], 2);
+        assert_eq!(slots[MsgKind::Batch as usize], 0);
+        assert_eq!(slots.iter().sum::<u64>(), 3);
     }
 
     #[test]

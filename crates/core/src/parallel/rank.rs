@@ -32,6 +32,20 @@
 //!   participant acknowledged its commit, so a rank that has finished its
 //!   own quota is guaranteed to have no lingering obligations.
 //!
+//! # Pipelining window
+//!
+//! A rank may have up to `window` *own* conversations in flight at once
+//! (plus any number it serves as partner or validator). The reservation
+//! machinery above is what makes this safe: every conversation locks its
+//! first edge in `reserved` before proposing, and every replacement edge
+//! is parked in `potential` before any commit, so two concurrent
+//! conversations can never touch the same existing edge or create the
+//! same new one — regardless of how many are open. A start attempt whose
+//! samples all land on reserved edges parks ([`StartResult::Blocked`])
+//! and is retried after the next message instead of stalling the rank.
+//! With `window == 1` the machine degenerates to the strictly serial
+//! initiate-wait-complete protocol of the paper's exposition.
+//!
 //! The state machine is *pure*: it consumes events and emits messages
 //! into an [`Outbox`]; drivers (threaded, deterministic, or
 //! discrete-event) own delivery. A self-addressed message is delivered
@@ -57,7 +71,8 @@ const MAX_CONSECUTIVE_ABORTS: u64 = 100_000;
 pub enum StartResult {
     /// An operation was initiated (messages may be queued).
     Started,
-    /// Nothing to start: quota exhausted or an operation is in flight.
+    /// Nothing to start: quota exhausted or the conversation window is
+    /// full.
     Idle,
     /// Every sampled edge is locked by in-flight conversations; retry
     /// after the next message.
@@ -96,12 +111,11 @@ impl RankStats {
     }
 }
 
-/// The initiator's in-flight operation.
+/// One of the initiator's in-flight operations (keyed by [`ConvId`]).
 #[derive(Clone, Copy, Debug)]
 struct InFlight {
     e1: Edge,
     partner: usize,
-    conv: ConvId,
 }
 
 /// A conversation this rank orchestrates as partner.
@@ -148,7 +162,10 @@ pub struct RankState {
     /// Cumulative partner-selection distribution (refreshed per step).
     cumq: Vec<f64>,
     remaining: u64,
-    inflight: Option<InFlight>,
+    /// Bound on concurrently in-flight own conversations (≥ 1).
+    window: usize,
+    /// Own conversations currently in flight, up to `window` of them.
+    inflight: FxHashMap<ConvId, InFlight>,
     consecutive_aborts: u64,
     conv_seq: u64,
     serving: FxHashMap<ConvId, PartnerConv>,
@@ -164,8 +181,15 @@ pub struct RankState {
 }
 
 impl RankState {
-    /// Build the state for `rank` from its partition store.
-    pub fn new(rank: usize, part: Partitioner, store: PartitionStore, seed: u64) -> Self {
+    /// Build the state for `rank` from its partition store, allowing up
+    /// to `window` concurrently in-flight own conversations.
+    pub fn new(
+        rank: usize,
+        part: Partitioner,
+        store: PartitionStore,
+        seed: u64,
+        window: usize,
+    ) -> Self {
         let tracker = VisitTracker::new(store.edges());
         let p = part.num_parts();
         RankState {
@@ -176,7 +200,8 @@ impl RankState {
             potential: FxHashSet::default(),
             cumq: vec![0.0; p],
             remaining: 0,
-            inflight: None,
+            window: window.max(1),
+            inflight: FxHashMap::default(),
             consecutive_aborts: 0,
             conv_seq: 0,
             serving: FxHashMap::default(),
@@ -220,7 +245,18 @@ impl RankState {
     /// Whether this rank has completed its own quota (it may still be
     /// serving others).
     pub fn step_done(&self) -> bool {
-        self.remaining == 0 && self.inflight.is_none() && self.pending_done.is_empty()
+        self.remaining == 0 && self.inflight.is_empty() && self.pending_done.is_empty()
+    }
+
+    /// Number of own conversations currently in flight (window
+    /// occupancy).
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// The configured bound on concurrently in-flight own conversations.
+    pub fn window(&self) -> usize {
+        self.window
     }
 
     /// Whether this rank holds any unfinished server-side conversations.
@@ -245,18 +281,38 @@ impl RankState {
         &self.store
     }
 
+    /// The first edges of all in-flight own conversations (test
+    /// introspection for the reservation-disjointness property).
+    #[cfg(test)]
+    pub(super) fn inflight_e1s(&self) -> Vec<Edge> {
+        self.inflight.values().map(|op| op.e1).collect()
+    }
+
+    /// The edges currently locked by conversations touching this rank
+    /// (test introspection).
+    #[cfg(test)]
+    pub(super) fn reserved_edges(&self) -> Vec<Edge> {
+        self.reserved.iter().copied().collect()
+    }
+
     // ------------------------------------------------------------------
     // Initiator role
     // ------------------------------------------------------------------
 
-    /// Try to begin the next own operation.
+    /// Try to begin the next own operation. May be called repeatedly to
+    /// fill the conversation window; returns [`StartResult::Idle`] once
+    /// the window is full or no unstarted quota remains.
     pub fn try_start(&mut self, out: &mut Outbox) -> StartResult {
-        if self.inflight.is_some() || self.remaining == 0 {
+        let open = self.inflight.len();
+        if open >= self.window || self.remaining <= open as u64 {
             return StartResult::Idle;
         }
         if self.store.num_edges() == 0 {
             // An emptied partition cannot supply first edges; its quota is
             // unfulfillable (the next step's multinomial gets q_i = 0).
+            // In-flight conversations hold reserved edges that are still
+            // in the store, so an empty store implies an empty window.
+            debug_assert_eq!(open, 0, "in-flight conversations on empty store");
             self.stats.forfeited += self.remaining;
             self.remaining = 0;
             return StartResult::Idle;
@@ -279,7 +335,7 @@ impl RankState {
             initiator: self.rank as u32,
             seq: self.conv_seq,
         };
-        self.inflight = Some(InFlight { e1, partner, conv });
+        self.inflight.insert(conv, InFlight { e1, partner });
         out.push(partner, Msg::Propose { conv, e1 });
         StartResult::Started
     }
@@ -292,8 +348,11 @@ impl RankState {
         idx.min(self.cumq.len() - 1)
     }
 
-    fn on_abort(&mut self, reason: RejectReason) {
-        let op = self.inflight.take().expect("abort without in-flight op");
+    fn on_abort(&mut self, conv: ConvId, reason: RejectReason) {
+        let op = self
+            .inflight
+            .remove(&conv)
+            .expect("abort for conversation not in flight");
         let released = self.reserved.remove(&op.e1);
         debug_assert!(released, "in-flight e1 was not reserved");
         match reason {
@@ -310,8 +369,11 @@ impl RankState {
         }
     }
 
-    fn on_done(&mut self) {
-        let op = self.inflight.take().expect("done without in-flight op");
+    fn on_done(&mut self, conv: ConvId) {
+        let op = self
+            .inflight
+            .remove(&conv)
+            .expect("done for conversation not in flight");
         debug_assert!(
             !self.reserved.contains(&op.e1),
             "e1 must have been removed by commit before Done"
@@ -331,8 +393,10 @@ impl RankState {
     /// next operation may start; the partner's `Done` is still awaited
     /// for end-of-step accounting.
     fn complete_early(&mut self, conv: ConvId) {
-        let op = self.inflight.take().expect("commit for op not in flight");
-        debug_assert_eq!(op.conv, conv, "commit for a different conversation");
+        let op = self
+            .inflight
+            .remove(&conv)
+            .expect("commit for conversation not in flight");
         debug_assert_ne!(
             op.partner, self.rank,
             "local switches never commit remotely"
@@ -536,7 +600,7 @@ impl RankState {
     fn partner_finish(&mut self, conv: ConvId, out: &mut Outbox) {
         let c = self.serving.remove(&conv).expect("conversation exists");
         if c.initiator == self.rank {
-            self.on_done();
+            self.on_done(conv);
         } else {
             out.push(c.initiator, Msg::Done { conv });
         }
@@ -599,8 +663,9 @@ impl RankState {
     /// Feed one protocol message into the state machine.
     ///
     /// # Panics
-    /// Panics on `EndOfStep`/`Coll` (step-level traffic is the driver's
-    /// responsibility) and on protocol violations in debug builds.
+    /// Panics on `EndOfStep`/`Coll`/`Batch` (step-level traffic and
+    /// framing are the driver's responsibility) and on protocol
+    /// violations in debug builds.
     pub fn handle(&mut self, src: usize, msg: Msg, out: &mut Outbox) {
         match msg {
             Msg::Propose { conv, e1 } => self.on_propose(src, conv, e1, out),
@@ -613,11 +678,11 @@ impl RankState {
             Msg::CommitAck { conv } => self.on_commit_ack(conv, out),
             Msg::Done { conv } => {
                 if !self.pending_done.remove(&conv) {
-                    self.on_done();
+                    self.on_done(conv);
                 }
             }
-            Msg::Abort { reason, .. } => self.on_abort(reason),
-            Msg::EndOfStep | Msg::Coll(_) => {
+            Msg::Abort { conv, reason } => self.on_abort(conv, reason),
+            Msg::EndOfStep | Msg::Coll(_) | Msg::Batch(_) => {
                 unreachable!("driver-level message leaked into RankState")
             }
         }

@@ -1,17 +1,33 @@
 //! White-box tests of the protocol state machine: each message path is
 //! driven by hand against small hand-built partitions.
 
+use super::harness::{probability_vector, StepHarness};
 use super::msg::{ConvId, Msg, Outbox};
 use super::rank::{RankState, StartResult};
+use super::sim::simulate_parallel;
+use crate::config::{ParallelConfig, StepSize};
 use crate::switch::RejectReason;
-use edgeswitch_graph::{Edge, PartitionStore, Partitioner};
+use edgeswitch_graph::generators::erdos_renyi_gnm;
+use edgeswitch_graph::store::build_stores;
+use edgeswitch_graph::{Edge, Graph, PartitionStore, Partitioner, SchemeKind};
+use std::collections::VecDeque;
 
 fn conv(initiator: u32, seq: u64) -> ConvId {
     ConvId { initiator, seq }
 }
 
-/// Two ranks under HP-D(2): even labels on rank 0, odd labels on rank 1.
+/// Two ranks under HP-D(2): even labels on rank 0, odd labels on rank 1,
+/// stop-and-wait window (the classic protocol).
 fn two_rank_world(edges0: &[(u64, u64)], edges1: &[(u64, u64)]) -> (RankState, RankState) {
+    two_rank_world_windowed(edges0, edges1, 1)
+}
+
+/// [`two_rank_world`] with an explicit pipelining window.
+fn two_rank_world_windowed(
+    edges0: &[(u64, u64)],
+    edges1: &[(u64, u64)],
+    window: usize,
+) -> (RankState, RankState) {
     let part = Partitioner::hash_division(2);
     let mk = |rank: usize, edges: &[(u64, u64)]| {
         let mut store = PartitionStore::new(rank);
@@ -20,7 +36,7 @@ fn two_rank_world(edges0: &[(u64, u64)], edges1: &[(u64, u64)]) -> (RankState, R
             assert_eq!(part.owner(e.src()), rank, "edge {e} misassigned in test");
             store.insert(e);
         }
-        RankState::new(rank, part.clone(), store, 99)
+        RankState::new(rank, part.clone(), store, 99, window)
     };
     (mk(0, edges0), mk(1, edges1))
 }
@@ -195,6 +211,184 @@ fn abort_releases_first_edge_for_reuse() {
     assert_eq!(r0.stats.aborts_contended, 1);
     // e1 must be free again: the next start succeeds.
     assert_eq!(r0.try_start(&mut out), StartResult::Started);
+}
+
+/// Deliver one rank's outbox into a world FIFO queue (self-addressed
+/// messages re-enter in place), mirroring the drivers' routing.
+fn route(
+    states: &mut [RankState],
+    src: usize,
+    out: &mut Outbox,
+    queue: &mut VecDeque<(usize, usize, Msg)>,
+) {
+    while let Some((dst, msg)) = out.pop() {
+        if dst == src {
+            states[src].handle(src, msg, out);
+        } else {
+            queue.push_back((dst, src, msg));
+        }
+    }
+}
+
+/// Seeded property test: however the window pipelines conversations,
+/// no two concurrently in-flight conversations of a rank ever hold a
+/// reservation on the same first edge, occupancy respects the bound,
+/// and every in-flight first edge is actually locked.
+#[test]
+fn concurrent_conversations_hold_disjoint_reservations() {
+    const WINDOW: usize = 4;
+    let edges0: Vec<(u64, u64)> = (0..60).map(|i| (2 * i, 2 * i + 6)).collect();
+    let edges1: Vec<(u64, u64)> = (0..60).map(|i| (2 * i + 1, 2 * i + 7)).collect();
+    let (r0, r1) = two_rank_world_windowed(&edges0, &edges1, WINDOW);
+    let mut states = [r0, r1];
+    for st in &mut states {
+        st.begin_step(25, &[0.5, 0.5]);
+    }
+
+    let check = |states: &[RankState]| {
+        for st in states {
+            let e1s = st.inflight_e1s();
+            assert!(e1s.len() <= WINDOW, "window bound violated");
+            let reserved = st.reserved_edges();
+            let mut seen = std::collections::HashSet::new();
+            for e in &e1s {
+                assert!(seen.insert(*e), "two in-flight conversations lock {e}");
+                // The reservation is dropped by the commit itself (the
+                // edge leaves the store at the same instant), possibly
+                // before the Done/acks retire the conversation — so the
+                // lock need only cover e1 while it is still switchable.
+                if st.store().contains(*e) {
+                    assert!(reserved.contains(e), "live in-flight e1 {e} not reserved");
+                }
+            }
+        }
+    };
+
+    let mut queue: VecDeque<(usize, usize, Msg)> = VecDeque::new();
+    let mut out = Outbox::new();
+    for sweep in 0..100_000 {
+        // Fill each rank's window, checking the property after every
+        // state-machine interaction.
+        let mut any_started = false;
+        for i in 0..states.len() {
+            let mut starts = 0;
+            while starts < WINDOW {
+                match states[i].try_start(&mut out) {
+                    StartResult::Started => {
+                        starts += 1;
+                        any_started = true;
+                        route(&mut states, i, &mut out, &mut queue);
+                        check(&states);
+                    }
+                    _ => break,
+                }
+            }
+        }
+        // Deliver one queued message, then re-check.
+        if let Some((dst, src, msg)) = queue.pop_front() {
+            states[dst].handle(src, msg, &mut out);
+            route(&mut states, dst, &mut out, &mut queue);
+            check(&states);
+        } else if !any_started {
+            break;
+        }
+        assert!(sweep < 99_999, "world did not quiesce");
+    }
+    assert!(states.iter().all(|st| st.step_done()));
+    assert!(
+        states.iter().map(|st| st.stats.performed).sum::<u64>() > 0,
+        "the pipelined world must perform switches"
+    );
+}
+
+/// A stop-and-wait reference driver: the pre-window world loop (one
+/// `try_start` per rank per sweep, strictly one conversation in flight)
+/// re-implemented against the public state-machine surface.
+fn stop_and_wait_reference(
+    graph: &Graph,
+    t: u64,
+    cfg: &ParallelConfig,
+) -> (Vec<super::rank::RankStats>, Vec<(u64, u64)>) {
+    let mut rng = cfg.root_rng();
+    let part = Partitioner::build(cfg.scheme, graph, cfg.processors, &mut rng);
+    let stores = build_stores(graph, &part);
+    let mut states: Vec<RankState> = stores
+        .into_iter()
+        .enumerate()
+        .map(|(rank, store)| RankState::new(rank, part.clone(), store, cfg.seed, 1))
+        .collect();
+    let harness = StepHarness::new(t, cfg);
+    let mut queue: VecDeque<(usize, usize, Msg)> = VecDeque::new();
+    let mut out = Outbox::new();
+    for step in 0..harness.steps() {
+        let counts: Vec<u64> = states.iter().map(|st| st.edge_count()).collect();
+        let q = probability_vector(&counts, harness.uniform_q());
+        let quotas = edgeswitch_dist::multinomial_owned_world(
+            harness.step_ops(step),
+            &q,
+            states.iter_mut().map(|st| st.rng_mut()),
+        );
+        for (st, &qi) in states.iter_mut().zip(&quotas) {
+            st.begin_step(qi, &q);
+        }
+        loop {
+            while let Some((dst, src, msg)) = queue.pop_front() {
+                states[dst].handle(src, msg, &mut out);
+                route(&mut states, dst, &mut out, &mut queue);
+            }
+            let mut any_started = false;
+            for i in 0..states.len() {
+                if states[i].try_start(&mut out) == StartResult::Started {
+                    any_started = true;
+                    route(&mut states, i, &mut out, &mut queue);
+                }
+            }
+            if !any_started && queue.is_empty() {
+                break;
+            }
+        }
+    }
+    let mut stats = Vec::new();
+    let mut edges: Vec<(u64, u64)> = Vec::new();
+    for st in states {
+        let (store, _tracker, s) = st.into_parts();
+        stats.push(s);
+        edges.extend(store.edges().map(|e| (e.src(), e.dst())));
+    }
+    edges.sort_unstable();
+    (stats, edges)
+}
+
+/// `window = 1` must reproduce the pre-window engine's outcome stream
+/// exactly: same per-rank statistics, same final edge set as the
+/// stop-and-wait reference driver, under several seeds and schemes.
+#[test]
+fn window_one_is_bit_identical_to_stop_and_wait() {
+    for (seed, p, t, scheme) in [
+        (4242u64, 6usize, 1200u64, SchemeKind::HashUniversal),
+        (7, 3, 900, SchemeKind::Consecutive),
+    ] {
+        let mut rng = edgeswitch_dist::root_rng(seed);
+        let g = erdos_renyi_gnm(400, 2000, &mut rng);
+        let cfg = ParallelConfig::new(p)
+            .with_scheme(scheme)
+            .with_step_size(StepSize::FractionOfT(10))
+            .with_seed(seed ^ 0x55)
+            .with_window(1);
+        let (ref_stats, ref_edges) = stop_and_wait_reference(&g, t, &cfg);
+        let out = simulate_parallel(&g, t, &cfg);
+        assert_eq!(
+            out.per_rank, ref_stats,
+            "per-rank stream diverged (seed {seed})"
+        );
+        let mut sim_edges: Vec<(u64, u64)> =
+            out.graph.edges().map(|e| (e.src(), e.dst())).collect();
+        sim_edges.sort_unstable();
+        assert_eq!(
+            sim_edges, ref_edges,
+            "final edge set diverged (seed {seed})"
+        );
+    }
 }
 
 #[test]

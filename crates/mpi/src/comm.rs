@@ -6,6 +6,16 @@ use crossbeam::channel::{Receiver, Sender};
 use std::collections::VecDeque;
 use std::time::Duration;
 
+/// Iterations of the cheap spin phase of a blocking receive (busy-poll
+/// with a CPU relax hint) before escalating to `yield_now`.
+const SPIN_RELAX: u32 = 64;
+
+/// Total polling iterations (relax + yield phases) of a blocking receive
+/// before parking on the channel with a timeout. Oversubscribed boxes
+/// reach the yield phase almost immediately, so the sender's thread gets
+/// scheduled instead of us burning its time slice.
+const SPIN_TOTAL: u32 = 256;
+
 /// How user message types expose their approximate wire size and embed
 /// collective payloads. Implemented for [`CollPayload`] itself and easily
 /// derived for protocol enums that add a `Coll(CollPayload)` variant.
@@ -25,6 +35,13 @@ pub trait CollCarrier: Sized {
     fn kind_index(&self) -> usize {
         crate::stats::KIND_SLOTS - 1
     }
+    /// Fold this message into per-kind counters. The default counts one
+    /// message under [`CollCarrier::kind_index`]; batching carriers
+    /// override it to count each framed logical message under its own
+    /// kind, keeping per-kind counts packet-framing-independent.
+    fn record_kinds(&self, slots: &mut [u64]) {
+        slots[self.kind_index().min(slots.len() - 1)] += 1;
+    }
 }
 
 impl CollCarrier for CollPayload {
@@ -39,6 +56,90 @@ impl CollCarrier for CollPayload {
     }
 }
 
+/// Buffered packets indexed by tag, preserving global arrival order.
+///
+/// The protocol keeps very few distinct tags alive at once (the
+/// point-to-point protocol tag plus the current rotating collective
+/// tag), so the index is an association list of per-tag FIFO queues:
+/// lookup by tag is a scan over ≤ a handful of buckets instead of a
+/// scan over every buffered packet, and emptied buckets are freed so
+/// rotating collective tags cannot accumulate.
+struct PendingBuf<M> {
+    /// `(tag, queue of (arrival_seq, packet))`.
+    buckets: Vec<(u32, TagQueue<M>)>,
+    /// Global arrival stamp, so any-tag receives stay FIFO.
+    seq: u64,
+}
+
+/// One tag's FIFO of `(arrival_seq, packet)` entries.
+type TagQueue<M> = VecDeque<(u64, Packet<M>)>;
+
+impl<M> PendingBuf<M> {
+    fn new() -> Self {
+        PendingBuf {
+            buckets: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    #[cfg(test)]
+    fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    fn push(&mut self, p: Packet<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        match self.buckets.iter_mut().find(|(t, _)| *t == p.tag) {
+            Some((_, q)) => q.push_back((seq, p)),
+            None => {
+                let mut q = VecDeque::new();
+                let tag = p.tag;
+                q.push_back((seq, p));
+                self.buckets.push((tag, q));
+            }
+        }
+    }
+
+    /// Earliest-arrived packet of any tag.
+    fn pop_any(&mut self) -> Option<Packet<M>> {
+        let idx = self
+            .buckets
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, q))| q.front().expect("buckets are never empty").0)
+            .map(|(i, _)| i)?;
+        Some(self.pop_front_of(idx))
+    }
+
+    /// Earliest-arrived packet with `tag`.
+    fn pop_tag(&mut self, tag: u32) -> Option<Packet<M>> {
+        let idx = self.buckets.iter().position(|(t, _)| *t == tag)?;
+        Some(self.pop_front_of(idx))
+    }
+
+    /// Earliest-arrived packet matching `(src, tag)`.
+    fn pop_match(&mut self, src: usize, tag: u32) -> Option<Packet<M>> {
+        let idx = self.buckets.iter().position(|(t, _)| *t == tag)?;
+        let q = &mut self.buckets[idx].1;
+        let at = q.iter().position(|(_, p)| p.src == src)?;
+        let (_, packet) = q.remove(at).expect("position is in range");
+        if q.is_empty() {
+            self.buckets.swap_remove(idx);
+        }
+        Some(packet)
+    }
+
+    fn pop_front_of(&mut self, idx: usize) -> Packet<M> {
+        let q = &mut self.buckets[idx].1;
+        let (_, packet) = q.pop_front().expect("buckets are never empty");
+        if q.is_empty() {
+            self.buckets.swap_remove(idx);
+        }
+        packet
+    }
+}
+
 /// One rank's endpoint into the world: `send`/`recv` plus collectives
 /// (in [`crate::collectives`]).
 pub struct Comm<M> {
@@ -46,8 +147,9 @@ pub struct Comm<M> {
     size: usize,
     senders: Vec<Sender<Packet<M>>>,
     receiver: Receiver<Packet<M>>,
-    /// Messages received while waiting for something more specific.
-    pending: VecDeque<Packet<M>>,
+    /// Messages received while waiting for something more specific,
+    /// indexed by tag.
+    pending: PendingBuf<M>,
     pub(crate) stats: CommStats,
     pub(crate) coll_seq: u32,
     timeout: Duration,
@@ -66,7 +168,7 @@ impl<M: CollCarrier> Comm<M> {
             size,
             senders,
             receiver,
-            pending: VecDeque::new(),
+            pending: PendingBuf::new(),
             stats: CommStats::default(),
             coll_seq: 0,
             timeout,
@@ -106,7 +208,7 @@ impl<M: CollCarrier> Comm<M> {
     pub(crate) fn send_raw(&mut self, dst: usize, tag: u32, payload: M) {
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += payload.wire_size() as u64;
-        self.stats.sent_by_kind[payload.kind_index().min(crate::stats::KIND_SLOTS - 1)] += 1;
+        payload.record_kinds(&mut self.stats.sent_by_kind);
         self.senders[dst]
             .send(Packet {
                 src: self.rank,
@@ -116,10 +218,28 @@ impl<M: CollCarrier> Comm<M> {
             .unwrap_or_else(|_| panic!("rank {} -> {dst}: receiver disconnected", self.rank));
     }
 
+    /// Blocking channel receive with a spin-then-park phase: hot
+    /// exchanges are usually answered within microseconds, so busy-poll
+    /// briefly (relax, then yield so an oversubscribed sender can run)
+    /// before paying `recv_timeout` parking latency. `None` on timeout.
+    fn recv_spin(&mut self) -> Option<Packet<M>> {
+        for spin in 0..SPIN_TOTAL {
+            if let Ok(p) = self.receiver.try_recv() {
+                return Some(p);
+            }
+            if spin < SPIN_RELAX {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        self.receiver.recv_timeout(self.timeout).ok()
+    }
+
     /// Non-blocking receive of the next available message (any source,
     /// any tag); earlier-buffered messages are drained first.
     pub fn try_recv(&mut self) -> Option<Packet<M>> {
-        if let Some(p) = self.pending.pop_front() {
+        if let Some(p) = self.pending.pop_any() {
             self.stats.messages_received += 1;
             return Some(p);
         }
@@ -138,19 +258,16 @@ impl<M: CollCarrier> Comm<M> {
     /// Panics after the configured timeout — a deadlocked protocol should
     /// fail loudly in tests rather than hang.
     pub fn recv(&mut self) -> Packet<M> {
-        if let Some(p) = self.pending.pop_front() {
+        if let Some(p) = self.pending.pop_any() {
             self.stats.messages_received += 1;
             return p;
         }
-        let p = self
-            .receiver
-            .recv_timeout(self.timeout)
-            .unwrap_or_else(|_| {
-                panic!(
-                    "rank {}: recv timed out after {:?} (deadlock?)",
-                    self.rank, self.timeout
-                )
-            });
+        let p = self.recv_spin().unwrap_or_else(|| {
+            panic!(
+                "rank {}: recv timed out after {:?} (deadlock?)",
+                self.rank, self.timeout
+            )
+        });
         self.stats.messages_received += 1;
         p
     }
@@ -158,30 +275,22 @@ impl<M: CollCarrier> Comm<M> {
     /// Blocking receive of a message matching `(src, tag)`; anything else
     /// arriving in the meantime is buffered for later `try_recv`/`recv`.
     pub fn recv_match(&mut self, src: usize, tag: u32) -> Packet<M> {
-        // Check the buffer first.
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|p| p.src == src && p.tag == tag)
-        {
+        if let Some(p) = self.pending.pop_match(src, tag) {
             self.stats.messages_received += 1;
-            return self.pending.remove(pos).unwrap();
+            return p;
         }
         loop {
-            let p = self
-                .receiver
-                .recv_timeout(self.timeout)
-                .unwrap_or_else(|_| {
-                    panic!(
-                        "rank {}: recv_match(src={src}, tag={tag:#x}) timed out (deadlock?)",
-                        self.rank
-                    )
-                });
+            let p = self.recv_spin().unwrap_or_else(|| {
+                panic!(
+                    "rank {}: recv_match(src={src}, tag={tag:#x}) timed out (deadlock?)",
+                    self.rank
+                )
+            });
             if p.src == src && p.tag == tag {
                 self.stats.messages_received += 1;
                 return p;
             }
-            self.pending.push_back(p);
+            self.pending.push(p);
         }
     }
 
@@ -190,9 +299,9 @@ impl<M: CollCarrier> Comm<M> {
     /// e.g. early-arriving collective traffic from a rank that has moved
     /// ahead survives until its collective runs).
     pub fn try_recv_tag(&mut self, tag: u32) -> Option<Packet<M>> {
-        if let Some(pos) = self.pending.iter().position(|p| p.tag == tag) {
+        if let Some(p) = self.pending.pop_tag(tag) {
             self.stats.messages_received += 1;
-            return self.pending.remove(pos);
+            return Some(p);
         }
         loop {
             match self.receiver.try_recv() {
@@ -200,7 +309,7 @@ impl<M: CollCarrier> Comm<M> {
                     self.stats.messages_received += 1;
                     return Some(p);
                 }
-                Ok(p) => self.pending.push_back(p),
+                Ok(p) => self.pending.push(p),
                 Err(_) => return None,
             }
         }
@@ -208,25 +317,85 @@ impl<M: CollCarrier> Comm<M> {
 
     /// Blocking receive of a message with `tag` from any source.
     pub fn recv_tag(&mut self, tag: u32) -> Packet<M> {
-        if let Some(pos) = self.pending.iter().position(|p| p.tag == tag) {
+        if let Some(p) = self.pending.pop_tag(tag) {
             self.stats.messages_received += 1;
-            return self.pending.remove(pos).unwrap();
+            return p;
         }
         loop {
-            let p = self
-                .receiver
-                .recv_timeout(self.timeout)
-                .unwrap_or_else(|_| {
-                    panic!(
-                        "rank {}: recv_tag({tag:#x}) timed out (deadlock?)",
-                        self.rank
-                    )
-                });
+            let p = self.recv_spin().unwrap_or_else(|| {
+                panic!(
+                    "rank {}: recv_tag({tag:#x}) timed out (deadlock?)",
+                    self.rank
+                )
+            });
             if p.tag == tag {
                 self.stats.messages_received += 1;
                 return p;
             }
-            self.pending.push_back(p);
+            self.pending.push(p);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(src: usize, tag: u32, v: u64) -> Packet<CollPayload> {
+        Packet {
+            src,
+            tag,
+            payload: CollPayload::U64(v),
+        }
+    }
+
+    fn val(p: &Packet<CollPayload>) -> u64 {
+        match p.payload {
+            CollPayload::U64(v) => v,
+            _ => unreachable!("test packets are U64"),
+        }
+    }
+
+    #[test]
+    fn pending_pop_any_is_globally_fifo_across_tags() {
+        let mut buf = PendingBuf::new();
+        buf.push(pkt(0, 7, 1));
+        buf.push(pkt(1, 3, 2));
+        buf.push(pkt(2, 7, 3));
+        let order: Vec<u64> = std::iter::from_fn(|| buf.pop_any().as_ref().map(val)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn pending_pop_tag_keeps_per_tag_order_and_frees_buckets() {
+        let mut buf = PendingBuf::new();
+        // Rotating collective tags: each used once, then emptied.
+        for tag in 0..100u32 {
+            buf.push(pkt(0, tag, tag as u64));
+            assert_eq!(buf.pop_tag(tag).as_ref().map(val), Some(tag as u64));
+        }
+        assert!(buf.is_empty());
+        assert!(buf.buckets.capacity() <= 8, "buckets list stays small");
+        buf.push(pkt(0, 5, 10));
+        buf.push(pkt(1, 5, 11));
+        buf.push(pkt(0, 6, 12));
+        assert_eq!(buf.pop_tag(5).as_ref().map(val), Some(10));
+        assert_eq!(buf.pop_tag(5).as_ref().map(val), Some(11));
+        assert!(buf.pop_tag(5).is_none());
+        assert_eq!(buf.pop_tag(6).as_ref().map(val), Some(12));
+    }
+
+    #[test]
+    fn pending_pop_match_selects_by_source() {
+        let mut buf = PendingBuf::new();
+        buf.push(pkt(3, 9, 1));
+        buf.push(pkt(1, 9, 2));
+        buf.push(pkt(1, 4, 3));
+        assert_eq!(buf.pop_match(1, 9).as_ref().map(val), Some(2));
+        assert!(buf.pop_match(1, 9).is_none());
+        assert_eq!(buf.pop_match(3, 9).as_ref().map(val), Some(1));
+        assert_eq!(buf.pop_match(1, 4).as_ref().map(val), Some(3));
+        assert!(buf.is_empty());
     }
 }

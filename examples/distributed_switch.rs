@@ -75,6 +75,17 @@ fn main() {
         print!(" {}={count}", kind.label());
     }
     println!();
+    // The pipelining window keeps several conversations in flight per
+    // rank, and coalescing packs their messages into shared packets.
+    println!(
+        "pipelining: window = {} conversations/rank, peak occupancy = {}, \
+         {} logical messages in {} packets, {} parked waits",
+        DEFAULT_WINDOW,
+        out.window_peak(),
+        totals.total(),
+        out.packet_total(),
+        out.parked_events(),
+    );
 
     println!(
         "\nCP starts perfectly edge-balanced but ends skewed on clustered graphs;\n\

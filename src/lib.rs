@@ -48,7 +48,7 @@ pub use mpilite as mpi;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use edgeswitch_core::config::{ParallelConfig, StepSize};
+    pub use edgeswitch_core::config::{ParallelConfig, StepSize, DEFAULT_WINDOW};
     pub use edgeswitch_core::error_rate::error_rate;
     pub use edgeswitch_core::parallel::{
         parallel_edge_switch, simulate_parallel, MsgCounts, MsgKind, ParallelOutcome, StepTelemetry,

@@ -69,14 +69,56 @@ fn fifo_and_des_produce_identical_logical_outcomes() {
     assert!(report.runtime_ns > 0.0);
 }
 
+/// FIFO≡DES is the correctness oracle for the pipelined protocol: it
+/// must hold at every window depth, not just the stop-and-wait special
+/// case, and the window bound itself must be visible in the telemetry.
+#[test]
+fn fifo_des_conformance_holds_across_windows() {
+    let g = clustered_graph(34);
+    let t = 2_000;
+    let mut peaks = Vec::new();
+    for window in [1usize, 4, 16] {
+        let cfg = config(8).with_window(window);
+        let fifo = simulate_parallel(&g, t, &cfg);
+        let (des, _) = des_parallel(&g, t, &cfg, &CostModel::default());
+        assert!(
+            fifo.graph.same_edge_set(&des.graph),
+            "FIFO and DES diverged at window {window}"
+        );
+        assert_eq!(
+            fifo.per_rank, des.per_rank,
+            "stats diverged at window {window}"
+        );
+        assert_eq!(fifo.final_edges, des.final_edges);
+        assert_eq!(fifo.performed(), des.performed());
+        assert_eq!(fifo.window_peak(), des.window_peak());
+        assert_eq!(fifo.packet_total(), des.packet_total());
+        assert_eq!(fifo.parked_events(), des.parked_events());
+        // Occupancy never exceeds the configured bound, and the books
+        // still balance however deep the pipeline runs.
+        assert!(fifo.window_peak() <= window as u64);
+        assert_eq!(fifo.performed() + fifo.forfeited(), t);
+        assert_eq!(fifo.graph.degree_sequence(), g.degree_sequence());
+        peaks.push(fifo.window_peak());
+    }
+    // window=1 is stop-and-wait by construction; deeper windows must
+    // actually overlap conversations on this workload.
+    assert_eq!(peaks[0], 1);
+    assert!(peaks[1] > 1, "window 4 never pipelined");
+    assert!(peaks[2] >= peaks[1]);
+}
+
 #[test]
 fn threaded_engine_matches_schedule_independent_invariants() {
     let g = clustered_graph(32);
     let t = 3_000;
-    let cfg = config(6);
+    run_threaded_invariants(&g, t, &config(6).with_window(1));
+    run_threaded_invariants(&g, t, &config(6).with_window(DEFAULT_WINDOW));
+}
 
-    let sim = simulate_parallel(&g, t, &cfg);
-    let eng = parallel_edge_switch(&g, t, &cfg);
+fn run_threaded_invariants(g: &Graph, t: u64, cfg: &ParallelConfig) {
+    let sim = simulate_parallel(g, t, cfg);
+    let eng = parallel_edge_switch(g, t, cfg);
 
     for out in [&sim, &eng] {
         out.graph.check_invariants().unwrap();
