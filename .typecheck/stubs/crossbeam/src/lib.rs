@@ -1,7 +1,7 @@
 //! Offline stand-in for `crossbeam`: an MPMC unbounded channel with the
 //! `crossbeam-channel` API surface this workspace uses (clone-able
-//! senders, `send`, `recv`, `try_recv`, `recv_timeout`, disconnect
-//! detection on either side).
+//! senders, `send`, `recv`, `try_recv`, `recv_timeout`, `len`,
+//! disconnect detection on either side).
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -89,6 +89,14 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        pub fn len(&self) -> usize {
+            self.0.queue.lock().unwrap().len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.0.queue.lock().unwrap();
             match queue.pop_front() {

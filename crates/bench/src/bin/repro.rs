@@ -7,7 +7,9 @@
 //! ```
 
 use edgeswitch_bench::experiments::{
-    ablation_ids, all_ids, diagnostic_ids, hotpath::scaling_gate, perf_ids, run, ExpConfig,
+    ablation_ids, all_ids, diagnostic_ids,
+    hotpath::{probe_gate, scaling_gate},
+    perf_ids, run, ExpConfig,
 };
 use edgeswitch_bench::report::Report;
 use std::path::PathBuf;
@@ -15,11 +17,29 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment|all|ablations|diagnostics|list> [--scale S] [--reps N] [--seed X] [--out DIR] [--quick] [--gate-scaling]\n\
+        "usage: repro <experiment|all|ablations|diagnostics|list> [--scale S] [--reps N] [--seed X] [--out DIR] [--quick] [--timeline] [--gate-scaling] [--gate-probe]\n\
          experiments: {}",
         all_ids().join(", ")
     );
     std::process::exit(2);
+}
+
+/// `trace --timeline` additionally spills the per-step rows as
+/// newline-delimited JSON (`trace.jsonl` in the invocation directory),
+/// one row per `(driver, step)`, ready for `jq`/pandas.
+fn spill_timeline(report: &Report) {
+    let Some(rows) = report.data["timeline"].as_array() else {
+        return;
+    };
+    if rows.is_empty() {
+        return;
+    }
+    let body: String = rows
+        .iter()
+        .map(|row| serde_json::to_string(row).expect("serializable row") + "\n")
+        .collect();
+    std::fs::write("trace.jsonl", body).expect("write timeline");
+    println!("# wrote trace.jsonl ({} rows)", rows.len());
 }
 
 /// Perf-tracking experiments additionally archive their structured data
@@ -45,6 +65,7 @@ fn main() {
     let mut cfg = ExpConfig::default();
     let mut out_dir = PathBuf::from("results");
     let mut gate_scaling = false;
+    let mut gate_probe = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -82,10 +103,23 @@ fn main() {
                 cfg.reps = 1;
                 i += 1;
             }
+            "--timeline" => {
+                // Include per-step rows in the trace report and spill
+                // them as trace.jsonl next to the BENCH archives.
+                cfg.timeline = true;
+                i += 1;
+            }
             "--gate-scaling" => {
                 // CI anti-scaling guard (hotpath only): exit non-zero if
                 // threaded p=2 falls below p=1 on the quick ER case.
                 gate_scaling = true;
+                i += 1;
+            }
+            "--gate-probe" => {
+                // CI probe-overhead guard (hotpath only): exit non-zero
+                // if the no-op probe costs more than 3% of the frozen
+                // uninstrumented baseline.
+                gate_probe = true;
                 i += 1;
             }
             _ => usage(),
@@ -148,11 +182,23 @@ fn main() {
                 report.print();
                 report.save(&out_dir).expect("write results");
                 archive_perf(&report);
+                if report.id == "trace" && cfg.timeline {
+                    spill_timeline(&report);
+                }
                 if gate_scaling && report.id == "hotpath" {
                     match scaling_gate(&report.data) {
                         Ok(()) => println!("# scaling gate: ok (threaded p=2 >= p=1 on ER)"),
                         Err(why) => {
                             eprintln!("# scaling gate FAILED: {why}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                if gate_probe && report.id == "hotpath" {
+                    match probe_gate(&report.data) {
+                        Ok(()) => println!("# probe gate: ok (no-op probe within 3% of baseline)"),
+                        Err(why) => {
+                            eprintln!("# probe gate FAILED: {why}");
                             std::process::exit(1);
                         }
                     }

@@ -18,9 +18,12 @@ use crate::report::{f, table, Report};
 use edgeswitch_core::config::ParallelConfig;
 use edgeswitch_core::parallel::parallel_edge_switch;
 use edgeswitch_core::sequential::sequential_edge_switch;
+use edgeswitch_core::switch::{flip_kind, recombine, Recombination};
+use edgeswitch_core::visit::VisitTracker;
 use edgeswitch_dist::root_rng;
 use edgeswitch_graph::generators::{erdos_renyi_gnm, preferential_attachment, small_world};
-use edgeswitch_graph::Graph;
+use edgeswitch_graph::{Graph, OrientedEdge};
+use rand::Rng;
 use serde_json::json;
 use std::time::Instant;
 
@@ -71,6 +74,77 @@ fn bench_sequential(graph: &Graph, reps: u32, seed: u64) -> (u64, f64) {
         best = best.max(out.performed as f64 / secs);
     }
     (t, best)
+}
+
+/// Switch operations for the probe-overhead comparison. Fixed rather
+/// than scale-proportional: long enough to amortize timer noise even at
+/// `--quick` scale, where the graphs are tiny.
+const PROBE_GATE_OPS: u64 = 200_000;
+
+/// The *uninstrumented* Algorithm-1 inner loop, frozen as the reference
+/// the probe-overhead gate compares against: identical sampling,
+/// legality checking, mutation and visit tracking as
+/// [`sequential_edge_switch`], with no observation points at all. If the
+/// no-op probe in the real path ever grows measurable cost, the ratio of
+/// the two exposes it.
+fn frozen_sequential<R: Rng>(graph: &mut Graph, t: u64, rng: &mut R) -> u64 {
+    let mut tracker = VisitTracker::new(graph.edges());
+    let mut performed = 0u64;
+    if graph.num_edges() < 2 {
+        return 0;
+    }
+    'ops: for _ in 0..t {
+        let mut retries = 0u64;
+        loop {
+            let e1 = OrientedEdge::from_edge(graph.sample_edge(rng).expect("m >= 2"));
+            let e2 = OrientedEdge::from_edge(graph.sample_edge(rng).expect("m >= 2"));
+            let kind = flip_kind(rng);
+            if let Recombination::Candidate { f1, f2 } = recombine(e1, e2, kind) {
+                if !graph.has_edge(f1) && !graph.has_edge(f2) {
+                    let (o1, o2) = (e1.edge(), e2.edge());
+                    graph.remove_edge(o1).expect("sampled edge exists");
+                    graph.remove_edge(o2).expect("sampled edge exists");
+                    graph.add_edge(f1).expect("checked absent");
+                    graph.add_edge(f2).expect("checked absent");
+                    tracker.record_removal(o1);
+                    tracker.record_removal(o2);
+                    performed += 1;
+                    continue 'ops;
+                }
+            }
+            retries += 1;
+            if retries >= 100_000 {
+                std::hint::black_box(&tracker);
+                return performed;
+            }
+        }
+    }
+    std::hint::black_box(&tracker);
+    performed
+}
+
+/// Best-of-`reps` switches/sec of the frozen baseline and of the real
+/// (no-op-probed) sequential path, on identical work.
+fn bench_probe_overhead(graph: &Graph, reps: u32, seed: u64) -> (f64, f64) {
+    let mut base_best = 0.0f64;
+    let mut noop_best = 0.0f64;
+    // At least three reps: the gate divides two timings, so a single
+    // noisy sample on either side would dominate the ratio.
+    for rep in 0..reps.max(3) {
+        let salt = 0x9e0 + rep as u64;
+        let mut g = graph.clone();
+        let mut rng = root_rng(seed ^ salt);
+        let start = Instant::now();
+        let performed = frozen_sequential(&mut g, PROBE_GATE_OPS, &mut rng);
+        base_best = base_best.max(performed as f64 / start.elapsed().as_secs_f64());
+
+        let mut g = graph.clone();
+        let mut rng = root_rng(seed ^ salt);
+        let start = Instant::now();
+        let out = sequential_edge_switch(&mut g, PROBE_GATE_OPS, &mut rng);
+        noop_best = noop_best.max(out.performed as f64 / start.elapsed().as_secs_f64());
+    }
+    (base_best, noop_best)
 }
 
 /// Measure threaded-engine switches/sec at `p` ranks with a pipelining
@@ -144,7 +218,14 @@ pub fn hotpath(cfg: &ExpConfig) -> Report {
             }
         }
     }
-    let rendered = table(
+    // Probe-overhead comparison on the uniform family: the no-op probe
+    // must be free relative to the frozen uninstrumented loop.
+    let fams = families(cfg);
+    let (family, er) = &fams[0];
+    let (baseline, noop) = bench_probe_overhead(er, cfg.reps, cfg.seed);
+    let noop_vs_baseline = if baseline > 0.0 { noop / baseline } else { 1.0 };
+
+    let mut rendered = table(
         &[
             "family",
             "mode",
@@ -157,6 +238,13 @@ pub fn hotpath(cfg: &ExpConfig) -> Report {
         ],
         &rows,
     );
+    rendered.push_str(&format!(
+        "\nprobe overhead ({family}, {PROBE_GATE_OPS} ops): frozen baseline {}/s, \
+         no-op probe {}/s, ratio {}\n",
+        f(baseline, 0),
+        f(noop, 0),
+        f(noop_vs_baseline, 3),
+    ));
     Report {
         id: "hotpath".into(),
         title: "hot-path switch throughput (sequential + threaded engine)".into(),
@@ -164,9 +252,34 @@ pub fn hotpath(cfg: &ExpConfig) -> Report {
             "bench": "hotpath",
             "metric": "switches_per_sec",
             "cases": cases,
+            "probe": {
+                "family": *family,
+                "ops": PROBE_GATE_OPS,
+                "baseline_per_sec": baseline,
+                "noop_per_sec": noop,
+                "noop_vs_baseline": noop_vs_baseline,
+            },
         }),
         rendered,
     }
+}
+
+/// Probe-overhead gate over an already-computed hotpath report: the
+/// sequential path with its (disabled) observation points compiled in
+/// must stay within 3% of the frozen uninstrumented baseline's
+/// throughput. Returns a human-readable error when the gate trips.
+pub fn probe_gate(data: &serde_json::Value) -> Result<(), String> {
+    let ratio = data["probe"]["noop_vs_baseline"]
+        .as_f64()
+        .ok_or("gate: hotpath report has no probe section")?;
+    if ratio < 0.97 {
+        return Err(format!(
+            "probe overhead regression: no-op-probed path at {:.1}% of the \
+             uninstrumented baseline (floor 97%)",
+            100.0 * ratio
+        ));
+    }
+    Ok(())
 }
 
 /// Anti-scaling regression gate over an already-computed hotpath report:
@@ -210,6 +323,7 @@ mod tests {
             scale: 0.002,
             reps: 1,
             seed: 7,
+            timeline: false,
         };
         let r = hotpath(&cfg);
         assert_eq!(r.id, "hotpath");
@@ -231,6 +345,20 @@ mod tests {
         }
         assert!(r.rendered.contains("switches/sec"));
         assert!(r.rendered.contains("window"));
+        // The probe-overhead section is always present for the gate.
+        assert!(r.data["probe"]["baseline_per_sec"].as_f64().unwrap() > 0.0);
+        assert!(r.data["probe"]["noop_per_sec"].as_f64().unwrap() > 0.0);
+        assert!(r.data["probe"]["noop_vs_baseline"].as_f64().unwrap() > 0.0);
+        assert!(r.rendered.contains("probe overhead"));
+    }
+
+    #[test]
+    fn probe_gate_reads_the_report_schema() {
+        let ok = json!({"probe": {"noop_vs_baseline": 0.995}});
+        assert!(probe_gate(&ok).is_ok());
+        let bad = json!({"probe": {"noop_vs_baseline": 0.90}});
+        assert!(probe_gate(&bad).unwrap_err().contains("probe overhead"));
+        assert!(probe_gate(&json!({})).is_err());
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub mod scaling;
 pub mod similarity;
 pub mod stepsize;
 pub mod telemetry;
+pub mod trace;
 pub mod visit;
 
 use crate::report::Report;
@@ -24,6 +25,10 @@ pub struct ExpConfig {
     pub reps: u32,
     /// Master seed.
     pub seed: u64,
+    /// `repro trace` only: include the per-step timeline in the report
+    /// data (the repro binary additionally writes it as `trace.jsonl`
+    /// when invoked with `--timeline`).
+    pub timeline: bool,
 }
 
 impl Default for ExpConfig {
@@ -32,6 +37,7 @@ impl Default for ExpConfig {
             scale: 1.0,
             reps: 3,
             seed: 20140901, // ICPP 2014
+            timeline: false,
         }
     }
 }
@@ -54,7 +60,7 @@ pub fn ablation_ids() -> Vec<&'static str> {
 /// Diagnostic experiment ids (protocol telemetry, not paper figures; run
 /// via `repro <id>` or `repro diagnostics`).
 pub fn diagnostic_ids() -> Vec<&'static str> {
-    vec!["telemetry-steps"]
+    vec!["telemetry-steps", "trace"]
 }
 
 /// Performance-tracking experiment ids (not paper figures; the repro
@@ -69,6 +75,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Option<Report> {
         "ablation-quota" => ablation::ablation_quota(cfg),
         "ablation-latency" => ablation::ablation_latency(cfg),
         "telemetry-steps" => telemetry::telemetry_steps(cfg),
+        "trace" => trace::trace(cfg),
         "hotpath" => hotpath::hotpath(cfg),
         "table1" => visit::table1(cfg),
         "fig2" => visit::fig2(cfg),

@@ -8,8 +8,9 @@
 use super::ExpConfig;
 use crate::report::{f, table, Report};
 use crate::{dataset_graph, full_visit_ops};
-use edgeswitch_core::config::{ParallelConfig, StepSize};
-use edgeswitch_core::parallel::{simulate_parallel, MsgKind, StepTelemetry};
+use edgeswitch_core::config::StepSize;
+use edgeswitch_core::parallel::{MsgKind, StepTelemetry};
+use edgeswitch_core::Run;
 use edgeswitch_graph::generators::Dataset;
 use edgeswitch_graph::SchemeKind;
 use edgeswitch_scalesim::{des_parallel, CostModel};
@@ -27,9 +28,9 @@ fn step_rows(telemetry: &[StepTelemetry], with_phases: bool) -> Vec<Vec<String>>
                 s.performed.to_string(),
                 s.served.to_string(),
                 s.blocked.to_string(),
-                s.messages.get(MsgKind::Propose).to_string(),
-                s.messages.get(MsgKind::Abort).to_string(),
-                s.messages.total().to_string(),
+                s.logical_msgs.get(MsgKind::Propose).to_string(),
+                s.logical_msgs.get(MsgKind::Abort).to_string(),
+                s.logical_msgs.total().to_string(),
                 s.packets.to_string(),
                 s.window_peak.to_string(),
                 s.parked.to_string(),
@@ -56,7 +57,7 @@ fn step_json(telemetry: &[StepTelemetry]) -> Vec<serde_json::Value> {
                 "forfeited": s.forfeited,
                 "served": s.served,
                 "blocked": s.blocked,
-                "messages": s.messages.total(),
+                "logical_msgs": s.logical_msgs.total(),
                 "packets": s.packets,
                 "window_peak": s.window_peak,
                 "parked": s.parked,
@@ -75,13 +76,14 @@ pub fn telemetry_steps(cfg: &ExpConfig) -> Report {
     let t = full_visit_ops(g.num_edges());
     let p = 16;
     let steps = 8;
-    let pcfg = ParallelConfig::new(p)
-        .with_scheme(SchemeKind::Consecutive)
-        .with_step_size(StepSize::FractionOfT(steps))
-        .with_seed(cfg.seed);
+    let run = Run::simulated(p)
+        .switches(t)
+        .scheme(SchemeKind::Consecutive)
+        .step_size(StepSize::FractionOfT(steps))
+        .seed(cfg.seed);
 
-    let fifo = simulate_parallel(&g, t, &pcfg);
-    let (des, des_report) = des_parallel(&g, t, &pcfg, &CostModel::default());
+    let fifo = run.execute(&g).into_parallel().expect("simulated mode");
+    let (des, des_report) = des_parallel(&g, t, run.config(), &CostModel::default());
 
     let mut rendered = String::from("FIFO driver, per step:\n");
     rendered.push_str(&table(
@@ -121,7 +123,7 @@ pub fn telemetry_steps(cfg: &ExpConfig) -> Report {
         ],
         &step_rows(&des.telemetry, true),
     ));
-    let totals = fifo.message_totals();
+    let totals = fifo.logical_msg_totals();
     rendered.push_str("\nmessage totals by variant (FIFO):\n");
     rendered.push_str(&table(
         &["variant", "count"],
@@ -142,7 +144,7 @@ pub fn telemetry_steps(cfg: &ExpConfig) -> Report {
         data: json!({
             "p": p as u64,
             "t": t,
-            "window": pcfg.window as u64,
+            "window": run.config().window as u64,
             "window_peak": fifo.window_peak(),
             "parked_events": fifo.parked_events(),
             "packet_total": fifo.packet_total(),

@@ -1,5 +1,6 @@
 //! Configuration of a parallel edge-switch run.
 
+use crate::obs::ObsSpec;
 use edgeswitch_dist::Rng64;
 use edgeswitch_graph::SchemeKind;
 use serde::{Deserialize, Serialize};
@@ -74,6 +75,10 @@ pub struct ParallelConfig {
     /// protocol exactly; larger values pipeline message round trips.
     #[serde(default = "default_window")]
     pub window: usize,
+    /// Observability attached to the run (off by default; recording
+    /// never perturbs results — see [`crate::obs`]).
+    #[serde(default)]
+    pub obs: ObsSpec,
 }
 
 impl ParallelConfig {
@@ -87,6 +92,7 @@ impl ParallelConfig {
             quota_policy: QuotaPolicy::EdgeProportional,
             seed: 0,
             window: default_window(),
+            obs: ObsSpec::default(),
         }
     }
 
@@ -117,6 +123,12 @@ impl ParallelConfig {
     /// Builder-style quota-policy override (ablation only).
     pub fn with_quota_policy(mut self, quota_policy: QuotaPolicy) -> Self {
         self.quota_policy = quota_policy;
+        self
+    }
+
+    /// Builder-style observability override.
+    pub fn with_obs(mut self, obs: ObsSpec) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -160,14 +172,17 @@ mod tests {
             .with_scheme(SchemeKind::HashUniversal)
             .with_step_size(StepSize::SingleStep)
             .with_seed(42)
-            .with_window(4);
+            .with_window(4)
+            .with_obs(ObsSpec::Spans);
         assert_eq!(cfg.processors, 8);
         assert_eq!(cfg.scheme, SchemeKind::HashUniversal);
         assert_eq!(cfg.step_size, StepSize::SingleStep);
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.window, 4);
+        assert_eq!(cfg.obs, ObsSpec::Spans);
         // The window is clamped to at least one conversation.
         assert_eq!(ParallelConfig::new(2).with_window(0).window, 1);
         assert_eq!(ParallelConfig::new(2).window, DEFAULT_WINDOW);
+        assert_eq!(ParallelConfig::new(2).obs, ObsSpec::Off);
     }
 }

@@ -31,7 +31,9 @@
 
 pub mod config;
 pub mod error_rate;
+pub mod obs;
 pub mod parallel;
+pub mod run;
 pub mod sequential;
 pub mod switch;
 pub mod variants;
@@ -39,10 +41,15 @@ pub mod visit;
 
 pub use config::{ParallelConfig, StepSize};
 pub use error_rate::{error_rate, BlockMatrix};
+pub use obs::{Obs, ObsSpec, Probe, RunReport};
 pub use parallel::{
     parallel_edge_switch, simulate_parallel, MsgCounts, ParallelOutcome, StepTelemetry,
 };
-pub use sequential::{sequential_edge_switch, sequential_for_visit_rate, SequentialOutcome};
+pub use run::{Run, RunOutcome, SequentialRun};
+pub use sequential::{
+    sequential_edge_switch, sequential_edge_switch_observed, sequential_for_visit_rate,
+    SequentialOutcome,
+};
 pub use switch::{RejectReason, SwitchKind};
 pub use variants::{sequential_edge_switch_connected, sequential_exact_visit, ConstrainedOutcome};
 pub use visit::VisitTracker;

@@ -8,14 +8,17 @@
 //! into one [`ParallelOutcome`].
 
 use super::harness::{
-    assemble_outcome, run_rank_step, MpiliteTransport, RankOutput, StepHarness, StepTelemetry,
+    assemble_outcome, run_rank_step, MpiliteTransport, RankOutput, RunMeta, StepHarness,
+    StepTelemetry,
 };
 use super::msg::Msg;
 use super::rank::RankState;
+use crate::obs::{Clock, MonoClock};
 use edgeswitch_graph::store::build_stores;
 use edgeswitch_graph::{Graph, PartitionStore, Partitioner};
 use mpilite::{run_world, Comm, WorldConfig};
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 pub use super::harness::ParallelOutcome;
 
@@ -55,6 +58,17 @@ pub fn parallel_edge_switch_with(
     let part_ref = &part;
     let slots_ref = &slots;
 
+    // One shared monotonic clock so every rank's spans live on the same
+    // timeline. `None` when unobserved: probes stay no-ops.
+    let clock: Option<Arc<dyn Clock>> = if config.obs.enabled() {
+        Some(Arc::new(MonoClock::new()))
+    } else {
+        None
+    };
+    let obs_spec = config.obs;
+    let clock_ref = &clock;
+    let run_start = clock.as_ref().map_or(0, |c| c.now_ns());
+
     let results: Vec<(RankOutput, Vec<StepTelemetry>)> =
         run_world(p, WorldConfig::default(), move |comm: &mut Comm<Msg>| {
             let store = slots_ref[comm.rank()]
@@ -62,6 +76,9 @@ pub fn parallel_edge_switch_with(
                 .take()
                 .expect("store taken once per rank");
             let mut state = RankState::new(comm.rank(), (*part_ref).clone(), store, seed, window);
+            if let Some(clock) = clock_ref {
+                state = state.with_obs(obs_spec.build(clock.clone()));
+            }
             let telemetry: Vec<StepTelemetry> = {
                 let mut transport = MpiliteTransport::new(comm);
                 (0..steps)
@@ -76,17 +93,23 @@ pub fn parallel_edge_switch_with(
                     .collect()
             };
             let comm_stats = comm.stats();
-            let (store, tracker, stats) = state.into_parts();
+            let (store, tracker, stats, obs) = state.into_parts();
             (
                 RankOutput {
                     store,
                     tracker,
                     stats,
                     comm: comm_stats,
+                    obs,
                 },
                 telemetry,
             )
         });
+
+    let meta = clock.as_ref().map(|c| RunMeta {
+        clock: c.label(),
+        wall_ns: c.now_ns().saturating_sub(run_start),
+    });
 
     // Merge each rank's per-step telemetry into whole-world records.
     let mut telemetry = vec![StepTelemetry::default(); steps as usize];
@@ -97,5 +120,5 @@ pub fn parallel_edge_switch_with(
         }
         outputs.push(output);
     }
-    assemble_outcome(n, steps, initial_edges, outputs, telemetry)
+    assemble_outcome(n, steps, initial_edges, outputs, telemetry, meta)
 }

@@ -22,12 +22,14 @@
 use super::msg::{Msg, MsgKind, Outbox};
 use super::rank::{RankState, RankStats, StartResult};
 use crate::config::{ParallelConfig, QuotaPolicy};
+use crate::obs::{Clock, CommGauges, MonoClock, Obs, Phase, RankObs, RunReport};
 use crate::visit::VisitTracker;
 use edgeswitch_dist::rng::Rng64;
 use edgeswitch_graph::store::{assemble_graph, build_stores};
 use edgeswitch_graph::{Graph, PartitionStore, Partitioner};
 use mpilite::{CollCarrier, Comm, CommStats};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Tag for protocol messages (collectives use the reserved namespace).
 const TAG_PROTO: u32 = 1;
@@ -102,18 +104,29 @@ pub struct StepTelemetry {
     pub window_peak: u64,
     /// Network packets sent between distinct ranks. The threaded driver
     /// coalesces per-destination message runs into `Msg::Batch` frames,
-    /// so this is ≤ `messages.total()`; the simulators deliver one
-    /// logical message per packet, so there it equals `messages.total()`.
+    /// so this is ≤ `logical_msgs.total()`; the simulators deliver one
+    /// logical message per packet, so there it equals
+    /// `logical_msgs.total()`.
     pub packets: u64,
-    /// Protocol messages sent between distinct ranks, by variant
-    /// (self-deliveries are handled in place and not counted).
-    pub messages: MsgCounts,
+    /// Logical protocol messages sent between distinct ranks, by variant
+    /// (self-deliveries are handled in place and not counted; batching
+    /// is transparent).
+    pub logical_msgs: MsgCounts,
     /// DES only: virtual time of the step boundary (collective + quota
     /// draw). Zero for drivers without a clock.
     pub boundary_ns: f64,
     /// DES only: virtual time of the step's conversation drain. Zero for
     /// drivers without a clock.
     pub drain_ns: f64,
+    /// Observed runs only: time spent in the step-boundary collective
+    /// (max across ranks; clock-domain ns).
+    pub barrier_ns: f64,
+    /// Observed runs only: time spent refreshing `q` and drawing the
+    /// quota (max across ranks; clock-domain ns).
+    pub qrefresh_ns: f64,
+    /// Observed runs only: time spent blocked waiting for messages
+    /// (max across ranks; clock-domain ns).
+    pub wait_ns: f64,
 }
 
 impl StepTelemetry {
@@ -130,9 +143,12 @@ impl StepTelemetry {
         self.parked += other.parked;
         self.window_peak = self.window_peak.max(other.window_peak);
         self.packets += other.packets;
-        self.messages.merge(&other.messages);
+        self.logical_msgs.merge(&other.logical_msgs);
         self.boundary_ns = self.boundary_ns.max(other.boundary_ns);
         self.drain_ns = self.drain_ns.max(other.drain_ns);
+        self.barrier_ns = self.barrier_ns.max(other.barrier_ns);
+        self.qrefresh_ns = self.qrefresh_ns.max(other.qrefresh_ns);
+        self.wait_ns = self.wait_ns.max(other.wait_ns);
     }
 
     /// Served-versus-performed diff of `after - before` rank statistics,
@@ -168,6 +184,9 @@ pub struct ParallelOutcome {
     pub tracker: VisitTracker,
     /// Per-step telemetry, aggregated over ranks.
     pub telemetry: Vec<StepTelemetry>,
+    /// Aggregated observability report (`Some` iff the run was observed,
+    /// i.e. `ParallelConfig::obs` was not `Off`).
+    pub report: Option<RunReport>,
 }
 
 impl ParallelOutcome {
@@ -192,11 +211,12 @@ impl ParallelOutcome {
         self.per_rank.iter().map(|s| s.performed).collect()
     }
 
-    /// Total protocol messages by variant, summed over steps.
-    pub fn message_totals(&self) -> MsgCounts {
+    /// Total logical protocol messages by variant, summed over steps
+    /// (batch-transparent; contrast [`ParallelOutcome::packet_total`]).
+    pub fn logical_msg_totals(&self) -> MsgCounts {
         let mut acc = MsgCounts::default();
         for step in &self.telemetry {
-            acc.merge(&step.messages);
+            acc.merge(&step.logical_msgs);
         }
         acc
     }
@@ -239,16 +259,32 @@ pub struct RankOutput {
     pub stats: RankStats,
     /// Communication counters.
     pub comm: CommStats,
+    /// What this rank's probe recorded (`None` when unobserved).
+    pub obs: Option<RankObs>,
+}
+
+/// Run-level observation context handed to [`assemble_outcome`] by an
+/// observed driver: which clock the numbers live on and the end-to-end
+/// duration.
+#[derive(Clone, Copy, Debug)]
+pub struct RunMeta {
+    /// [`Clock::label`] of the run's clock.
+    pub clock: &'static str,
+    /// End-to-end run duration in clock-domain nanoseconds.
+    pub wall_ns: u64,
 }
 
 /// Assemble the final [`ParallelOutcome`] from per-rank outputs — the
-/// one gather/merge path shared by every driver.
+/// one gather/merge path shared by every driver. `meta` is `Some` iff
+/// the run was observed; the per-rank probe recordings and comm-layer
+/// gauges are then merged into a [`RunReport`].
 pub fn assemble_outcome(
     n: usize,
     steps: u64,
     initial_edges: Vec<u64>,
     outputs: Vec<RankOutput>,
     telemetry: Vec<StepTelemetry>,
+    meta: Option<RunMeta>,
 ) -> ParallelOutcome {
     let p = outputs.len();
     let mut per_rank = Vec::with_capacity(p);
@@ -256,16 +292,29 @@ pub fn assemble_outcome(
     let mut final_edges = Vec::with_capacity(p);
     let mut final_stores = Vec::with_capacity(p);
     let mut tracker_acc: Option<VisitTracker> = None;
+    let mut merged_obs = RankObs::default();
     for out in outputs {
         per_rank.push(out.stats);
         comm.push(out.comm);
         final_edges.push(out.store.num_edges() as u64);
         final_stores.push(out.store);
+        if let Some(obs) = &out.obs {
+            merged_obs.merge(obs);
+        }
         match &mut tracker_acc {
             None => tracker_acc = Some(out.tracker),
             Some(acc) => acc.merge_disjoint(out.tracker),
         }
     }
+    let report = meta.map(|m| {
+        let gauges = CommGauges {
+            queue_peaks: comm.iter().map(|c| c.recv_queue_peak).collect(),
+            parks: comm.iter().map(|c| c.parks).sum(),
+            park_ns: comm.iter().map(|c| c.park_ns).sum(),
+            park_ns_max: comm.iter().map(|c| c.park_ns).max().unwrap_or(0),
+        };
+        RunReport::from_obs(m.clock, p as u64, m.wall_ns, &merged_obs, Some(&gauges))
+    });
     ParallelOutcome {
         graph: assemble_graph(n, &final_stores),
         steps,
@@ -275,6 +324,7 @@ pub fn assemble_outcome(
         comm,
         tracker: tracker_acc.unwrap_or_else(|| VisitTracker::new(std::iter::empty())),
         telemetry,
+        report,
     }
 }
 
@@ -306,6 +356,20 @@ pub trait WorldTransport: Transport {
     /// in nanoseconds (zero for transports without a clock).
     fn end_step(&mut self) -> (f64, f64) {
         (0.0, 0.0)
+    }
+    /// The clock probes should read, if this transport owns the
+    /// timeline (the DES returns its virtual clock; others return `None`
+    /// and observed runs fall back to the monotonic clock).
+    fn obs_clock(&mut self) -> Option<Arc<dyn Clock>> {
+        None
+    }
+    /// After [`WorldTransport::end_step`]: record the step's barrier /
+    /// q-refresh / message-wait spans into `obs` and `tel`, returning
+    /// `true` if this transport owns those spans (the DES records them
+    /// in virtual time). `false` lets [`run_world_step`] record its own
+    /// monotonic measurements.
+    fn record_step_spans(&mut self, _obs: &mut Obs, _tel: &mut StepTelemetry) -> bool {
+        false
     }
 }
 
@@ -564,17 +628,27 @@ pub fn run_rank_step<T: RankTransport>(
 ) -> StepTelemetry {
     let p = transport.size();
     // (1) Probability vector from current edge counts.
+    let barrier_start = state.obs_mut().now();
     let counts = transport.exchange_edge_counts(state.edge_count());
+    let barrier_end = state.obs_mut().now();
     let q = probability_vector(&counts, uniform_q);
     // (2) Multinomial distribution of the step's operations (Alg. 5).
     let quota = transport.draw_quota(step_ops, &q, state.rng_mut());
+    let qrefresh_end = state.obs_mut().now();
+    let barrier_ns = barrier_end.saturating_sub(barrier_start);
+    let qrefresh_ns = qrefresh_end.saturating_sub(barrier_end);
+    state.obs_mut().span(Phase::StepBarrier, barrier_ns);
+    state.obs_mut().span(Phase::QRefresh, qrefresh_ns);
     state.begin_step(quota, &q);
 
     let mut tel = StepTelemetry {
         ops: quota,
+        barrier_ns: barrier_ns as f64,
+        qrefresh_ns: qrefresh_ns as f64,
         ..StepTelemetry::default()
     };
     let before = state.stats;
+    let mut wait_ns_acc = 0u64;
 
     // (3) Event loop.
     let mut outbox = Outbox::new();
@@ -626,7 +700,7 @@ pub fn run_rank_step<T: RankTransport>(
         if !signaled && state.step_done() {
             for dst in 0..p {
                 if dst != transport.rank() {
-                    tel.messages.record(&Msg::EndOfStep);
+                    tel.logical_msgs.record(&Msg::EndOfStep);
                     coalescer.push(dst, Msg::EndOfStep);
                 }
             }
@@ -646,7 +720,12 @@ pub fn run_rank_step<T: RankTransport>(
             // next sweep starts nothing and parks here).
             continue;
         }
+        let wait_start = state.obs_mut().now();
         let (src, msg) = transport.recv_block();
+        let wait_end = state.obs_mut().now();
+        let waited = wait_end.saturating_sub(wait_start);
+        state.obs_mut().span(Phase::MsgWait, waited);
+        wait_ns_acc += waited;
         dispatch(
             transport,
             state,
@@ -659,6 +738,7 @@ pub fn run_rank_step<T: RankTransport>(
         );
     }
     debug_assert!(state.step_done());
+    tel.wait_ns = wait_ns_acc as f64;
     tel.absorb_stats_delta(&before, &state.stats);
     tel
 }
@@ -701,7 +781,7 @@ fn drain_outbox<T: RankTransport>(
             transport.on_self_delivery(dst);
             state.handle(dst, msg, outbox);
         } else {
-            tel.messages.record(&msg);
+            tel.logical_msgs.record(&msg);
             coalescer.push(dst, msg);
         }
     }
@@ -726,7 +806,11 @@ pub fn run_world_step<T: WorldTransport>(
     let p = states.len();
     transport.begin_step(step_ops, p);
     // The allgather: probability vector from current edge counts.
+    // World-level spans are recorded once, into rank 0's probe, so a
+    // p-rank world does not count the shared boundary p times.
+    let barrier_start = states.first_mut().map_or(0, |st| st.obs_mut().now());
     let counts: Vec<u64> = states.iter().map(|st| st.edge_count()).collect();
+    let barrier_end = states.first_mut().map_or(0, |st| st.obs_mut().now());
     let q = probability_vector(&counts, uniform_q);
     // Algorithm 5, faithfully: each rank draws a multinomial over its
     // trial share from its own stream; quotas are the column sums.
@@ -735,6 +819,7 @@ pub fn run_world_step<T: WorldTransport>(
         &q,
         states.iter_mut().map(|st| st.rng_mut()),
     );
+    let qrefresh_end = states.first_mut().map_or(0, |st| st.obs_mut().now());
     for (st, &qi) in states.iter_mut().zip(&quotas) {
         st.begin_step(qi, &q);
     }
@@ -802,6 +887,22 @@ pub fn run_world_step<T: WorldTransport>(
     let (boundary_ns, drain_ns) = transport.end_step();
     tel.boundary_ns = boundary_ns;
     tel.drain_ns = drain_ns;
+    // Step spans: the DES records them in virtual time; a clockless
+    // world records its own monotonic measurements.
+    let des_owned = match states.first_mut() {
+        Some(st) => transport.record_step_spans(st.obs_mut(), &mut tel),
+        None => true,
+    };
+    if !des_owned {
+        if let Some(st) = states.first_mut() {
+            let barrier_ns = barrier_end.saturating_sub(barrier_start);
+            let qrefresh_ns = qrefresh_end.saturating_sub(barrier_end);
+            st.obs_mut().span(Phase::StepBarrier, barrier_ns);
+            st.obs_mut().span(Phase::QRefresh, qrefresh_ns);
+            tel.barrier_ns = barrier_ns as f64;
+            tel.qrefresh_ns = qrefresh_ns as f64;
+        }
+    }
     tel
 }
 
@@ -821,11 +922,11 @@ fn route_world<T: WorldTransport>(
             transport.on_self_delivery(src);
             states[src].handle(src, msg, out);
         } else {
-            comm_stats[src].messages_sent += 1;
+            comm_stats[src].packets_sent += 1;
             comm_stats[src].bytes_sent += msg.wire_size() as u64;
-            msg.record_kinds(&mut comm_stats[src].sent_by_kind);
-            comm_stats[dst].messages_received += 1;
-            tel.messages.record(&msg);
+            msg.record_kinds(&mut comm_stats[src].logical_by_kind);
+            comm_stats[dst].packets_received += 1;
+            tel.logical_msgs.record(&msg);
             // The simulators deliver one logical message per packet (no
             // coalescing — it would reorder the deterministic schedule).
             tel.packets += 1;
@@ -849,12 +950,30 @@ pub fn run_simulated_world<T: WorldTransport>(
     let initial_edges: Vec<u64> = stores.iter().map(|s| s.num_edges() as u64).collect();
     let n = graph.num_vertices();
 
+    // Observed runs read the transport's clock if it owns the timeline
+    // (the DES records in virtual time); otherwise the monotonic clock.
+    let clock: Option<Arc<dyn Clock>> = if config.obs.enabled() {
+        Some(
+            transport
+                .obs_clock()
+                .unwrap_or_else(|| Arc::new(MonoClock::new())),
+        )
+    } else {
+        None
+    };
     let mut states: Vec<RankState> = stores
         .into_iter()
         .enumerate()
-        .map(|(rank, store)| RankState::new(rank, part.clone(), store, config.seed, config.window))
+        .map(|(rank, store)| {
+            let state = RankState::new(rank, part.clone(), store, config.seed, config.window);
+            match &clock {
+                Some(clock) => state.with_obs(config.obs.build(clock.clone())),
+                None => state,
+            }
+        })
         .collect();
     let mut comm_stats = vec![CommStats::default(); p];
+    let run_start = clock.as_ref().map_or(0, |c| c.now_ns());
 
     let harness = StepHarness::new(t, config);
     let mut telemetry = Vec::with_capacity(harness.steps() as usize);
@@ -868,20 +987,25 @@ pub fn run_simulated_world<T: WorldTransport>(
         ));
     }
 
+    let meta = clock.as_ref().map(|c| RunMeta {
+        clock: c.label(),
+        wall_ns: c.now_ns().saturating_sub(run_start),
+    });
     let outputs: Vec<RankOutput> = states
         .into_iter()
         .zip(comm_stats)
         .map(|(state, comm)| {
-            let (store, tracker, stats) = state.into_parts();
+            let (store, tracker, stats, obs) = state.into_parts();
             RankOutput {
                 store,
                 tracker,
                 stats,
                 comm,
+                obs,
             }
         })
         .collect();
-    assemble_outcome(n, harness.steps(), initial_edges, outputs, telemetry)
+    assemble_outcome(n, harness.steps(), initial_edges, outputs, telemetry, meta)
 }
 
 #[cfg(test)]

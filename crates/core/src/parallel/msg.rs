@@ -105,8 +105,8 @@ pub enum Msg {
 }
 
 /// Coarse classification of [`Msg`] variants, used to bucket per-variant
-/// traffic counters in [`mpilite::CommStats::sent_by_kind`] and in the
-/// per-step telemetry.
+/// traffic counters in [`mpilite::CommStats::logical_by_kind`] and in
+/// the per-step telemetry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(usize)]
 pub enum MsgKind {

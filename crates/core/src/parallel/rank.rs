@@ -52,7 +52,8 @@
 //! in place by the driver, which is how local switches reuse the same
 //! code path with zero transport messages.
 
-use super::msg::{ConvId, Msg, Outbox};
+use super::msg::{ConvId, Msg, MsgKind, Outbox};
+use crate::obs::{GaugeKind, Obs, Phase};
 use crate::switch::{flip_kind, recombine, Recombination, RejectReason};
 use crate::visit::VisitTracker;
 use edgeswitch_dist::{rank_rng, Rng64};
@@ -116,6 +117,10 @@ impl RankStats {
 struct InFlight {
     e1: Edge,
     partner: usize,
+    /// Observation stamp of the proposal (0 when unobserved); the
+    /// `Propose` round-trip histogram records whole-conversation
+    /// lifetimes from it.
+    started_ns: u64,
 }
 
 /// A conversation this rank orchestrates as partner.
@@ -135,6 +140,10 @@ struct PartnerConv {
     failed: bool,
     /// Outstanding remote commit acknowledgements.
     acks_needed: usize,
+    /// Observation stamp of the `Validate` fan-out (0 = none sent).
+    validate_sent_ns: u64,
+    /// Observation stamp of the commit fan-out (0 = all local).
+    commit_sent_ns: u64,
 }
 
 /// Validation state of one replacement edge.
@@ -178,6 +187,10 @@ pub struct RankState {
     pub tracker: VisitTracker,
     /// Run statistics.
     pub stats: RankStats,
+    /// Observation context (no-op unless a driver attaches a probe via
+    /// [`RankState::with_obs`]). Probes only read — they never touch the
+    /// RNG or the protocol — so observed runs stay bit-identical.
+    obs: Obs,
 }
 
 impl RankState {
@@ -209,7 +222,20 @@ impl RankState {
             rng: rank_rng(seed, rank as u64),
             tracker,
             stats: RankStats::default(),
+            obs: Obs::noop(),
         }
+    }
+
+    /// Attach an observation context (builder-style).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The observation context, for drivers recording step-level spans
+    /// (message wait, barrier, q-refresh) into this rank's probe.
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
     }
 
     /// This rank's id.
@@ -264,8 +290,16 @@ impl RankState {
         !self.serving.is_empty()
     }
 
-    /// Tear down into the final store, tracker and stats.
-    pub fn into_parts(self) -> (PartitionStore, VisitTracker, RankStats) {
+    /// Tear down into the final store, tracker, stats and whatever the
+    /// probe recorded (`None` when unobserved).
+    pub fn into_parts(
+        self,
+    ) -> (
+        PartitionStore,
+        VisitTracker,
+        RankStats,
+        Option<crate::obs::RankObs>,
+    ) {
         debug_assert!(self.serving.is_empty(), "conversations left open");
         debug_assert!(
             self.pending_done.is_empty(),
@@ -273,7 +307,7 @@ impl RankState {
         );
         debug_assert!(self.reserved.is_empty(), "edges left reserved");
         debug_assert!(self.potential.is_empty(), "potential edges leaked");
-        (self.store, self.tracker, self.stats)
+        (self.store, self.tracker, self.stats, self.obs.finish())
     }
 
     /// Immutable view of the partition store.
@@ -317,6 +351,7 @@ impl RankState {
             self.remaining = 0;
             return StartResult::Idle;
         }
+        let sample_start = self.obs.now();
         let mut chosen = None;
         for _ in 0..SAMPLE_ATTEMPTS {
             let e = self.store.sample(&mut self.rng).expect("store nonempty");
@@ -325,6 +360,7 @@ impl RankState {
                 break;
             }
         }
+        self.obs.span_since(Phase::Sample, sample_start);
         let Some(e1) = chosen else {
             return StartResult::Blocked;
         };
@@ -335,7 +371,17 @@ impl RankState {
             initiator: self.rank as u32,
             seq: self.conv_seq,
         };
-        self.inflight.insert(conv, InFlight { e1, partner });
+        let started_ns = self.obs.now();
+        self.inflight.insert(
+            conv,
+            InFlight {
+                e1,
+                partner,
+                started_ns,
+            },
+        );
+        self.obs
+            .gauge(GaugeKind::WindowOccupancy, self.inflight.len() as u64);
         out.push(partner, Msg::Propose { conv, e1 });
         StartResult::Started
     }
@@ -378,6 +424,7 @@ impl RankState {
             !self.reserved.contains(&op.e1),
             "e1 must have been removed by commit before Done"
         );
+        self.obs.rtt_since(MsgKind::Propose, op.started_ns);
         self.remaining -= 1;
         self.consecutive_aborts = 0;
         self.stats.performed += 1;
@@ -401,6 +448,7 @@ impl RankState {
             op.partner, self.rank,
             "local switches never commit remotely"
         );
+        self.obs.rtt_since(MsgKind::Propose, op.started_ns);
         self.remaining -= 1;
         self.consecutive_aborts = 0;
         self.stats.performed += 1;
@@ -415,7 +463,10 @@ impl RankState {
 
     fn on_propose(&mut self, src: usize, conv: ConvId, e1: Edge, out: &mut Outbox) {
         self.stats.proposals_served += 1;
+        self.obs
+            .gauge(GaugeKind::ServingDepth, self.serving.len() as u64 + 1);
         // Sample the second edge, skipping locked edges.
+        let sample_start = self.obs.now();
         let mut chosen = None;
         if self.store.num_edges() > 0 {
             for _ in 0..SAMPLE_ATTEMPTS {
@@ -426,6 +477,7 @@ impl RankState {
                 }
             }
         }
+        self.obs.span_since(Phase::Sample, sample_start);
         let Some(e2) = chosen else {
             out.push(
                 src,
@@ -437,6 +489,7 @@ impl RankState {
             return;
         };
         debug_assert_ne!(e1, e2, "e1 is foreign or locally reserved");
+        let legality_start = self.obs.now();
         let kind = flip_kind(&mut self.rng);
         match recombine(
             OrientedEdge::from_edge(e1),
@@ -444,6 +497,7 @@ impl RankState {
             kind,
         ) {
             Recombination::Rejected(reason) => {
+                self.obs.span_since(Phase::Legality, legality_start);
                 out.push(src, Msg::Abort { conv, reason });
             }
             Recombination::Candidate { f1, f2 } => {
@@ -465,6 +519,7 @@ impl RankState {
                         }
                     }
                 }
+                self.obs.span_since(Phase::Legality, legality_start);
                 let mut awaiting = 0usize;
                 if !failed {
                     for i in 0..2 {
@@ -477,6 +532,7 @@ impl RankState {
                         }
                     }
                 }
+                let validate_sent_ns = if awaiting > 0 { self.obs.now() } else { 0 };
                 self.serving.insert(
                     conv,
                     PartnerConv {
@@ -488,6 +544,8 @@ impl RankState {
                         awaiting,
                         failed,
                         acks_needed: 0,
+                        validate_sent_ns,
+                        commit_sent_ns: 0,
                     },
                 );
                 if awaiting == 0 {
@@ -502,7 +560,7 @@ impl RankState {
     }
 
     fn on_validate_reply(&mut self, conv: ConvId, edge: Edge, ok: bool, out: &mut Outbox) {
-        let (awaiting, failed) = {
+        let (awaiting, failed, sent_ns) = {
             let c = self.serving.get_mut(&conv).expect("conversation exists");
             let i = if c.fs[0] == edge { 0 } else { 1 };
             debug_assert_eq!(c.fs[i], edge, "reply for unknown replacement");
@@ -514,9 +572,10 @@ impl RankState {
             };
             c.failed |= !ok;
             c.awaiting -= 1;
-            (c.awaiting, c.failed)
+            (c.awaiting, c.failed, c.validate_sent_ns)
         };
         if awaiting == 0 {
+            self.obs.rtt_since(MsgKind::Validate, sent_ns);
             if failed {
                 self.partner_abort(conv, RejectReason::ParallelEdge, out);
             } else {
@@ -562,10 +621,7 @@ impl RankState {
         for f in c.fs {
             let owner = self.part.owner(f.src());
             if owner == self.rank {
-                let was_potential = self.potential.remove(&f);
-                debug_assert!(was_potential);
-                let inserted = self.store.insert(f);
-                debug_assert!(inserted, "validated edge collided at commit");
+                self.apply_insert(f);
             } else {
                 out.push(owner, Msg::CommitAdd { conv, edge: f });
                 acks += 1;
@@ -581,18 +637,29 @@ impl RankState {
         if acks == 0 {
             self.partner_finish(conv, out);
         } else {
-            self.serving.get_mut(&conv).unwrap().acks_needed = acks;
+            let commit_sent_ns = self.obs.now();
+            let c = self.serving.get_mut(&conv).unwrap();
+            c.acks_needed = acks;
+            c.commit_sent_ns = commit_sent_ns;
         }
     }
 
     fn on_commit_ack(&mut self, conv: ConvId, out: &mut Outbox) {
-        let remaining = {
+        let (remaining, sent_ns, remote_add, remote_remove) = {
             let c = self.serving.get_mut(&conv).expect("conversation exists");
             debug_assert!(c.acks_needed > 0);
             c.acks_needed -= 1;
-            c.acks_needed
+            let remote_add = c.fs.iter().any(|f| self.part.owner(f.src()) != self.rank);
+            let remote_remove = c.initiator != self.rank;
+            (c.acks_needed, c.commit_sent_ns, remote_add, remote_remove)
         };
         if remaining == 0 {
+            if remote_add {
+                self.obs.rtt_since(MsgKind::CommitAdd, sent_ns);
+            }
+            if remote_remove {
+                self.obs.rtt_since(MsgKind::CommitRemove, sent_ns);
+            }
             self.partner_finish(conv, out);
         }
     }
@@ -608,11 +675,23 @@ impl RankState {
 
     /// Remove a locally-owned, reserved old edge and record the visit.
     fn apply_remove(&mut self, e: Edge) {
+        let apply_start = self.obs.now();
         let was_reserved = self.reserved.remove(&e);
         debug_assert!(was_reserved, "commit removal of unreserved edge {e}");
         let removed = self.store.remove(e);
         debug_assert!(removed, "commit removal of missing edge {e}");
         self.tracker.record_removal(e);
+        self.obs.span_since(Phase::SwitchApply, apply_start);
+    }
+
+    /// Materialize a locally-owned, reserved replacement edge.
+    fn apply_insert(&mut self, f: Edge) {
+        let apply_start = self.obs.now();
+        let was_potential = self.potential.remove(&f);
+        debug_assert!(was_potential, "commit insertion of unreserved edge {f}");
+        let inserted = self.store.insert(f);
+        debug_assert!(inserted, "potential edge {f} collided at commit");
+        self.obs.span_since(Phase::SwitchApply, apply_start);
     }
 
     /// An edge may not be created if it exists or is about to exist.
@@ -627,7 +706,10 @@ impl RankState {
     fn on_validate(&mut self, src: usize, conv: ConvId, edge: Edge, out: &mut Outbox) {
         debug_assert_eq!(self.part.owner(edge.src()), self.rank, "misrouted Validate");
         self.stats.validations_served += 1;
-        if self.occupied(edge) {
+        let legality_start = self.obs.now();
+        let occupied = self.occupied(edge);
+        self.obs.span_since(Phase::Legality, legality_start);
+        if occupied {
             out.push(src, Msg::ValidateFail { conv, edge });
         } else {
             self.potential.insert(edge);
@@ -636,10 +718,7 @@ impl RankState {
     }
 
     fn on_commit_add(&mut self, src: usize, conv: ConvId, edge: Edge, out: &mut Outbox) {
-        let was_potential = self.potential.remove(&edge);
-        debug_assert!(was_potential, "CommitAdd for unreserved edge {edge}");
-        let inserted = self.store.insert(edge);
-        debug_assert!(inserted, "potential edge {edge} collided at commit");
+        self.apply_insert(edge);
         out.push(src, Msg::CommitAck { conv });
     }
 

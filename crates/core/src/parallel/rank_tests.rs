@@ -184,8 +184,8 @@ fn full_global_switch_between_two_ranks() {
     assert!(r0.step_done(), "rank 0 must finish its single operation");
     // Books balance: 2 edges total, degree multiset preserved.
     assert_eq!(r0.edge_count() + r1.edge_count(), 2);
-    let (s0, _t0, st0) = r0.into_parts();
-    let (s1, _t1, st1) = r1.into_parts();
+    let (s0, _t0, st0, _) = r0.into_parts();
+    let (s1, _t1, st1, _) = r1.into_parts();
     assert_eq!(st0.performed, 1);
     assert_eq!(st1.performed, 0);
     let mut endpoints: Vec<u64> = s0
@@ -351,7 +351,7 @@ fn stop_and_wait_reference(
     let mut stats = Vec::new();
     let mut edges: Vec<(u64, u64)> = Vec::new();
     for st in states {
-        let (store, _tracker, s) = st.into_parts();
+        let (store, _tracker, s, _) = st.into_parts();
         stats.push(s);
         edges.extend(store.edges().map(|e| (e.src(), e.dst())));
     }

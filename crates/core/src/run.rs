@@ -1,0 +1,322 @@
+//! The [`Run`] builder: one front door to the switching algorithms.
+//!
+//! Callers previously picked a free function per driver
+//! (`sequential_edge_switch`, `parallel_edge_switch`,
+//! `simulate_parallel`) and threaded an operation count, an RNG and a
+//! [`ParallelConfig`] by hand. `Run` folds those choices into a single
+//! builder: pick a driver, state the budget as either an operation count
+//! or a target visit rate (Section 3.1: `t = E[T]/2`), tune the knobs,
+//! and `execute`:
+//!
+//! ```
+//! use edgeswitch_core::Run;
+//! use edgeswitch_dist::root_rng;
+//! use edgeswitch_graph::generators::erdos_renyi_gnm;
+//!
+//! let g = erdos_renyi_gnm(200, 800, &mut root_rng(1));
+//! let out = Run::sequential().switches(500).seed(9).execute(&g);
+//! assert_eq!(out.performed(), 500);
+//! assert_eq!(out.graph().degree_sequence(), g.degree_sequence());
+//!
+//! let out = Run::parallel(4).visit_rate(0.5).seed(9).execute(&g);
+//! assert!((out.visit_rate() - 0.5).abs() < 0.1);
+//! ```
+//!
+//! The original free functions remain as thin layers over the same
+//! engines; `Run` is the recommended entry point.
+
+use crate::config::{ParallelConfig, StepSize};
+use crate::obs::{ObsSpec, RunReport};
+use crate::parallel::{parallel_edge_switch, simulate_parallel, ParallelOutcome};
+use crate::sequential::{sequential_edge_switch_observed, SequentialOutcome};
+use edgeswitch_graph::{Graph, SchemeKind};
+
+/// Which engine executes the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Algorithm 1 on one thread.
+    Sequential,
+    /// The distributed protocol on `p` real (threaded) ranks.
+    Parallel,
+    /// The distributed protocol on `p` simulated ranks (deterministic
+    /// FIFO world — bit-reproducible at any `p`).
+    Simulated,
+}
+
+/// How much switching to do.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Budget {
+    /// An explicit operation count `t`.
+    Switches(u64),
+    /// A target expected visit rate `x`; `t` is derived from the graph's
+    /// edge count at execute time (Section 3.1).
+    VisitRate(f64),
+}
+
+/// Builder for one switching run. Start from [`Run::sequential`],
+/// [`Run::parallel`] or [`Run::simulated`], chain the knobs, then call
+/// [`Run::execute`].
+#[derive(Clone, Debug)]
+pub struct Run {
+    mode: Mode,
+    budget: Budget,
+    config: ParallelConfig,
+}
+
+impl Run {
+    fn new(mode: Mode, processors: usize) -> Self {
+        Run {
+            mode,
+            // The paper's headline experiments run to full visit rate.
+            budget: Budget::VisitRate(1.0),
+            config: ParallelConfig::new(processors),
+        }
+    }
+
+    /// A sequential run (Algorithm 1). The parallel-only knobs
+    /// ([`Run::scheme`], [`Run::step_size`], [`Run::window`]) are
+    /// accepted and ignored.
+    pub fn sequential() -> Self {
+        Run::new(Mode::Sequential, 1)
+    }
+
+    /// A parallel run on `p` threaded ranks (Sections 4–5).
+    pub fn parallel(p: usize) -> Self {
+        Run::new(Mode::Parallel, p)
+    }
+
+    /// A parallel run on `p` deterministically simulated ranks: the same
+    /// protocol as [`Run::parallel`], delivered from a global FIFO queue
+    /// in one thread — bit-reproducible for a given seed at any `p`.
+    pub fn simulated(p: usize) -> Self {
+        Run::new(Mode::Simulated, p)
+    }
+
+    /// Budget by target expected visit rate `x` (the default, at
+    /// `x = 1.0`): `t` is derived from the graph's edge count at
+    /// execute time.
+    pub fn visit_rate(mut self, x: f64) -> Self {
+        self.budget = Budget::VisitRate(x);
+        self
+    }
+
+    /// Budget by explicit switch-operation count `t`.
+    pub fn switches(mut self, t: u64) -> Self {
+        self.budget = Budget::Switches(t);
+        self
+    }
+
+    /// Master seed (drives the sequential RNG or every rank stream).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config = self.config.with_seed(seed);
+        self
+    }
+
+    /// Partitioning scheme (parallel/simulated only).
+    pub fn scheme(mut self, scheme: SchemeKind) -> Self {
+        self.config = self.config.with_scheme(scheme);
+        self
+    }
+
+    /// Step-size policy (parallel/simulated only).
+    pub fn step_size(mut self, step_size: StepSize) -> Self {
+        self.config = self.config.with_step_size(step_size);
+        self
+    }
+
+    /// Pipelining window (parallel/simulated only; `1` = stop-and-wait).
+    pub fn window(mut self, window: usize) -> Self {
+        self.config = self.config.with_window(window);
+        self
+    }
+
+    /// Attach observation: with [`ObsSpec::Spans`] the outcome carries a
+    /// [`RunReport`] of phase timings, latency histograms and gauges.
+    /// Recording never perturbs the run (see [`crate::obs`]).
+    pub fn probe(mut self, spec: ObsSpec) -> Self {
+        self.config = self.config.with_obs(spec);
+        self
+    }
+
+    /// The [`ParallelConfig`] this builder resolves to.
+    pub fn config(&self) -> &ParallelConfig {
+        &self.config
+    }
+
+    /// Resolve the budget against `graph`.
+    fn resolve_ops(&self, graph: &Graph) -> u64 {
+        match self.budget {
+            Budget::Switches(t) => t,
+            Budget::VisitRate(x) => {
+                edgeswitch_dist::switch_ops_for_visit_rate(graph.num_edges() as u64, x)
+            }
+        }
+    }
+
+    /// Execute the run. The input graph is not modified: sequential runs
+    /// switch a clone, parallel runs partition and reassemble.
+    pub fn execute(&self, graph: &Graph) -> RunOutcome {
+        let t = self.resolve_ops(graph);
+        match self.mode {
+            Mode::Sequential => {
+                let mut g = graph.clone();
+                let mut rng = edgeswitch_dist::root_rng(self.config.seed);
+                let outcome = sequential_edge_switch_observed(&mut g, t, &mut rng, self.config.obs);
+                RunOutcome::Sequential(Box::new(SequentialRun { graph: g, outcome }))
+            }
+            Mode::Parallel => {
+                RunOutcome::Parallel(Box::new(parallel_edge_switch(graph, t, &self.config)))
+            }
+            Mode::Simulated => {
+                RunOutcome::Parallel(Box::new(simulate_parallel(graph, t, &self.config)))
+            }
+        }
+    }
+}
+
+/// A sequential run's switched graph together with its outcome.
+#[derive(Clone, Debug)]
+pub struct SequentialRun {
+    /// The switched graph.
+    pub graph: Graph,
+    /// The run's counters, tracker and (if observed) report.
+    pub outcome: SequentialOutcome,
+}
+
+/// What [`Run::execute`] produced, with driver-independent accessors.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// A sequential run.
+    Sequential(Box<SequentialRun>),
+    /// A parallel run (threaded or simulated).
+    Parallel(Box<ParallelOutcome>),
+}
+
+impl RunOutcome {
+    /// The switched graph.
+    pub fn graph(&self) -> &Graph {
+        match self {
+            RunOutcome::Sequential(run) => &run.graph,
+            RunOutcome::Parallel(out) => &out.graph,
+        }
+    }
+
+    /// Observed visit rate.
+    pub fn visit_rate(&self) -> f64 {
+        match self {
+            RunOutcome::Sequential(run) => run.outcome.visit_rate(),
+            RunOutcome::Parallel(out) => out.visit_rate(),
+        }
+    }
+
+    /// Switch operations performed.
+    pub fn performed(&self) -> u64 {
+        match self {
+            RunOutcome::Sequential(run) => run.outcome.performed,
+            RunOutcome::Parallel(out) => out.performed(),
+        }
+    }
+
+    /// The observability report (`Some` iff the run was observed via
+    /// [`Run::probe`]).
+    pub fn report(&self) -> Option<&RunReport> {
+        match self {
+            RunOutcome::Sequential(run) => run.outcome.report.as_ref(),
+            RunOutcome::Parallel(out) => out.report.as_ref(),
+        }
+    }
+
+    /// The parallel outcome, if this was a parallel or simulated run.
+    pub fn into_parallel(self) -> Option<ParallelOutcome> {
+        match self {
+            RunOutcome::Parallel(out) => Some(*out),
+            RunOutcome::Sequential(_) => None,
+        }
+    }
+
+    /// The sequential run, if this was one.
+    pub fn into_sequential(self) -> Option<SequentialRun> {
+        match self {
+            RunOutcome::Sequential(run) => Some(*run),
+            RunOutcome::Parallel(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::sequential_edge_switch;
+    use edgeswitch_dist::root_rng;
+    use edgeswitch_graph::generators::erdos_renyi_gnm;
+
+    fn graph() -> Graph {
+        erdos_renyi_gnm(150, 600, &mut root_rng(3))
+    }
+
+    #[test]
+    fn builder_resolves_config() {
+        let run = Run::parallel(8)
+            .scheme(SchemeKind::HashUniversal)
+            .step_size(StepSize::SingleStep)
+            .seed(42)
+            .window(4)
+            .probe(ObsSpec::Spans);
+        let cfg = run.config();
+        assert_eq!(cfg.processors, 8);
+        assert_eq!(cfg.scheme, SchemeKind::HashUniversal);
+        assert_eq!(cfg.step_size, StepSize::SingleStep);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.window, 4);
+        assert_eq!(cfg.obs, ObsSpec::Spans);
+    }
+
+    #[test]
+    fn sequential_run_matches_free_function() {
+        let g = graph();
+        let out = Run::sequential().switches(400).seed(11).execute(&g);
+        let mut direct = g.clone();
+        let d = sequential_edge_switch(&mut direct, 400, &mut root_rng(11));
+        assert_eq!(out.performed(), d.performed);
+        assert!(out.graph().same_edge_set(&direct));
+        assert!(out.report().is_none());
+        let run = out.into_sequential().expect("sequential run");
+        assert_eq!(run.outcome.rejects, d.rejects);
+    }
+
+    #[test]
+    fn simulated_run_matches_free_function() {
+        let g = graph();
+        let out = Run::simulated(4).switches(300).seed(5).execute(&g);
+        let direct = simulate_parallel(&g, 300, &ParallelConfig::new(4).with_seed(5));
+        assert!(out.graph().same_edge_set(&direct.graph));
+        assert_eq!(out.performed(), direct.performed());
+        let par = out.into_parallel().expect("parallel outcome");
+        assert_eq!(par.steps, direct.steps);
+    }
+
+    #[test]
+    fn visit_rate_budget_derives_ops() {
+        let g = graph();
+        let out = Run::sequential().visit_rate(0.5).seed(2).execute(&g);
+        let t = edgeswitch_dist::switch_ops_for_visit_rate(g.num_edges() as u64, 0.5);
+        assert_eq!(out.performed(), t);
+        // Input untouched.
+        assert_eq!(g.num_edges(), 600);
+    }
+
+    #[test]
+    fn observed_run_carries_report_and_identical_graph() {
+        let g = graph();
+        let plain = Run::sequential().switches(250).seed(7).execute(&g);
+        let observed = Run::sequential()
+            .switches(250)
+            .seed(7)
+            .probe(ObsSpec::Spans)
+            .execute(&g);
+        assert!(observed.graph().same_edge_set(plain.graph()));
+        let report = observed.report().expect("observed run has a report");
+        assert_eq!(report.clock, "monotonic");
+        assert!(report.phase(crate::obs::Phase::Sample).hist.count > 0);
+    }
+}

@@ -5,6 +5,7 @@
 //! parallel edge or is useless — in which case the operation restarts
 //! with a fresh draw. `O(t log d_max)` expected for sparse graphs.
 
+use crate::obs::{Obs, ObsSpec, Phase, RunReport};
 use crate::switch::{flip_kind, recombine, Recombination, RejectReason};
 use crate::visit::VisitTracker;
 use edgeswitch_graph::{Graph, OrientedEdge};
@@ -51,6 +52,10 @@ pub struct SequentialOutcome {
     pub rejects: RejectCounts,
     /// Visit tracking against the initial edge set.
     pub tracker: VisitTracker,
+    /// Aggregated observability report (`Some` iff the run was
+    /// observed, i.e. run via [`sequential_edge_switch_observed`] with a
+    /// non-`Off` spec).
+    pub report: Option<RunReport>,
 }
 
 impl SequentialOutcome {
@@ -73,27 +78,55 @@ pub fn sequential_edge_switch<R: Rng + ?Sized>(
     t: u64,
     rng: &mut R,
 ) -> SequentialOutcome {
+    sequential_edge_switch_observed(graph, t, rng, ObsSpec::Off)
+}
+
+/// [`sequential_edge_switch`] with observation attached: phase spans are
+/// recorded against the monotonic clock and aggregated into
+/// [`SequentialOutcome::report`]. Probes only read, so the switched graph
+/// is bit-identical to an unobserved run under the same seed.
+pub fn sequential_edge_switch_observed<R: Rng + ?Sized>(
+    graph: &mut Graph,
+    t: u64,
+    rng: &mut R,
+    spec: ObsSpec,
+) -> SequentialOutcome {
+    let mut obs = if spec.enabled() {
+        spec.build_mono()
+    } else {
+        Obs::noop()
+    };
+    let run_start = obs.now();
     let mut outcome = SequentialOutcome {
         performed: 0,
         abandoned: 0,
         rejects: RejectCounts::default(),
         tracker: VisitTracker::new(graph.edges()),
+        report: None,
     };
     if graph.num_edges() < 2 {
         outcome.abandoned = t;
+        finish_report(&mut outcome, obs, run_start);
         return outcome;
     }
     'ops: for _ in 0..t {
         let mut retries = 0u64;
         loop {
+            let sample_start = obs.now();
             let e1 = OrientedEdge::from_edge(graph.sample_edge(rng).expect("m >= 2"));
             let e2 = OrientedEdge::from_edge(graph.sample_edge(rng).expect("m >= 2"));
             let kind = flip_kind(rng);
-            let reason = match recombine(e1, e2, kind) {
+            obs.span_since(Phase::Sample, sample_start);
+            let legality_start = obs.now();
+            let recombined = recombine(e1, e2, kind);
+            let reason = match recombined {
                 Recombination::Candidate { f1, f2 } => {
                     if graph.has_edge(f1) || graph.has_edge(f2) {
+                        obs.span_since(Phase::Legality, legality_start);
                         RejectReason::ParallelEdge
                     } else {
+                        obs.span_since(Phase::Legality, legality_start);
+                        let apply_start = obs.now();
                         let (o1, o2) = (e1.edge(), e2.edge());
                         graph.remove_edge(o1).expect("sampled edge exists");
                         graph.remove_edge(o2).expect("sampled edge exists");
@@ -102,10 +135,14 @@ pub fn sequential_edge_switch<R: Rng + ?Sized>(
                         outcome.tracker.record_removal(o1);
                         outcome.tracker.record_removal(o2);
                         outcome.performed += 1;
+                        obs.span_since(Phase::SwitchApply, apply_start);
                         continue 'ops;
                     }
                 }
-                Recombination::Rejected(r) => r,
+                Recombination::Rejected(r) => {
+                    obs.span_since(Phase::Legality, legality_start);
+                    r
+                }
             };
             outcome.rejects.bump(reason);
             retries += 1;
@@ -113,11 +150,25 @@ pub fn sequential_edge_switch<R: Rng + ?Sized>(
                 // No legal switch found; the remaining budget will fare
                 // no better on a graph this degenerate.
                 outcome.abandoned = t - outcome.performed;
+                finish_report(&mut outcome, obs, run_start);
                 return outcome;
             }
         }
     }
+    finish_report(&mut outcome, obs, run_start);
     outcome
+}
+
+/// Fold an observation context into the outcome's [`RunReport`] (no-op
+/// for unobserved runs).
+fn finish_report(outcome: &mut SequentialOutcome, obs: Obs, run_start: u64) {
+    if !obs.enabled() {
+        return;
+    }
+    let wall_ns = obs.now().saturating_sub(run_start);
+    if let Some(rec) = obs.finish() {
+        outcome.report = Some(RunReport::from_obs("monotonic", 1, wall_ns, &rec, None));
+    }
 }
 
 /// Perform the number of operations required for an expected visit rate

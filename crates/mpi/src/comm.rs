@@ -29,7 +29,7 @@ pub trait CollCarrier: Sized {
     fn wire_size(&self) -> usize {
         std::mem::size_of::<Self>()
     }
-    /// Counter slot in [`CommStats::sent_by_kind`] for this message.
+    /// Counter slot in [`CommStats::logical_by_kind`] for this message.
     /// Protocol enums override this to get per-variant traffic counts;
     /// the default buckets everything into the last (catch-all) slot.
     fn kind_index(&self) -> usize {
@@ -206,9 +206,9 @@ impl<M: CollCarrier> Comm<M> {
     }
 
     pub(crate) fn send_raw(&mut self, dst: usize, tag: u32, payload: M) {
-        self.stats.messages_sent += 1;
+        self.stats.packets_sent += 1;
         self.stats.bytes_sent += payload.wire_size() as u64;
-        payload.record_kinds(&mut self.stats.sent_by_kind);
+        payload.record_kinds(&mut self.stats.logical_by_kind);
         self.senders[dst]
             .send(Packet {
                 src: self.rank,
@@ -222,6 +222,8 @@ impl<M: CollCarrier> Comm<M> {
     /// exchanges are usually answered within microseconds, so busy-poll
     /// briefly (relax, then yield so an oversubscribed sender can run)
     /// before paying `recv_timeout` parking latency. `None` on timeout.
+    /// Park time is metered into [`CommStats::park_ns`] (the park
+    /// already costs microseconds, so the `Instant` reads are noise).
     fn recv_spin(&mut self) -> Option<Packet<M>> {
         for spin in 0..SPIN_TOTAL {
             if let Ok(p) = self.receiver.try_recv() {
@@ -233,19 +235,34 @@ impl<M: CollCarrier> Comm<M> {
                 std::thread::yield_now();
             }
         }
-        self.receiver.recv_timeout(self.timeout).ok()
+        let parked_at = std::time::Instant::now();
+        let res = self.receiver.recv_timeout(self.timeout).ok();
+        self.stats.parks += 1;
+        self.stats.park_ns += parked_at.elapsed().as_nanos() as u64;
+        res
+    }
+
+    /// Sample the channel backlog at a receive entry point into
+    /// [`CommStats::recv_queue_peak`].
+    #[inline]
+    fn note_queue_depth(&mut self) {
+        let depth = self.receiver.len() as u64;
+        if depth > self.stats.recv_queue_peak {
+            self.stats.recv_queue_peak = depth;
+        }
     }
 
     /// Non-blocking receive of the next available message (any source,
     /// any tag); earlier-buffered messages are drained first.
     pub fn try_recv(&mut self) -> Option<Packet<M>> {
+        self.note_queue_depth();
         if let Some(p) = self.pending.pop_any() {
-            self.stats.messages_received += 1;
+            self.stats.packets_received += 1;
             return Some(p);
         }
         match self.receiver.try_recv() {
             Ok(p) => {
-                self.stats.messages_received += 1;
+                self.stats.packets_received += 1;
                 Some(p)
             }
             Err(_) => None,
@@ -258,8 +275,9 @@ impl<M: CollCarrier> Comm<M> {
     /// Panics after the configured timeout — a deadlocked protocol should
     /// fail loudly in tests rather than hang.
     pub fn recv(&mut self) -> Packet<M> {
+        self.note_queue_depth();
         if let Some(p) = self.pending.pop_any() {
-            self.stats.messages_received += 1;
+            self.stats.packets_received += 1;
             return p;
         }
         let p = self.recv_spin().unwrap_or_else(|| {
@@ -268,15 +286,16 @@ impl<M: CollCarrier> Comm<M> {
                 self.rank, self.timeout
             )
         });
-        self.stats.messages_received += 1;
+        self.stats.packets_received += 1;
         p
     }
 
     /// Blocking receive of a message matching `(src, tag)`; anything else
     /// arriving in the meantime is buffered for later `try_recv`/`recv`.
     pub fn recv_match(&mut self, src: usize, tag: u32) -> Packet<M> {
+        self.note_queue_depth();
         if let Some(p) = self.pending.pop_match(src, tag) {
-            self.stats.messages_received += 1;
+            self.stats.packets_received += 1;
             return p;
         }
         loop {
@@ -287,7 +306,7 @@ impl<M: CollCarrier> Comm<M> {
                 )
             });
             if p.src == src && p.tag == tag {
-                self.stats.messages_received += 1;
+                self.stats.packets_received += 1;
                 return p;
             }
             self.pending.push(p);
@@ -299,14 +318,15 @@ impl<M: CollCarrier> Comm<M> {
     /// e.g. early-arriving collective traffic from a rank that has moved
     /// ahead survives until its collective runs).
     pub fn try_recv_tag(&mut self, tag: u32) -> Option<Packet<M>> {
+        self.note_queue_depth();
         if let Some(p) = self.pending.pop_tag(tag) {
-            self.stats.messages_received += 1;
+            self.stats.packets_received += 1;
             return Some(p);
         }
         loop {
             match self.receiver.try_recv() {
                 Ok(p) if p.tag == tag => {
-                    self.stats.messages_received += 1;
+                    self.stats.packets_received += 1;
                     return Some(p);
                 }
                 Ok(p) => self.pending.push(p),
@@ -317,8 +337,9 @@ impl<M: CollCarrier> Comm<M> {
 
     /// Blocking receive of a message with `tag` from any source.
     pub fn recv_tag(&mut self, tag: u32) -> Packet<M> {
+        self.note_queue_depth();
         if let Some(p) = self.pending.pop_tag(tag) {
-            self.stats.messages_received += 1;
+            self.stats.packets_received += 1;
             return p;
         }
         loop {
@@ -329,7 +350,7 @@ impl<M: CollCarrier> Comm<M> {
                 )
             });
             if p.tag == tag {
-                self.stats.messages_received += 1;
+                self.stats.packets_received += 1;
                 return p;
             }
             self.pending.push(p);

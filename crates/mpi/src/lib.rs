@@ -139,8 +139,8 @@ mod collective_tests {
             comm.stats()
         });
         for s in stats {
-            assert!(s.messages_sent >= 2, "p2p + barrier rounds: {s:?}");
-            assert!(s.messages_received >= 2);
+            assert!(s.packets_sent >= 2, "p2p + barrier rounds: {s:?}");
+            assert!(s.packets_received >= 2);
             assert_eq!(s.collectives, 1);
             assert!(s.bytes_sent >= 8);
         }

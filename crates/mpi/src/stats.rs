@@ -1,40 +1,65 @@
-//! Per-rank traffic counters, consumed by the virtual-time cost models.
+//! Per-rank traffic counters, consumed by the virtual-time cost models
+//! and the observability layer.
+//!
+//! Vocabulary (used consistently across the workspace):
+//! - **packets** — physical channel sends/receives. A coalesced
+//!   `Batch` frame is one packet regardless of how many protocol
+//!   messages it carries.
+//! - **logical messages** — protocol-level messages, counted per kind
+//!   in [`CommStats::logical_by_kind`]; batching is transparent (each
+//!   framed message counts under its own kind, the frame itself counts
+//!   nothing).
 
-/// Number of per-kind send counter slots in [`CommStats::sent_by_kind`].
+/// Number of per-kind counter slots in [`CommStats::logical_by_kind`].
 ///
 /// Message types report a slot via [`crate::comm::CollCarrier::kind_index`];
 /// the last slot (`KIND_SLOTS - 1`) is the default catch-all for types that
 /// don't classify their variants.
 pub const KIND_SLOTS: usize = 16;
 
-/// Message and byte counts accumulated by one rank's [`crate::comm::Comm`].
+/// Traffic and wait counters accumulated by one rank's
+/// [`crate::comm::Comm`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CommStats {
-    /// Point-to-point messages sent (including collective rounds).
-    pub messages_sent: u64,
+    /// Physical packets sent (including collective rounds); a coalesced
+    /// batch counts once.
+    pub packets_sent: u64,
     /// Approximate payload bytes sent.
     pub bytes_sent: u64,
-    /// Messages received.
-    pub messages_received: u64,
+    /// Physical packets received.
+    pub packets_received: u64,
     /// Collective operations completed.
     pub collectives: u64,
-    /// Messages sent, bucketed by [`crate::comm::CollCarrier::kind_index`].
-    pub sent_by_kind: [u64; KIND_SLOTS],
+    /// Logical messages sent, bucketed by
+    /// [`crate::comm::CollCarrier::kind_index`] (batch-transparent).
+    pub logical_by_kind: [u64; KIND_SLOTS],
+    /// Times a blocking receive exhausted its spin budget and parked on
+    /// the channel.
+    pub parks: u64,
+    /// Total nanoseconds spent parked in blocking receives.
+    pub park_ns: u64,
+    /// Peak receive-queue depth observed at receive entry (how far
+    /// behind its senders this rank got).
+    pub recv_queue_peak: u64,
 }
 
 impl CommStats {
-    /// Element-wise sum, for aggregating a whole world's traffic.
+    /// Element-wise aggregation for a whole world's traffic: counters
+    /// add, `recv_queue_peak` takes the max.
     pub fn merge(&self, other: &CommStats) -> CommStats {
-        let mut sent_by_kind = self.sent_by_kind;
-        for (slot, v) in sent_by_kind.iter_mut().zip(other.sent_by_kind.iter()) {
+        let mut logical_by_kind = self.logical_by_kind;
+        for (slot, v) in logical_by_kind.iter_mut().zip(other.logical_by_kind.iter()) {
             *slot += v;
         }
         CommStats {
-            messages_sent: self.messages_sent + other.messages_sent,
+            packets_sent: self.packets_sent + other.packets_sent,
             bytes_sent: self.bytes_sent + other.bytes_sent,
-            messages_received: self.messages_received + other.messages_received,
+            packets_received: self.packets_received + other.packets_received,
             collectives: self.collectives + other.collectives,
-            sent_by_kind,
+            logical_by_kind,
+            parks: self.parks + other.parks,
+            park_ns: self.park_ns + other.park_ns,
+            recv_queue_peak: self.recv_queue_peak.max(other.recv_queue_peak),
         }
     }
 }
@@ -44,33 +69,42 @@ mod tests {
     use super::*;
 
     #[test]
-    fn merge_adds_fields() {
+    fn merge_adds_counters_and_maxes_peaks() {
         let mut ka = [0u64; KIND_SLOTS];
         ka[0] = 7;
         let mut kb = [0u64; KIND_SLOTS];
         kb[0] = 2;
         kb[3] = 1;
         let a = CommStats {
-            messages_sent: 1,
+            packets_sent: 1,
             bytes_sent: 10,
-            messages_received: 2,
+            packets_received: 2,
             collectives: 3,
-            sent_by_kind: ka,
+            logical_by_kind: ka,
+            parks: 1,
+            park_ns: 100,
+            recv_queue_peak: 4,
         };
         let b = CommStats {
-            messages_sent: 4,
+            packets_sent: 4,
             bytes_sent: 40,
-            messages_received: 5,
+            packets_received: 5,
             collectives: 6,
-            sent_by_kind: kb,
+            logical_by_kind: kb,
+            parks: 2,
+            park_ns: 300,
+            recv_queue_peak: 2,
         };
         let c = a.merge(&b);
-        assert_eq!(c.messages_sent, 5);
+        assert_eq!(c.packets_sent, 5);
         assert_eq!(c.bytes_sent, 50);
-        assert_eq!(c.messages_received, 7);
+        assert_eq!(c.packets_received, 7);
         assert_eq!(c.collectives, 9);
-        assert_eq!(c.sent_by_kind[0], 9);
-        assert_eq!(c.sent_by_kind[3], 1);
-        assert_eq!(c.sent_by_kind[1], 0);
+        assert_eq!(c.logical_by_kind[0], 9);
+        assert_eq!(c.logical_by_kind[3], 1);
+        assert_eq!(c.logical_by_kind[1], 0);
+        assert_eq!(c.parks, 3);
+        assert_eq!(c.park_ns, 400);
+        assert_eq!(c.recv_queue_peak, 4);
     }
 }

@@ -27,7 +27,7 @@ fn main() {
             p,
             rep.runtime_ns / 1e6,
             rep.speedup,
-            rep.messages as f64 / t as f64,
+            rep.packets as f64 / t as f64,
             100.0 * out.per_rank.iter().map(|s| s.performed_local).sum::<u64>() as f64
                 / out.performed() as f64
         );

@@ -16,20 +16,26 @@
 
 use crate::model::CostModel;
 use edgeswitch_core::config::ParallelConfig;
-use edgeswitch_core::parallel::{run_simulated_world, Msg, Transport, WorldTransport};
+use edgeswitch_core::obs::{Clock, Obs, Phase, VirtualClock};
+use edgeswitch_core::parallel::{
+    run_simulated_world, Msg, StepTelemetry, Transport, WorldTransport,
+};
 use edgeswitch_core::ParallelOutcome;
 use edgeswitch_graph::{Graph, Partitioner};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Virtual-time report of a DES run.
 #[derive(Clone, Debug)]
 pub struct DesReport {
     /// Total predicted runtime in virtual nanoseconds.
     pub runtime_ns: f64,
+    /// Network packets exchanged (the DES delivers one logical message
+    /// per packet, so this also equals the logical message total).
+    pub packets: u64,
     /// Predicted runtime of each step.
     pub step_ns: Vec<f64>,
-    /// Transport messages exchanged.
-    pub messages: u64,
     /// Predicted speedup over the modeled sequential run of the same
     /// operation count.
     pub speedup: f64,
@@ -52,6 +58,15 @@ pub struct DesTransport {
     step_start: u64,
     /// Boundary cost charged at the current step's start.
     boundary: u64,
+    /// Collective share of `boundary` (the rest is the multinomial).
+    coll: u64,
+    /// Virtual time receivers spent waiting for arrivals this step (sum
+    /// of `arrival − clock` gaps).
+    wait_gap: u64,
+    /// The shared cell behind the probes' [`VirtualClock`]: always holds
+    /// the clock of the rank whose event was processed last, so observed
+    /// spans and round trips land on the virtual timeline.
+    now_cell: Arc<AtomicU64>,
 }
 
 impl DesTransport {
@@ -64,6 +79,9 @@ impl DesTransport {
             cost,
             step_start: 0,
             boundary: 0,
+            coll: 0,
+            wait_gap: 0,
+            now_cell: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -80,6 +98,7 @@ impl DesTransport {
     fn charge(&mut self, rank: usize, ns: f64) {
         self.clocks[rank] += ns as u64;
         self.busy[rank] += ns as u64;
+        self.now_cell.store(self.clocks[rank], Ordering::Relaxed);
     }
 }
 
@@ -103,9 +122,12 @@ impl WorldTransport for DesTransport {
 
     fn pop_any(&mut self) -> Option<(usize, usize, Msg)> {
         let (dst, src, msg, at) = self.queue.pop_front()?;
-        // The receiver can't handle a message before it arrives.
+        // The receiver can't handle a message before it arrives; the gap
+        // is virtual wait time.
+        self.wait_gap += at.saturating_sub(self.clocks[dst]);
         self.clocks[dst] = self.clocks[dst].max(at) + self.cost.msg_handle_ns as u64;
         self.busy[dst] += self.cost.msg_handle_ns as u64;
+        self.now_cell.store(self.clocks[dst], Ordering::Relaxed);
         Some((dst, src, msg))
     }
 
@@ -116,13 +138,17 @@ impl WorldTransport for DesTransport {
     fn begin_step(&mut self, step_ops: u64, p: usize) {
         // Step boundary: q refresh + multinomial, synchronizing all
         // ranks (the collectives are barriers).
-        let boundary = self.cost.step_collective_ns(p) + self.cost.multinomial_step_ns(step_ops, p);
+        let coll = self.cost.step_collective_ns(p);
+        let multi = self.cost.multinomial_step_ns(step_ops, p);
         self.step_start = self.clocks.iter().copied().max().unwrap_or(0);
-        self.boundary = boundary as u64;
+        self.coll = coll as u64;
+        self.boundary = (coll + multi) as u64;
+        self.wait_gap = 0;
         let start = self.step_start + self.boundary;
         for c in self.clocks.iter_mut() {
             *c = start;
         }
+        self.now_cell.store(start, Ordering::Relaxed);
     }
 
     fn end_step(&mut self) -> (f64, f64) {
@@ -131,6 +157,30 @@ impl WorldTransport for DesTransport {
             self.boundary as f64,
             (end - self.step_start - self.boundary) as f64,
         )
+    }
+
+    fn obs_clock(&mut self) -> Option<Arc<dyn Clock>> {
+        // Probes read the shared cell the transport advances: an
+        // observed DES run reports in virtual nanoseconds.
+        Some(Arc::new(VirtualClock::new(self.now_cell.clone())))
+    }
+
+    fn record_step_spans(&mut self, obs: &mut Obs, tel: &mut StepTelemetry) -> bool {
+        // The DES owns the step spans: the boundary splits into its
+        // collective (barrier) and multinomial (q-refresh) shares, and
+        // message waiting is the accumulated virtual arrival gap.
+        // Handler-internal spans (sampling, legality, switch apply) are
+        // zero-width on this timeline — the cost model charges handling
+        // as a whole, not its interior — which the report makes explicit.
+        let barrier_ns = self.coll;
+        let qrefresh_ns = self.boundary - self.coll;
+        obs.span(Phase::StepBarrier, barrier_ns);
+        obs.span(Phase::QRefresh, qrefresh_ns);
+        obs.span(Phase::MsgWait, self.wait_gap);
+        tel.barrier_ns = barrier_ns as f64;
+        tel.qrefresh_ns = qrefresh_ns as f64;
+        tel.wait_ns = self.wait_gap as f64;
+        true
     }
 }
 
@@ -165,12 +215,12 @@ pub fn des_parallel_with(
         .iter()
         .map(|s| s.boundary_ns + s.drain_ns)
         .collect();
-    let messages: u64 = outcome.comm.iter().map(|c| c.messages_sent).sum();
+    let packets: u64 = outcome.comm.iter().map(|c| c.packets_sent).sum();
     let seq_ns = cost.sequential_time_ns(t);
     let report = DesReport {
         runtime_ns,
+        packets,
         step_ns,
-        messages,
         speedup: if runtime_ns > 0.0 {
             seq_ns / runtime_ns
         } else {
@@ -208,12 +258,12 @@ mod tests {
         assert_eq!(out.performed() + out.forfeited(), t);
         assert!(report.runtime_ns > 0.0);
         assert_eq!(report.step_ns.len(), 5);
-        assert!(report.messages > 0);
+        assert!(report.packets > 0);
         // The step phases and message kinds surface in the telemetry.
         assert_eq!(out.telemetry.len(), 5);
         assert!(out.telemetry.iter().all(|s| s.boundary_ns > 0.0));
         assert_eq!(out.telemetry.iter().map(|s| s.ops).sum::<u64>(), t);
-        assert_eq!(out.message_totals().total(), report.messages);
+        assert_eq!(out.logical_msg_totals().total(), report.packets);
     }
 
     #[test]
@@ -257,6 +307,6 @@ mod tests {
         let (b, rb) = des_parallel(&g, 1500, &cfg, &CostModel::default());
         assert!(a.graph.same_edge_set(&b.graph));
         assert_eq!(ra.runtime_ns, rb.runtime_ns);
-        assert_eq!(ra.messages, rb.messages);
+        assert_eq!(ra.packets, rb.packets);
     }
 }

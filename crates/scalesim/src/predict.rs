@@ -17,8 +17,8 @@ pub struct ScalePoint {
     pub runtime_s: f64,
     /// Speedup over the modeled sequential baseline.
     pub speedup: f64,
-    /// Transport messages exchanged.
-    pub messages: u64,
+    /// Network packets exchanged (= logical messages under the DES).
+    pub packets: u64,
     /// Max/mean workload imbalance across ranks.
     pub workload_imbalance: f64,
 }
@@ -104,7 +104,7 @@ fn scale_point(p: usize, outcome: &ParallelOutcome, report: &DesReport) -> Scale
         p,
         runtime_s: report.runtime_ns / 1e9,
         speedup: report.speedup,
-        messages: report.messages,
+        packets: report.packets,
         workload_imbalance: edgeswitch_graph::partition::stats::imbalance(&workload),
     }
 }

@@ -40,12 +40,15 @@ fn main() {
         let part = Partitioner::build(scheme, &g, p, &mut rng);
         let initial = PartitionStats::measure(&g, &part);
 
-        let cfg = ParallelConfig::new(p)
-            .with_scheme(scheme)
-            .with_step_size(StepSize::FractionOfT(100))
-            .with_seed(13);
         // Threaded engine: real ranks, real messages.
-        let out = parallel_edge_switch(&g, t, &cfg);
+        let out = Run::parallel(p)
+            .switches(t)
+            .scheme(scheme)
+            .step_size(StepSize::FractionOfT(100))
+            .seed(13)
+            .execute(&g)
+            .into_parallel()
+            .expect("parallel mode");
         assert_eq!(out.graph.degree_sequence(), g.degree_sequence());
 
         let aborts: u64 = out.per_rank.iter().map(|s| s.aborts()).sum();
@@ -63,7 +66,7 @@ fn main() {
 
     // The drivers record per-step telemetry; summarize the last run.
     let out = last_out.expect("at least one scheme ran");
-    let totals = out.message_totals();
+    let totals = out.logical_msg_totals();
     println!(
         "\ntelemetry of the last run: {} steps, {} ops started, {} blocked-on-contention events",
         out.telemetry.len(),

@@ -42,11 +42,14 @@ fn main() {
 
     // The parallel process drives the same trajectory: compare endpoints.
     let t = switch_ops_for_visit_rate(m, 1.0);
-    let cfg = ParallelConfig::new(32)
-        .with_scheme(SchemeKind::Consecutive)
-        .with_step_size(StepSize::FractionOfT(100))
-        .with_seed(5);
-    let out = simulate_parallel(&g0, t, &cfg);
+    let out = Run::simulated(32)
+        .visit_rate(1.0)
+        .scheme(SchemeKind::Consecutive)
+        .step_size(StepSize::FractionOfT(100))
+        .seed(5)
+        .execute(&g0)
+        .into_parallel()
+        .expect("simulated mode");
     let cc_par = average_clustering_sampled(&out.graph, 1500, &mut rng);
     println!(
         "\nparallel (32 ranks) at x = 1: clustering {cc_par:.4} — same endpoint as sequential"

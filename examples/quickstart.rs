@@ -11,7 +11,7 @@ fn main() {
     let mut rng = root_rng(42);
 
     // 1. A random simple graph: 10k vertices, 50k edges.
-    let mut g = erdos_renyi_gnm(10_000, 50_000, &mut rng);
+    let g = erdos_renyi_gnm(10_000, 50_000, &mut rng);
     let degrees_before = g.degree_sequence();
     println!(
         "generated G(n={}, m={}), max degree {}",
@@ -24,33 +24,44 @@ fn main() {
     let t = switch_ops_for_visit_rate(g.num_edges() as u64, 0.9);
     println!("target visit rate 0.9 -> t = E[T]/2 = {t} switch operations");
 
-    // 3. Switch sequentially (Algorithm 1).
-    let (outcome, _) = sequential_for_visit_rate(&mut g, 0.9, &mut rng);
+    // 3. Switch sequentially (Algorithm 1). `Run` is the front door:
+    //    pick a driver, state the budget, execute.
+    let run = Run::sequential()
+        .visit_rate(0.9)
+        .seed(42)
+        .execute(&g)
+        .into_sequential()
+        .expect("sequential mode");
     println!(
         "performed {} switches ({} restarts), observed visit rate {:.4}",
-        outcome.performed,
-        outcome.rejects.total(),
-        outcome.visit_rate()
+        run.outcome.performed,
+        run.outcome.rejects.total(),
+        run.outcome.visit_rate()
     );
 
     // 4. The guarantees: simplicity and an unchanged degree sequence.
-    g.check_invariants().expect("graph stayed simple");
-    assert_eq!(g.degree_sequence(), degrees_before);
+    run.graph.check_invariants().expect("graph stayed simple");
+    assert_eq!(run.graph.degree_sequence(), degrees_before);
     println!("degree sequence preserved, no loops, no parallel edges");
 
     // 5. The same workload on a distributed world of 8 ranks
     //    (thread-backed message passing; every protocol message of the
-    //    paper's Section 4.4 is really exchanged).
+    //    paper's Section 4.4 is really exchanged), with probes attached:
+    //    the outcome carries a RunReport of phase timings and latency
+    //    histograms, and recording never perturbs the run.
     let g2 = erdos_renyi_gnm(10_000, 50_000, &mut rng);
-    let cfg = ParallelConfig::new(8)
-        .with_scheme(SchemeKind::HashUniversal)
-        .with_step_size(StepSize::FractionOfT(100))
-        .with_seed(42);
-    let t2 = switch_ops_for_visit_rate(g2.num_edges() as u64, 0.9);
-    let out = parallel_edge_switch(&g2, t2, &cfg);
+    let out = Run::parallel(8)
+        .visit_rate(0.9)
+        .scheme(SchemeKind::HashUniversal)
+        .step_size(StepSize::FractionOfT(100))
+        .seed(42)
+        .probe(ObsSpec::Spans)
+        .execute(&g2)
+        .into_parallel()
+        .expect("parallel mode");
     println!(
         "parallel: {} ranks, {} steps, visit rate {:.4}, {} local / {} global switches",
-        cfg.processors,
+        out.per_rank.len(),
         out.steps,
         out.visit_rate(),
         out.per_rank.iter().map(|s| s.performed_local).sum::<u64>(),
@@ -58,4 +69,13 @@ fn main() {
     );
     assert_eq!(out.graph.degree_sequence(), g2.degree_sequence());
     println!("parallel run preserved the degree sequence too");
+
+    let report = out.report.as_ref().expect("observed run");
+    let wait = report.phase(Phase::MsgWait);
+    println!(
+        "observed: wall {:.1} ms; msg-wait p99 {:.1} us over {} waits",
+        report.wall_ns as f64 / 1e6,
+        wait.hist.p99_ns as f64 / 1e3,
+        wait.hist.count,
+    );
 }

@@ -49,16 +49,15 @@ fn main() {
 
     // 4. The same randomization distributed over 16 ranks — how massive
     //    sequences are randomized in practice.
-    let t = switch_ops_for_visit_rate(g0.num_edges() as u64, 1.0);
-    let cfg = ParallelConfig::new(16)
-        .with_scheme(SchemeKind::HashUniversal)
-        .with_step_size(StepSize::SingleStep)
-        .with_seed(99);
-    let out = parallel_edge_switch(&g0, t, &cfg);
-    assert_eq!(out.graph.degree_sequence(), seq);
+    let out = Run::parallel(16)
+        .visit_rate(1.0)
+        .scheme(SchemeKind::HashUniversal)
+        .step_size(StepSize::SingleStep)
+        .seed(99)
+        .execute(&g0);
+    assert_eq!(out.graph().degree_sequence(), seq);
     println!(
-        "distributed randomization: visit rate {:.4} over {} ranks, degree sequence intact",
+        "distributed randomization: visit rate {:.4} over 16 ranks, degree sequence intact",
         out.visit_rate(),
-        cfg.processors
     );
 }

@@ -19,23 +19,30 @@
 //!
 //! # Quickstart
 //!
+//! [`Run`](prelude::Run) is the front door: pick a driver, state the
+//! budget (operation count or target visit rate), execute.
+//!
 //! ```
 //! use edge_switching::prelude::*;
 //!
 //! // A random graph, switched at visit rate 0.5, sequentially.
 //! let mut rng = root_rng(7);
-//! let mut g = erdos_renyi_gnm(500, 2500, &mut rng);
-//! let degrees = g.degree_sequence();
-//! let (out, _t) = sequential_for_visit_rate(&mut g, 0.5, &mut rng);
+//! let g = erdos_renyi_gnm(500, 2500, &mut rng);
+//! let out = Run::sequential().visit_rate(0.5).seed(7).execute(&g);
 //! assert!((out.visit_rate() - 0.5).abs() < 0.05);
-//! assert_eq!(g.degree_sequence(), degrees);
+//! assert_eq!(out.graph().degree_sequence(), g.degree_sequence());
 //!
-//! // The same operations, distributed over 4 ranks.
-//! let g2 = erdos_renyi_gnm(500, 2500, &mut rng);
-//! let cfg = ParallelConfig::new(4).with_seed(7);
-//! let out = parallel_edge_switch(&g2, 1000, &cfg);
+//! // The same process distributed over 4 ranks, with phase timing and
+//! // latency histograms recorded along the way.
+//! let out = Run::parallel(4)
+//!     .switches(1000)
+//!     .seed(7)
+//!     .probe(ObsSpec::Spans)
+//!     .execute(&g);
 //! assert_eq!(out.performed(), 1000);
-//! assert_eq!(out.graph.degree_sequence(), g2.degree_sequence());
+//! assert_eq!(out.graph().degree_sequence(), g.degree_sequence());
+//! let report = out.report().expect("observed run");
+//! assert!(report.wall_ns > 0);
 //! ```
 
 #![warn(missing_docs)]
@@ -50,9 +57,11 @@ pub use mpilite as mpi;
 pub mod prelude {
     pub use edgeswitch_core::config::{ParallelConfig, StepSize, DEFAULT_WINDOW};
     pub use edgeswitch_core::error_rate::error_rate;
+    pub use edgeswitch_core::obs::{ObsSpec, Phase, RunReport};
     pub use edgeswitch_core::parallel::{
         parallel_edge_switch, simulate_parallel, MsgCounts, MsgKind, ParallelOutcome, StepTelemetry,
     };
+    pub use edgeswitch_core::run::{Run, RunOutcome};
     pub use edgeswitch_core::sequential::{sequential_edge_switch, sequential_for_visit_rate};
     pub use edgeswitch_core::variants::{sequential_edge_switch_connected, sequential_exact_visit};
     pub use edgeswitch_core::visit::VisitTracker;

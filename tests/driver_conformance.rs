@@ -59,12 +59,12 @@ fn fifo_and_des_produce_identical_logical_outcomes() {
         assert_eq!(a.forfeited, b.forfeited);
         assert_eq!(a.served, b.served);
         assert_eq!(a.blocked, b.blocked);
-        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.logical_msgs, b.logical_msgs);
     }
     // The DES layers timing on top without changing message counts.
     assert_eq!(
-        fifo.comm.iter().map(|c| c.messages_sent).sum::<u64>(),
-        report.messages
+        fifo.comm.iter().map(|c| c.packets_sent).sum::<u64>(),
+        report.packets
     );
     assert!(report.runtime_ns > 0.0);
 }
@@ -149,12 +149,16 @@ fn run_threaded_invariants(g: &Graph, t: u64, cfg: &ParallelConfig) {
     // The engine's per-variant counters agree between the telemetry
     // layer and the mpilite per-kind counters (protocol messages only;
     // the comm stats additionally count collective traffic).
-    let eng_msgs = eng.message_totals();
+    let eng_msgs = eng.logical_msg_totals();
     for kind in MsgKind::ALL {
         if kind == MsgKind::Coll {
             continue;
         }
-        let from_comm: u64 = eng.comm.iter().map(|c| c.sent_by_kind[kind as usize]).sum();
+        let from_comm: u64 = eng
+            .comm
+            .iter()
+            .map(|c| c.logical_by_kind[kind as usize])
+            .sum();
         assert_eq!(
             eng_msgs.get(kind),
             from_comm,

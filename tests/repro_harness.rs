@@ -8,6 +8,7 @@ fn tiny() -> ExpConfig {
         scale: 0.05,
         reps: 1,
         seed: 7,
+        timeline: false,
     }
 }
 
