@@ -112,11 +112,29 @@ pub mod distributions {
     }
 }
 
+/// Error type of fallible generation (never produced by the stub; it
+/// exists so `try_fill_bytes` impls written against real `rand` 0.8
+/// compile here too).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
 /// Raw random-number generation.
 pub trait RngCore {
     fn next_u32(&mut self) -> u32;
     fn next_u64(&mut self) -> u64;
     fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
 }
 
 impl<R: RngCore + ?Sized> RngCore for &mut R {

@@ -8,7 +8,7 @@
 
 use edgeswitch_bench::experiments::{
     ablation_ids, all_ids, diagnostic_ids,
-    hotpath::{probe_gate, scaling_gate},
+    hotpath::{local_gate, probe_gate, scaling_gate},
     perf_ids, run, ExpConfig,
 };
 use edgeswitch_bench::report::Report;
@@ -17,7 +17,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment|all|ablations|diagnostics|list> [--scale S] [--reps N] [--seed X] [--out DIR] [--quick] [--timeline] [--gate-scaling] [--gate-probe]\n\
+        "usage: repro <experiment|all|ablations|diagnostics|list> [--scale S] [--reps N] [--seed X] [--out DIR] [--quick] [--timeline] [--gate-scaling] [--gate-probe] [--gate-local]\n\
          experiments: {}",
         all_ids().join(", ")
     );
@@ -66,6 +66,7 @@ fn main() {
     let mut out_dir = PathBuf::from("results");
     let mut gate_scaling = false;
     let mut gate_probe = false;
+    let mut gate_local = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -113,6 +114,13 @@ fn main() {
                 // CI anti-scaling guard (hotpath only): exit non-zero if
                 // threaded p=2 falls below p=1 on the quick ER case.
                 gate_scaling = true;
+                i += 1;
+            }
+            "--gate-local" => {
+                // CI fast-path guard (hotpath only): exit non-zero if
+                // threaded p=1 at the default window falls below 75% of
+                // sequential throughput on the quick ER case.
+                gate_local = true;
                 i += 1;
             }
             "--gate-probe" => {
@@ -190,6 +198,17 @@ fn main() {
                         Ok(()) => println!("# scaling gate: ok (threaded p=2 >= p=1 on ER)"),
                         Err(why) => {
                             eprintln!("# scaling gate FAILED: {why}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                if gate_local && report.id == "hotpath" {
+                    match local_gate(&report.data) {
+                        Ok(()) => {
+                            println!("# local gate: ok (threaded p=1 >= 0.75x sequential on ER)")
+                        }
+                        Err(why) => {
+                            eprintln!("# local gate FAILED: {why}");
                             std::process::exit(1);
                         }
                     }

@@ -34,9 +34,12 @@ const PROCESSORS: [usize; 4] = [1, 2, 4, 8];
 /// shallow, and the [`ParallelConfig`] default.
 const WINDOWS: [usize; 3] = [1, 4, 16];
 
-/// Sequential ops per measurement, as a multiple of `m` (long enough to
-/// amortize timer noise at full scale).
-const SEQ_OPS_PER_EDGE: u64 = 5;
+/// Switch operations per measurement, as a multiple of `m` (long enough
+/// to amortize timer noise at full scale). Shared by the sequential and
+/// threaded cases: both run exactly `OPS_PER_EDGE * m` operations, so
+/// their switches/sec — and the [`local_gate`] ratio between them — are
+/// measured on identical work.
+const OPS_PER_EDGE: u64 = 5;
 
 fn scaled(base: usize, scale: f64, floor: usize) -> usize {
     ((base as f64 * scale) as usize).max(floor)
@@ -63,7 +66,7 @@ fn families(cfg: &ExpConfig) -> Vec<(&'static str, Graph)> {
 /// Measure sequential switches/sec on `graph`: best of `reps` timed runs
 /// (best-of suppresses scheduler noise; the work per run is identical).
 fn bench_sequential(graph: &Graph, reps: u32, seed: u64) -> (u64, f64) {
-    let t = SEQ_OPS_PER_EDGE * graph.num_edges() as u64;
+    let t = OPS_PER_EDGE * graph.num_edges() as u64;
     let mut best = 0.0f64;
     for rep in 0..reps.max(1) {
         let mut g = graph.clone();
@@ -152,7 +155,7 @@ fn bench_probe_overhead(graph: &Graph, reps: u32, seed: u64) -> (f64, f64) {
 /// thread startup is part of the measured protocol cost, as it would be
 /// in production).
 fn bench_threaded(graph: &Graph, p: usize, window: usize, seed: u64) -> (u64, f64) {
-    let t = graph.num_edges() as u64;
+    let t = OPS_PER_EDGE * graph.num_edges() as u64;
     let cfg = ParallelConfig::new(p).with_seed(seed).with_window(window);
     let start = Instant::now();
     let out = parallel_edge_switch(graph, t, &cfg);
@@ -313,6 +316,44 @@ pub fn scaling_gate(data: &serde_json::Value) -> Result<(), String> {
     Ok(())
 }
 
+/// Local-fast-path gate over an already-computed hotpath report: on the
+/// ER family at the default window, threaded p=1 — where every switch
+/// is rank-local and takes the zero-message fast path — must hold at
+/// least 75% of sequential Algorithm 1's throughput on identical work
+/// (both modes run `OPS_PER_EDGE * m` operations). Guards against the
+/// fast path silently regressing back into the conversation protocol,
+/// which held p=1 near 40% of sequential. Returns a human-readable
+/// error when the gate trips.
+pub fn local_gate(data: &serde_json::Value) -> Result<(), String> {
+    let window = *WINDOWS.last().unwrap() as u64;
+    let cases = || data["cases"].as_array().into_iter().flatten();
+    let seq = cases()
+        .find(|c| {
+            c["family"].as_str() == Some("erdos_renyi_100k")
+                && c["mode"].as_str() == Some("sequential")
+        })
+        .and_then(|c| c["switches_per_sec"].as_f64())
+        .ok_or("gate: no ER sequential case")?;
+    let p1 = cases()
+        .find(|c| {
+            c["family"].as_str() == Some("erdos_renyi_100k")
+                && c["mode"].as_str() == Some("threaded")
+                && c["p"].as_u64() == Some(1)
+                && c["window"].as_u64() == Some(window)
+        })
+        .and_then(|c| c["switches_per_sec"].as_f64())
+        .ok_or_else(|| format!("gate: no ER threaded p=1 window={window} case"))?;
+    let ratio = if seq > 0.0 { p1 / seq } else { 1.0 };
+    if ratio < 0.75 {
+        return Err(format!(
+            "local fast-path regression: ER threaded p=1 at {:.1}% of \
+             sequential (floor 75%) at window {window}",
+            100.0 * ratio
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +400,44 @@ mod tests {
         let bad = json!({"probe": {"noop_vs_baseline": 0.90}});
         assert!(probe_gate(&bad).unwrap_err().contains("probe overhead"));
         assert!(probe_gate(&json!({})).is_err());
+    }
+
+    #[test]
+    fn sequential_and_threaded_cases_run_identical_work() {
+        let cfg = ExpConfig {
+            scale: 0.002,
+            reps: 1,
+            seed: 7,
+            timeline: false,
+        };
+        let r = hotpath(&cfg);
+        let cases = r.data["cases"].as_array().unwrap();
+        for family in ["erdos_renyi_100k", "preferential_100k", "small_world_100k"] {
+            let ops: Vec<u64> = cases
+                .iter()
+                .filter(|c| c["family"].as_str() == Some(family))
+                .map(|c| c["ops"].as_u64().unwrap())
+                .collect();
+            assert!(
+                ops.windows(2).all(|w| w[0] == w[1]),
+                "{family}: uneven workloads across modes: {ops:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn local_gate_reads_the_report_schema() {
+        let ok = json!({"cases": [
+            {"family": "erdos_renyi_100k", "mode": "sequential", "p": 1, "switches_per_sec": 100.0},
+            {"family": "erdos_renyi_100k", "mode": "threaded", "p": 1, "window": 16, "switches_per_sec": 80.0},
+        ]});
+        assert!(local_gate(&ok).is_ok());
+        let bad = json!({"cases": [
+            {"family": "erdos_renyi_100k", "mode": "sequential", "p": 1, "switches_per_sec": 100.0},
+            {"family": "erdos_renyi_100k", "mode": "threaded", "p": 1, "window": 16, "switches_per_sec": 60.0},
+        ]});
+        assert!(local_gate(&bad).unwrap_err().contains("local fast-path"));
+        assert!(local_gate(&json!({"cases": []})).is_err());
     }
 
     #[test]

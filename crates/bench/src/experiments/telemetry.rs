@@ -26,6 +26,7 @@ fn step_rows(telemetry: &[StepTelemetry], with_phases: bool) -> Vec<Vec<String>>
                 s.ops.to_string(),
                 s.started.to_string(),
                 s.performed.to_string(),
+                s.local_fastpath.to_string(),
                 s.served.to_string(),
                 s.blocked.to_string(),
                 s.logical_msgs.get(MsgKind::Propose).to_string(),
@@ -54,6 +55,7 @@ fn step_json(telemetry: &[StepTelemetry]) -> Vec<serde_json::Value> {
                 "ops": s.ops,
                 "started": s.started,
                 "performed": s.performed,
+                "local_fastpath": s.local_fastpath,
                 "forfeited": s.forfeited,
                 "served": s.served,
                 "blocked": s.blocked,
@@ -92,6 +94,7 @@ pub fn telemetry_steps(cfg: &ExpConfig) -> Report {
             "ops",
             "started",
             "performed",
+            "local",
             "served",
             "blocked",
             "propose",
@@ -110,6 +113,7 @@ pub fn telemetry_steps(cfg: &ExpConfig) -> Report {
             "ops",
             "started",
             "performed",
+            "local",
             "served",
             "blocked",
             "propose",
@@ -134,6 +138,14 @@ pub fn telemetry_steps(cfg: &ExpConfig) -> Report {
             .collect::<Vec<_>>(),
     ));
 
+    let fast: u64 = fifo.telemetry.iter().map(|s| s.local_fastpath).sum();
+    let performed = fifo.performed();
+    rendered.push_str(&format!(
+        "\nlocal fast path: {fast} of {performed} switches ({}%) applied inline, \
+         bypassing the conversation protocol\n",
+        f(100.0 * fast as f64 / performed.max(1) as f64, 1),
+    ));
+
     let kinds: Vec<serde_json::Value> = totals
         .iter()
         .map(|(k, c)| json!({"variant": k.label(), "count": c}))
@@ -147,6 +159,8 @@ pub fn telemetry_steps(cfg: &ExpConfig) -> Report {
             "window": run.config().window as u64,
             "window_peak": fifo.window_peak(),
             "parked_events": fifo.parked_events(),
+            "local_fastpath_total": fast,
+            "local_fraction": fast as f64 / performed.max(1) as f64,
             "packet_total": fifo.packet_total(),
             "fifo_steps": step_json(&fifo.telemetry),
             "des_steps": step_json(&des.telemetry),

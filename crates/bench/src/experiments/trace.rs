@@ -98,6 +98,7 @@ fn timeline_json(driver: &str, telemetry: &[StepTelemetry]) -> Vec<Value> {
                 "ops": s.ops,
                 "started": s.started,
                 "performed": s.performed,
+                "local_fastpath": s.local_fastpath,
                 "served": s.served,
                 "blocked": s.blocked,
                 "parked": s.parked,

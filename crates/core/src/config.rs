@@ -19,6 +19,10 @@ fn default_window() -> usize {
     DEFAULT_WINDOW
 }
 
+fn default_local_fastpath() -> bool {
+    true
+}
+
 /// How the step size `s` is chosen (Section 4.5: the probability vector
 /// `q` is refreshed every `s` operations).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -79,6 +83,15 @@ pub struct ParallelConfig {
     /// never perturbs results — see [`crate::obs`]).
     #[serde(default)]
     pub obs: ObsSpec,
+    /// Commit rank-local switches inline, without allocating a
+    /// conversation or routing self-addressed protocol messages (§4's
+    /// local/global distinction made structural). On by default; the
+    /// `false` setting is a conformance-testing escape hatch — the
+    /// fast path is draw-order- and apply-order-preserving, so outcomes
+    /// are bit-identical either way (enforced by
+    /// `tests/driver_conformance.rs`).
+    #[serde(default = "default_local_fastpath")]
+    pub local_fastpath: bool,
 }
 
 impl ParallelConfig {
@@ -93,6 +106,7 @@ impl ParallelConfig {
             seed: 0,
             window: default_window(),
             obs: ObsSpec::default(),
+            local_fastpath: default_local_fastpath(),
         }
     }
 
@@ -129,6 +143,14 @@ impl ParallelConfig {
     /// Builder-style observability override.
     pub fn with_obs(mut self, obs: ObsSpec) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Builder-style local fast-path override (`false` forces every
+    /// switch through the conversation protocol; conformance tests
+    /// only).
+    pub fn with_local_fastpath(mut self, local_fastpath: bool) -> Self {
+        self.local_fastpath = local_fastpath;
         self
     }
 
@@ -184,5 +206,12 @@ mod tests {
         assert_eq!(ParallelConfig::new(2).with_window(0).window, 1);
         assert_eq!(ParallelConfig::new(2).window, DEFAULT_WINDOW);
         assert_eq!(ParallelConfig::new(2).obs, ObsSpec::Off);
+        // The local fast path is on unless a test forces it off.
+        assert!(ParallelConfig::new(2).local_fastpath);
+        assert!(
+            !ParallelConfig::new(2)
+                .with_local_fastpath(false)
+                .local_fastpath
+        );
     }
 }

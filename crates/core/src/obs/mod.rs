@@ -39,7 +39,7 @@ use crate::parallel::msg::MsgKind;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
-/// The six instrumented phases of a switch-protocol run.
+/// The instrumented phases of a switch-protocol run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(usize)]
 pub enum Phase {
@@ -58,11 +58,15 @@ pub enum Phase {
     /// Refreshing the probability vector `q` and drawing the Algorithm-5
     /// multinomial quota.
     QRefresh = 5,
+    /// One rank-local switch attempt taken end to end on the zero-message
+    /// fast path (sample → legality → apply inline, covering the other
+    /// phase spans it records along the way).
+    LocalFastpath = 6,
 }
 
 impl Phase {
     /// Number of phases (length of dense per-phase arrays).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// All phases, in slot order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -72,6 +76,7 @@ impl Phase {
         Phase::SwitchApply,
         Phase::StepBarrier,
         Phase::QRefresh,
+        Phase::LocalFastpath,
     ];
 
     /// Stable label used in reports and JSON.
@@ -83,6 +88,7 @@ impl Phase {
             Phase::SwitchApply => "switch-apply",
             Phase::StepBarrier => "step-barrier",
             Phase::QRefresh => "q-refresh",
+            Phase::LocalFastpath => "local-fastpath",
         }
     }
 }

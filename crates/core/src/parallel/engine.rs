@@ -9,7 +9,7 @@
 
 use super::harness::{
     assemble_outcome, run_rank_step, MpiliteTransport, RankOutput, RunMeta, StepHarness,
-    StepTelemetry,
+    StepScratch, StepTelemetry,
 };
 use super::msg::Msg;
 use super::rank::RankState;
@@ -55,6 +55,7 @@ pub fn parallel_edge_switch_with(
 
     let seed = config.seed;
     let window = config.window;
+    let local_fastpath = config.local_fastpath;
     let part_ref = &part;
     let slots_ref = &slots;
 
@@ -75,17 +76,20 @@ pub fn parallel_edge_switch_with(
                 .lock()
                 .take()
                 .expect("store taken once per rank");
-            let mut state = RankState::new(comm.rank(), (*part_ref).clone(), store, seed, window);
+            let mut state = RankState::new(comm.rank(), (*part_ref).clone(), store, seed, window)
+                .with_fastpath(local_fastpath);
             if let Some(clock) = clock_ref {
                 state = state.with_obs(obs_spec.build(clock.clone()));
             }
             let telemetry: Vec<StepTelemetry> = {
                 let mut transport = MpiliteTransport::new(comm);
+                let mut scratch = StepScratch::new(p);
                 (0..steps)
                     .map(|step| {
                         run_rank_step(
                             &mut transport,
                             &mut state,
+                            &mut scratch,
                             harness.step_ops(step),
                             harness.uniform_q(),
                         )

@@ -24,7 +24,7 @@ use super::rank::{RankState, RankStats, StartResult};
 use crate::config::{ParallelConfig, QuotaPolicy};
 use crate::obs::{Clock, CommGauges, MonoClock, Obs, Phase, RankObs, RunReport};
 use crate::visit::VisitTracker;
-use edgeswitch_dist::rng::Rng64;
+use edgeswitch_dist::BlockRng64;
 use edgeswitch_graph::store::{assemble_graph, build_stores};
 use edgeswitch_graph::{Graph, PartitionStore, Partitioner};
 use mpilite::{CollCarrier, Comm, CommStats};
@@ -88,6 +88,11 @@ pub struct StepTelemetry {
     pub started: u64,
     /// Operations completed as initiator this step.
     pub performed: u64,
+    /// Subset of `performed` applied inline by the rank-local fast path
+    /// (no conversation entry, no protocol messages); the remaining
+    /// `performed - local_fastpath` switches went through the
+    /// conversation protocol. Zero when the fast path is disabled.
+    pub local_fastpath: u64,
     /// Operations forfeited this step (degenerate graphs only).
     pub forfeited: u64,
     /// Conversations served for other ranks (proposals + validations).
@@ -137,6 +142,7 @@ impl StepTelemetry {
         self.ops += other.ops;
         self.started += other.started;
         self.performed += other.performed;
+        self.local_fastpath += other.local_fastpath;
         self.forfeited += other.forfeited;
         self.served += other.served;
         self.blocked += other.blocked;
@@ -155,6 +161,7 @@ impl StepTelemetry {
     /// folded into this record.
     fn absorb_stats_delta(&mut self, before: &RankStats, after: &RankStats) {
         self.performed += after.performed - before.performed;
+        self.local_fastpath += after.performed_fastpath - before.performed_fastpath;
         self.forfeited += after.forfeited - before.forfeited;
         self.served += (after.proposals_served + after.validations_served)
             - (before.proposals_served + before.validations_served);
@@ -385,7 +392,7 @@ pub trait RankTransport: Transport {
     /// Distributed Algorithm-5 quota draw: this rank's share of
     /// `step_ops` operations under `q`, consuming `rng` exactly like
     /// every other driver.
-    fn draw_quota(&mut self, step_ops: u64, q: &[f64], rng: &mut Rng64) -> u64;
+    fn draw_quota(&mut self, step_ops: u64, q: &[f64], rng: &mut BlockRng64) -> u64;
     /// Send a protocol message to another rank.
     fn send(&mut self, dst: usize, msg: Msg);
     /// Non-blocking receive of the next protocol message `(src, msg)`.
@@ -473,7 +480,7 @@ impl RankTransport for MpiliteTransport<'_> {
         debug_assert!(self.inbox.is_empty(), "protocol traffic across step end");
         self.comm.allgather_u64(count)
     }
-    fn draw_quota(&mut self, step_ops: u64, q: &[f64], rng: &mut Rng64) -> u64 {
+    fn draw_quota(&mut self, step_ops: u64, q: &[f64], rng: &mut BlockRng64) -> u64 {
         edgeswitch_dist::parallel_multinomial_owned(self.comm, step_ops, q, rng)
     }
     fn send(&mut self, dst: usize, msg: Msg) {
@@ -537,6 +544,25 @@ impl Coalescer {
             }
         }
         packets
+    }
+}
+
+/// Reusable hot-loop buffers of one rank's step loop: the outbox and the
+/// send coalescer live for the whole run instead of being re-allocated
+/// every step. Create one per rank with [`StepScratch::new`] and pass it
+/// to every [`run_rank_step`] call of that rank.
+pub struct StepScratch {
+    outbox: Outbox,
+    coalescer: Coalescer,
+}
+
+impl StepScratch {
+    /// Scratch buffers for one rank of a `p`-rank world.
+    pub fn new(p: usize) -> Self {
+        StepScratch {
+            outbox: Outbox::new(),
+            coalescer: Coalescer::new(p),
+        }
     }
 }
 
@@ -623,10 +649,15 @@ pub fn probability_vector(counts: &[u64], uniform: bool) -> Vec<f64> {
 pub fn run_rank_step<T: RankTransport>(
     transport: &mut T,
     state: &mut RankState,
+    scratch: &mut StepScratch,
     step_ops: u64,
     uniform_q: bool,
 ) -> StepTelemetry {
     let p = transport.size();
+    debug_assert!(
+        scratch.outbox.is_empty() && scratch.coalescer.dirty.is_empty(),
+        "scratch buffers must be drained between steps"
+    );
     // (1) Probability vector from current edge counts.
     let barrier_start = state.obs_mut().now();
     let counts = transport.exchange_edge_counts(state.edge_count());
@@ -650,23 +681,15 @@ pub fn run_rank_step<T: RankTransport>(
     let before = state.stats;
     let mut wait_ns_acc = 0u64;
 
-    // (3) Event loop.
-    let mut outbox = Outbox::new();
-    let mut coalescer = Coalescer::new(p);
+    // (3) Event loop, on the run-lifetime scratch buffers.
+    let StepScratch { outbox, coalescer } = scratch;
     let mut eos = 0usize;
     let mut signaled = false;
     loop {
         // (a) Drain everything already delivered.
         while let Some((src, msg)) = transport.try_recv() {
             dispatch(
-                transport,
-                state,
-                src,
-                msg,
-                &mut outbox,
-                &mut coalescer,
-                &mut eos,
-                &mut tel,
+                transport, state, src, msg, outbox, coalescer, &mut eos, &mut tel,
             );
         }
         // (b) Fill the conversation window: at most `window` starts per
@@ -674,12 +697,12 @@ pub fn run_rank_step<T: RankTransport>(
         // switches cannot starve the peers waiting in (a) for service.
         let mut starts = 0;
         loop {
-            match state.try_start(&mut outbox) {
+            match state.try_start(outbox) {
                 StartResult::Started => {
                     tel.started += 1;
                     starts += 1;
                     transport.on_op_started(transport.rank());
-                    drain_outbox(transport, state, &mut outbox, &mut coalescer, &mut tel);
+                    drain_outbox(transport, state, outbox, coalescer, &mut tel);
                     if starts >= state.window() {
                         break;
                     }
@@ -727,14 +750,7 @@ pub fn run_rank_step<T: RankTransport>(
         state.obs_mut().span(Phase::MsgWait, waited);
         wait_ns_acc += waited;
         dispatch(
-            transport,
-            state,
-            src,
-            msg,
-            &mut outbox,
-            &mut coalescer,
-            &mut eos,
-            &mut tel,
+            transport, state, src, msg, outbox, coalescer, &mut eos, &mut tel,
         );
     }
     debug_assert!(state.step_done());
@@ -795,15 +811,18 @@ fn drain_outbox<T: RankTransport>(
 /// the same protocol as [`run_rank_step`], with the allgather and
 /// alltoall computed in place and quiescence detected structurally
 /// (no messages in flight, nothing startable) instead of via
-/// `EndOfStep` signalling.
+/// `EndOfStep` signalling. `out` is the run-lifetime routing scratch
+/// (drained within every call; hoisted so steps stop re-allocating it).
 pub fn run_world_step<T: WorldTransport>(
     transport: &mut T,
     states: &mut [RankState],
+    out: &mut Outbox,
     step_ops: u64,
     uniform_q: bool,
     comm_stats: &mut [CommStats],
 ) -> StepTelemetry {
     let p = states.len();
+    debug_assert!(out.is_empty(), "routing scratch must drain between steps");
     transport.begin_step(step_ops, p);
     // The allgather: probability vector from current edge counts.
     // World-level spans are recorded once, into rank 0's probe, so a
@@ -831,11 +850,10 @@ pub fn run_world_step<T: WorldTransport>(
     let before: Vec<RankStats> = states.iter().map(|st| st.stats).collect();
 
     // Event loop: drain in-flight messages, round-robin window fills.
-    let mut out = Outbox::new();
     loop {
         while let Some((dst, src, msg)) = transport.pop_any() {
-            states[dst].handle(src, msg, &mut out);
-            route_world(transport, states, dst, &mut out, comm_stats, &mut tel);
+            states[dst].handle(src, msg, out);
+            route_world(transport, states, dst, out, comm_stats, &mut tel);
         }
         let mut any_started = false;
         for i in 0..p {
@@ -848,13 +866,13 @@ pub fn run_world_step<T: WorldTransport>(
             // exactly the pre-window schedule.
             let mut starts = 0;
             loop {
-                match states[i].try_start(&mut out) {
+                match states[i].try_start(out) {
                     StartResult::Started => {
                         any_started = true;
                         tel.started += 1;
                         starts += 1;
                         transport.on_op_started(i);
-                        route_world(transport, states, i, &mut out, comm_stats, &mut tel);
+                        route_world(transport, states, i, out, comm_stats, &mut tel);
                         if starts >= states[i].window() {
                             break;
                         }
@@ -965,7 +983,8 @@ pub fn run_simulated_world<T: WorldTransport>(
         .into_iter()
         .enumerate()
         .map(|(rank, store)| {
-            let state = RankState::new(rank, part.clone(), store, config.seed, config.window);
+            let state = RankState::new(rank, part.clone(), store, config.seed, config.window)
+                .with_fastpath(config.local_fastpath);
             match &clock {
                 Some(clock) => state.with_obs(config.obs.build(clock.clone())),
                 None => state,
@@ -977,10 +996,12 @@ pub fn run_simulated_world<T: WorldTransport>(
 
     let harness = StepHarness::new(t, config);
     let mut telemetry = Vec::with_capacity(harness.steps() as usize);
+    let mut out = Outbox::new();
     for step in 0..harness.steps() {
         telemetry.push(run_world_step(
             transport,
             &mut states,
+            &mut out,
             harness.step_ops(step),
             harness.uniform_q(),
             &mut comm_stats,

@@ -23,7 +23,7 @@ pub use engine::{parallel_edge_switch, parallel_edge_switch_with};
 pub use harness::{
     assemble_outcome, probability_vector, run_rank_step, run_simulated_world, run_world_step,
     FifoTransport, MpiliteTransport, MsgCounts, ParallelOutcome, RankOutput, RankTransport,
-    RunMeta, StepHarness, StepTelemetry, Transport, WorldTransport,
+    RunMeta, StepHarness, StepScratch, StepTelemetry, Transport, WorldTransport,
 };
 pub use msg::{ConvId, Msg, MsgKind, Outbox};
 pub use rank::{RankState, RankStats, StartResult};

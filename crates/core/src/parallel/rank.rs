@@ -51,12 +51,27 @@
 //! discrete-event) own delivery. A self-addressed message is delivered
 //! in place by the driver, which is how local switches reuse the same
 //! code path with zero transport messages.
+//!
+//! # Local fast path
+//!
+//! When the partner draw lands on the initiating rank itself, the whole
+//! conversation is rank-local: both old edges come from the local store
+//! and — unless a replacement endpoint hashes to a foreign partition —
+//! the entire sample→legality→apply chain touches only local state. The
+//! fast path (on by default, see
+//! [`ParallelConfig::local_fastpath`](crate::config::ParallelConfig))
+//! executes that chain inline in [`RankState::try_start`] instead of
+//! bouncing `Propose`/`Validate`/`Commit` messages to itself: no
+//! [`InFlight`] or [`PartnerConv`] entry, no outbox traffic, no message
+//! dispatch. RNG draw order and store mutation order are exactly those
+//! of the protocol path, so seeded runs are bit-identical with the fast
+//! path on or off (enforced by the conformance suite).
 
 use super::msg::{ConvId, Msg, MsgKind, Outbox};
 use crate::obs::{GaugeKind, Obs, Phase};
 use crate::switch::{flip_kind, recombine, Recombination, RejectReason};
 use crate::visit::VisitTracker;
-use edgeswitch_dist::{rank_rng, Rng64};
+use edgeswitch_dist::{rank_block_rng, BlockRng64};
 use edgeswitch_graph::hashing::{FxHashMap, FxHashSet};
 use edgeswitch_graph::{Edge, OrientedEdge, PartitionStore, Partitioner};
 use rand::Rng;
@@ -89,6 +104,10 @@ pub struct RankStats {
     pub performed_local: u64,
     /// ... of which the partner was remote.
     pub performed_global: u64,
+    /// ... of which the zero-message local fast path applied the switch
+    /// inline (a subset of `performed_local`; `0` when the fast path is
+    /// disabled).
+    pub performed_fastpath: u64,
     /// Aborts: replacement would be a self-loop.
     pub aborts_loop: u64,
     /// Aborts: switch would be useless.
@@ -173,6 +192,10 @@ pub struct RankState {
     remaining: u64,
     /// Bound on concurrently in-flight own conversations (≥ 1).
     window: usize,
+    /// Commit rank-local switches inline instead of routing
+    /// self-addressed protocol messages (see the module's *Local fast
+    /// path* section). Outcomes are bit-identical either way.
+    fastpath: bool,
     /// Own conversations currently in flight, up to `window` of them.
     inflight: FxHashMap<ConvId, InFlight>,
     consecutive_aborts: u64,
@@ -182,7 +205,11 @@ pub struct RankState {
     /// `Done` confirmation is still outstanding (the initiator pipelines
     /// its next operation; end-of-step waits for these).
     pending_done: FxHashSet<ConvId>,
-    rng: Rng64,
+    /// This rank's PRNG stream, block-buffered: per-step randomness is
+    /// bulk-drawn a block of raw words at a time while preserving draw
+    /// order exactly, so outcomes stay bit-identical to the unbuffered
+    /// stream.
+    rng: BlockRng64,
     /// Visit tracking over this partition's initial edges.
     pub tracker: VisitTracker,
     /// Run statistics.
@@ -214,12 +241,13 @@ impl RankState {
             cumq: vec![0.0; p],
             remaining: 0,
             window: window.max(1),
+            fastpath: true,
             inflight: FxHashMap::default(),
             consecutive_aborts: 0,
             conv_seq: 0,
             serving: FxHashMap::default(),
             pending_done: FxHashSet::default(),
-            rng: rank_rng(seed, rank as u64),
+            rng: rank_block_rng(seed, rank as u64),
             tracker,
             stats: RankStats::default(),
             obs: Obs::noop(),
@@ -229,6 +257,14 @@ impl RankState {
     /// Attach an observation context (builder-style).
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Disable or re-enable the rank-local fast path (builder-style).
+    /// Off forces every switch through the conversation protocol; the
+    /// conformance suite uses this to prove both paths bit-identical.
+    pub fn with_fastpath(mut self, fastpath: bool) -> Self {
+        self.fastpath = fastpath;
         self
     }
 
@@ -250,7 +286,7 @@ impl RankState {
 
     /// Mutable access to this rank's PRNG stream (used by drivers for
     /// step-boundary sampling so all randomness stays on one stream).
-    pub fn rng_mut(&mut self) -> &mut Rng64 {
+    pub fn rng_mut(&mut self) -> &mut BlockRng64 {
         &mut self.rng
     }
 
@@ -329,6 +365,13 @@ impl RankState {
         self.reserved.iter().copied().collect()
     }
 
+    /// Replacement edges currently parked in the potential set (test
+    /// introspection for the reservation-disjointness property).
+    #[cfg(test)]
+    pub(super) fn potential_edges(&self) -> Vec<Edge> {
+        self.potential.iter().copied().collect()
+    }
+
     // ------------------------------------------------------------------
     // Initiator role
     // ------------------------------------------------------------------
@@ -372,6 +415,9 @@ impl RankState {
             seq: self.conv_seq,
         };
         let started_ns = self.obs.now();
+        if self.fastpath && partner == self.rank {
+            return self.start_local_fast(conv, e1, started_ns, out);
+        }
         self.inflight.insert(
             conv,
             InFlight {
@@ -386,6 +432,169 @@ impl RankState {
         StartResult::Started
     }
 
+    /// Run one rank-local operation on the zero-message fast path: the
+    /// partner draw landed on this rank, so the whole conversation —
+    /// second-edge sample, straight/cross coin, legality check, apply —
+    /// executes inline against the local store instead of routing
+    /// self-addressed `Propose`/`Validate`/`Commit` messages.
+    ///
+    /// Bit-identity with the protocol path is the design invariant: the
+    /// RNG draws (second-edge sample loop, then the coin) and the store
+    /// mutation order (remove `e2`, insert `f1`, insert `f2`, remove
+    /// `e1`) are exactly those of a self-partner conversation, and a
+    /// self-partner conversation completes synchronously inside the
+    /// driver's outbox drain with no interleaved randomness, so skipping
+    /// the message hops is unobservable. When a replacement edge hashes
+    /// to a foreign owner the attempt falls back to the conversation
+    /// protocol *from this exact point*, keeping the draws already made.
+    fn start_local_fast(
+        &mut self,
+        conv: ConvId,
+        e1: Edge,
+        started_ns: u64,
+        out: &mut Outbox,
+    ) -> StartResult {
+        self.stats.proposals_served += 1;
+        self.obs
+            .gauge(GaugeKind::WindowOccupancy, self.inflight.len() as u64 + 1);
+        self.obs
+            .gauge(GaugeKind::ServingDepth, self.serving.len() as u64 + 1);
+        // Second-edge sample, identical to the partner role's loop (`e1`
+        // sits in `reserved`, so `e2 != e1` without an extra check).
+        let sample_start = self.obs.now();
+        let mut chosen = None;
+        for _ in 0..SAMPLE_ATTEMPTS {
+            let e = self.store.sample(&mut self.rng).expect("store nonempty");
+            if !self.reserved.contains(&e) {
+                chosen = Some(e);
+                break;
+            }
+        }
+        self.obs.span_since(Phase::Sample, sample_start);
+        let Some(e2) = chosen else {
+            self.abort_own(e1, RejectReason::Contended);
+            self.obs.span_since(Phase::LocalFastpath, started_ns);
+            return StartResult::Started;
+        };
+        debug_assert_ne!(e1, e2, "e1 is reserved and cannot be re-sampled");
+        let legality_start = self.obs.now();
+        let kind = flip_kind(&mut self.rng);
+        let (f1, f2) = match recombine(
+            OrientedEdge::from_edge(e1),
+            OrientedEdge::from_edge(e2),
+            kind,
+        ) {
+            Recombination::Rejected(reason) => {
+                self.obs.span_since(Phase::Legality, legality_start);
+                self.abort_own(e1, reason);
+                self.obs.span_since(Phase::LocalFastpath, started_ns);
+                return StartResult::Started;
+            }
+            Recombination::Candidate { f1, f2 } => (f1, f2),
+        };
+        if self.part.owner(f1.src()) == self.rank && self.part.owner(f2.src()) == self.rank {
+            // Fully local: legality reduces to the parallel-edge check.
+            // Checking both replacements up front equals the protocol's
+            // reserve-then-check because `f1 != f2` (recombination
+            // guarantees it), so reserving `f1` can never affect `f2`'s
+            // check.
+            let blocked = self.occupied(f1) || self.occupied(f2);
+            self.obs.span_since(Phase::Legality, legality_start);
+            if blocked {
+                self.abort_own(e1, RejectReason::ParallelEdge);
+                self.obs.span_since(Phase::LocalFastpath, started_ns);
+                return StartResult::Started;
+            }
+            // Apply inline, in the protocol's mutation order (remove
+            // `e2`, insert `f1`, insert `f2`, remove `e1`) so the
+            // store's internal layout — and with it every future edge
+            // sample — stays identical to the protocol path's.
+            let apply_start = self.obs.now();
+            let removed = self.store.remove(e2);
+            debug_assert!(removed, "sampled e2 {e2} missing at apply");
+            self.tracker.record_removal(e2);
+            let inserted = self.store.insert(f1);
+            debug_assert!(inserted, "replacement {f1} collided at apply");
+            let inserted = self.store.insert(f2);
+            debug_assert!(inserted, "replacement {f2} collided at apply");
+            let released = self.reserved.remove(&e1);
+            debug_assert!(released, "own e1 {e1} was not reserved");
+            let removed = self.store.remove(e1);
+            debug_assert!(removed, "sampled e1 {e1} missing at apply");
+            self.tracker.record_removal(e1);
+            self.obs.span_since(Phase::SwitchApply, apply_start);
+            self.obs.rtt_since(MsgKind::Propose, started_ns);
+            self.remaining -= 1;
+            self.consecutive_aborts = 0;
+            self.stats.performed += 1;
+            self.stats.performed_local += 1;
+            self.stats.performed_fastpath += 1;
+            self.obs.span_since(Phase::LocalFastpath, started_ns);
+            return StartResult::Started;
+        }
+        // A replacement edge is foreign: fall back to the conversation
+        // protocol from this exact point. The conversation must exist in
+        // `inflight` before any message can complete or abort it.
+        self.inflight.insert(
+            conv,
+            InFlight {
+                e1,
+                partner: self.rank,
+                started_ns,
+            },
+        );
+        self.reserved.insert(e2);
+        let fs = [f1, f2];
+        let mut fstate = [FState::RemotePending; 2];
+        let mut failed = false;
+        for i in 0..2 {
+            if self.part.owner(fs[i].src()) == self.rank {
+                if self.occupied(fs[i]) {
+                    fstate[i] = FState::Failed;
+                    failed = true;
+                } else {
+                    self.potential.insert(fs[i]);
+                    fstate[i] = FState::LocalReserved;
+                }
+            }
+        }
+        self.obs.span_since(Phase::Legality, legality_start);
+        let mut awaiting = 0usize;
+        if !failed {
+            for i in 0..2 {
+                if fstate[i] == FState::RemotePending {
+                    out.push(
+                        self.part.owner(fs[i].src()),
+                        Msg::Validate { conv, edge: fs[i] },
+                    );
+                    awaiting += 1;
+                }
+            }
+        }
+        let validate_sent_ns = if awaiting > 0 { self.obs.now() } else { 0 };
+        self.serving.insert(
+            conv,
+            PartnerConv {
+                initiator: self.rank,
+                e1,
+                e2,
+                fs,
+                fstate,
+                awaiting,
+                failed,
+                acks_needed: 0,
+                validate_sent_ns,
+                commit_sent_ns: 0,
+            },
+        );
+        if awaiting == 0 {
+            debug_assert!(failed, "a foreign replacement always awaits validation");
+            self.partner_abort(conv, RejectReason::ParallelEdge, out);
+        }
+        self.obs.span_since(Phase::LocalFastpath, started_ns);
+        StartResult::Started
+    }
+
     /// Draw the partner rank with probability `q_j` (Algorithm 2 line 2).
     fn sample_partner(&mut self) -> usize {
         let total = *self.cumq.last().expect("nonempty q");
@@ -394,12 +603,13 @@ impl RankState {
         idx.min(self.cumq.len() - 1)
     }
 
-    fn on_abort(&mut self, conv: ConvId, reason: RejectReason) {
-        let op = self
-            .inflight
-            .remove(&conv)
-            .expect("abort for conversation not in flight");
-        let released = self.reserved.remove(&op.e1);
+    /// Abort bookkeeping for one of this rank's own operations whose
+    /// first edge is still reserved: release it, count the reason, and
+    /// forfeit the operation once the consecutive-abort budget runs out.
+    /// Shared by the protocol path ([`RankState::on_abort`]) and the
+    /// inline abort arms of the local fast path.
+    fn abort_own(&mut self, e1: Edge, reason: RejectReason) {
+        let released = self.reserved.remove(&e1);
         debug_assert!(released, "in-flight e1 was not reserved");
         match reason {
             RejectReason::SelfLoop => self.stats.aborts_loop += 1,
@@ -413,6 +623,14 @@ impl RankState {
             self.remaining = self.remaining.saturating_sub(1);
             self.consecutive_aborts = 0;
         }
+    }
+
+    fn on_abort(&mut self, conv: ConvId, reason: RejectReason) {
+        let op = self
+            .inflight
+            .remove(&conv)
+            .expect("abort for conversation not in flight");
+        self.abort_own(op.e1, reason);
     }
 
     fn on_done(&mut self, conv: ConvId) {

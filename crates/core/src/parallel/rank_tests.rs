@@ -301,6 +301,89 @@ fn concurrent_conversations_hold_disjoint_reservations() {
     );
 }
 
+/// With the local fast path on (the default), self-partner switches
+/// mutate the store inline without a conversation record. Seeded
+/// property: however those inline applies interleave with pipelined
+/// protocol traffic, the reservation books stay consistent — no
+/// promised (potential) edge ever materializes behind its validator's
+/// back, no edge is simultaneously locked and promised, and in-flight
+/// first-edge locks stay disjoint.
+///
+/// The edge lists are mixed-parity on purpose: under HP-D(2) a
+/// self-partner recombination can produce a foreign-owned replacement,
+/// so this world exercises both the pure-local inline apply and the
+/// fast path's fall back onto the validation protocol.
+#[test]
+fn fastpath_applies_respect_reservation_disjointness() {
+    const WINDOW: usize = 4;
+    let edges0: Vec<(u64, u64)> = (0..60).map(|i| (2 * i, 2 * i + 3)).collect();
+    let edges1: Vec<(u64, u64)> = (0..60).map(|i| (2 * i + 1, 2 * i + 4)).collect();
+    let (r0, r1) = two_rank_world_windowed(&edges0, &edges1, WINDOW);
+    let mut states = [r0, r1];
+    for st in &mut states {
+        st.begin_step(40, &[0.5, 0.5]);
+    }
+
+    let check = |states: &[RankState]| {
+        for st in states {
+            let reserved = st.reserved_edges();
+            for e in st.potential_edges() {
+                assert!(
+                    !st.store().contains(e),
+                    "promised edge {e} materialized behind its validator's back"
+                );
+                assert!(
+                    !reserved.contains(&e),
+                    "edge {e} is both locked (existing) and promised (future)"
+                );
+            }
+            let mut seen = std::collections::HashSet::new();
+            for e in st.inflight_e1s() {
+                assert!(seen.insert(e), "two in-flight conversations lock {e}");
+            }
+        }
+    };
+
+    let mut queue: VecDeque<(usize, usize, Msg)> = VecDeque::new();
+    let mut out = Outbox::new();
+    for sweep in 0..100_000 {
+        let mut any_started = false;
+        for i in 0..states.len() {
+            let mut starts = 0;
+            while starts < WINDOW {
+                match states[i].try_start(&mut out) {
+                    StartResult::Started => {
+                        starts += 1;
+                        any_started = true;
+                        route(&mut states, i, &mut out, &mut queue);
+                        check(&states);
+                    }
+                    _ => break,
+                }
+            }
+        }
+        if let Some((dst, src, msg)) = queue.pop_front() {
+            states[dst].handle(src, msg, &mut out);
+            route(&mut states, dst, &mut out, &mut queue);
+            check(&states);
+        } else if !any_started {
+            break;
+        }
+        assert!(sweep < 99_999, "world did not quiesce");
+    }
+    assert!(states.iter().all(|st| st.step_done()));
+    let fastpath: u64 = states.iter().map(|st| st.stats.performed_fastpath).sum();
+    let local: u64 = states.iter().map(|st| st.stats.performed_local).sum();
+    assert!(
+        fastpath > 0,
+        "the fast path must fire in a half-local world"
+    );
+    assert!(
+        fastpath <= local,
+        "fast-path switches are a subset of local switches"
+    );
+}
+
 /// A stop-and-wait reference driver: the pre-window world loop (one
 /// `try_start` per rank per sweep, strictly one conversation in flight)
 /// re-implemented against the public state-machine surface.

@@ -30,4 +30,4 @@ pub use parallel::{
     local_quota_row, multinomial_owned_world, multinomial_partitioned, parallel_multinomial,
     parallel_multinomial_owned, trial_share,
 };
-pub use rng::{rank_rng, root_rng, substream_rng, Rng64};
+pub use rng::{rank_block_rng, rank_rng, root_rng, substream_rng, BlockRng64, Rng64};

@@ -5,10 +5,87 @@
 //! rank by mixing `(seed, rank)` through SplitMix64, the standard
 //! stream-splitting construction.
 
+use rand::RngCore;
 use rand_pcg::Pcg64;
 
 /// The PRNG used everywhere: PCG-64, seeded deterministically.
 pub type Rng64 = Pcg64;
+
+/// Words drawn from the core generator per [`BlockRng64`] refill.
+pub const RNG_BLOCK_WORDS: usize = 32;
+
+/// Block-buffered view of a [`Rng64`] stream: refills a fixed buffer of
+/// raw `u64` words in one tight pass over the core generator and serves
+/// every downstream draw from it.
+///
+/// The hot switching loop draws randomness a few words at a time (edge
+/// index, partner pick, straight/cross coin); batching the underlying
+/// PCG steps keeps the generator state in registers across a whole
+/// refill instead of re-touching it per draw. Crucially the buffering is
+/// *stream-transparent*: words are served strictly in generation order
+/// and leftovers are never discarded, so any consumer sees exactly the
+/// `u64` sequence the bare [`Rng64`] would have produced. `next_u32`
+/// truncates a full word just like `rand_pcg`'s `Pcg64` does, which is
+/// what keeps seeded runs bit-identical to the unbuffered stream.
+#[derive(Clone, Debug)]
+pub struct BlockRng64 {
+    core: Rng64,
+    buf: [u64; RNG_BLOCK_WORDS],
+    /// Next unserved slot; `buf[pos..len]` are pending words.
+    pos: usize,
+    len: usize,
+}
+
+impl BlockRng64 {
+    /// Buffer `core`, serving its exact word stream.
+    pub fn new(core: Rng64) -> Self {
+        BlockRng64 {
+            core,
+            buf: [0; RNG_BLOCK_WORDS],
+            pos: 0,
+            len: 0,
+        }
+    }
+
+    #[inline(never)]
+    fn refill(&mut self) {
+        for slot in &mut self.buf {
+            *slot = self.core.next_u64();
+        }
+        self.pos = 0;
+        self.len = RNG_BLOCK_WORDS;
+    }
+}
+
+impl RngCore for BlockRng64 {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        // Same truncation as rand_pcg's Pcg64: a full word, low half.
+        self.next_u64() as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        if self.pos == self.len {
+            self.refill();
+        }
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
 
 /// SplitMix64 finalizer: a bijective avalanche mix.
 #[inline]
@@ -31,6 +108,12 @@ pub fn rank_rng(seed: u64, rank: u64) -> Rng64 {
     Pcg64::seed_from_u64(splitmix64(
         splitmix64(seed) ^ splitmix64(rank.wrapping_add(0xA5A5)),
     ))
+}
+
+/// Rank `rank`'s stream as a block-buffered generator (the hot-loop form
+/// used by the protocol state machines); bit-identical to [`rank_rng`].
+pub fn rank_block_rng(seed: u64, rank: u64) -> BlockRng64 {
+    BlockRng64::new(rank_rng(seed, rank))
 }
 
 /// A named substream (e.g. one per step, per purpose) of a rank stream.
@@ -67,6 +150,36 @@ mod tests {
         let base: u64 = rank_rng(1, 3).gen();
         let sub: u64 = substream_rng(1, 3, 0).gen();
         assert_ne!(base, sub);
+    }
+
+    #[test]
+    fn block_rng_serves_the_exact_core_word_stream() {
+        let mut bare = rank_rng(17, 3);
+        let mut block = rank_block_rng(17, 3);
+        // Cross several refill boundaries with a mixed draw pattern.
+        for i in 0..(3 * RNG_BLOCK_WORDS) {
+            if i % 3 == 0 {
+                assert_eq!(bare.next_u32(), block.next_u32(), "u32 draw {i}");
+            } else {
+                assert_eq!(bare.next_u64(), block.next_u64(), "u64 draw {i}");
+            }
+        }
+        // Typed draws ride the same words.
+        let a: f64 = bare.gen_range(0.0..1.0);
+        let b: f64 = block.gen_range(0.0..1.0);
+        assert_eq!(a, b);
+        assert_eq!(bare.gen::<u64>(), block.gen::<u64>());
+    }
+
+    #[test]
+    fn block_rng_fill_bytes_matches_core() {
+        let mut bare = rank_rng(5, 0);
+        let mut block = rank_block_rng(5, 0);
+        let mut a = [0u8; 13];
+        let mut b = [0u8; 13];
+        bare.fill_bytes(&mut a);
+        block.fill_bytes(&mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -67,6 +67,14 @@ impl CollCarrier for CollPayload {
 struct PendingBuf<M> {
     /// `(tag, queue of (arrival_seq, packet))`.
     buckets: Vec<(u32, TagQueue<M>)>,
+    /// Emptied per-tag queues kept for reuse. Collective tags rotate, so
+    /// without recycling every collective that overtakes a peer pays a
+    /// fresh queue allocation for its one-shot tag; with it the same few
+    /// queue buffers cycle for the whole run. Kept separate from
+    /// `buckets` so the live index stays a minimal scan.
+    spares: Vec<TagQueue<M>>,
+    /// Queue allocations avoided via `spares`.
+    reuses: u64,
     /// Global arrival stamp, so any-tag receives stay FIFO.
     seq: u64,
 }
@@ -74,10 +82,16 @@ struct PendingBuf<M> {
 /// One tag's FIFO of `(arrival_seq, packet)` entries.
 type TagQueue<M> = VecDeque<(u64, Packet<M>)>;
 
+/// Emptied per-tag queues retained for reuse (beyond this, retired
+/// queues are dropped; the protocol keeps ≤ a handful of tags alive).
+const SPARE_QUEUES: usize = 4;
+
 impl<M> PendingBuf<M> {
     fn new() -> Self {
         PendingBuf {
             buckets: Vec::new(),
+            spares: Vec::new(),
+            reuses: 0,
             seq: 0,
         }
     }
@@ -93,11 +107,26 @@ impl<M> PendingBuf<M> {
         match self.buckets.iter_mut().find(|(t, _)| *t == p.tag) {
             Some((_, q)) => q.push_back((seq, p)),
             None => {
-                let mut q = VecDeque::new();
+                let mut q = match self.spares.pop() {
+                    Some(q) => {
+                        self.reuses += 1;
+                        q
+                    }
+                    None => VecDeque::new(),
+                };
                 let tag = p.tag;
                 q.push_back((seq, p));
                 self.buckets.push((tag, q));
             }
+        }
+    }
+
+    /// Drop bucket `idx` (it just emptied), parking its queue for reuse.
+    fn retire(&mut self, idx: usize) {
+        let (_, q) = self.buckets.swap_remove(idx);
+        debug_assert!(q.is_empty(), "retired bucket still holds packets");
+        if self.spares.len() < SPARE_QUEUES {
+            self.spares.push(q);
         }
     }
 
@@ -125,7 +154,7 @@ impl<M> PendingBuf<M> {
         let at = q.iter().position(|(_, p)| p.src == src)?;
         let (_, packet) = q.remove(at).expect("position is in range");
         if q.is_empty() {
-            self.buckets.swap_remove(idx);
+            self.retire(idx);
         }
         Some(packet)
     }
@@ -134,7 +163,7 @@ impl<M> PendingBuf<M> {
         let q = &mut self.buckets[idx].1;
         let (_, packet) = q.pop_front().expect("buckets are never empty");
         if q.is_empty() {
-            self.buckets.swap_remove(idx);
+            self.retire(idx);
         }
         packet
     }
@@ -189,7 +218,9 @@ impl<M: CollCarrier> Comm<M> {
 
     /// Traffic counters so far.
     pub fn stats(&self) -> CommStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.recv_buf_reuses = self.pending.reuses;
+        stats
     }
 
     /// Send `payload` to `dst` with a user tag.
@@ -398,6 +429,11 @@ mod tests {
         }
         assert!(buf.is_empty());
         assert!(buf.buckets.capacity() <= 8, "buckets list stays small");
+        assert_eq!(
+            buf.reuses, 99,
+            "after the first tag, every rotation reuses a retired queue"
+        );
+        assert!(buf.spares.len() <= SPARE_QUEUES);
         buf.push(pkt(0, 5, 10));
         buf.push(pkt(1, 5, 11));
         buf.push(pkt(0, 6, 12));

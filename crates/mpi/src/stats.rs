@@ -41,6 +41,10 @@ pub struct CommStats {
     /// Peak receive-queue depth observed at receive entry (how far
     /// behind its senders this rank got).
     pub recv_queue_peak: u64,
+    /// Receive-buffer queue allocations avoided by recycling emptied
+    /// per-tag buckets (rotating collective tags retire one per
+    /// collective).
+    pub recv_buf_reuses: u64,
 }
 
 impl CommStats {
@@ -60,6 +64,7 @@ impl CommStats {
             parks: self.parks + other.parks,
             park_ns: self.park_ns + other.park_ns,
             recv_queue_peak: self.recv_queue_peak.max(other.recv_queue_peak),
+            recv_buf_reuses: self.recv_buf_reuses + other.recv_buf_reuses,
         }
     }
 }
@@ -84,6 +89,7 @@ mod tests {
             parks: 1,
             park_ns: 100,
             recv_queue_peak: 4,
+            recv_buf_reuses: 2,
         };
         let b = CommStats {
             packets_sent: 4,
@@ -94,6 +100,7 @@ mod tests {
             parks: 2,
             park_ns: 300,
             recv_queue_peak: 2,
+            recv_buf_reuses: 3,
         };
         let c = a.merge(&b);
         assert_eq!(c.packets_sent, 5);
@@ -106,5 +113,6 @@ mod tests {
         assert_eq!(c.parks, 3);
         assert_eq!(c.park_ns, 400);
         assert_eq!(c.recv_queue_peak, 4);
+        assert_eq!(c.recv_buf_reuses, 5);
     }
 }

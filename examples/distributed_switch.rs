@@ -31,8 +31,8 @@ fn main() {
         g.num_edges()
     );
     println!(
-        "{:6} {:>12} {:>12} {:>12} {:>12} {:>9}",
-        "scheme", "edge imb.", "final imb.", "workload imb.", "aborts", "visit"
+        "{:6} {:>12} {:>12} {:>12} {:>12} {:>9} {:>8}",
+        "scheme", "edge imb.", "final imb.", "workload imb.", "aborts", "visit", "local%"
     );
 
     let mut last_out = None;
@@ -52,14 +52,21 @@ fn main() {
         assert_eq!(out.graph.degree_sequence(), g.degree_sequence());
 
         let aborts: u64 = out.per_rank.iter().map(|s| s.aborts()).sum();
+        // How many switches skipped the protocol entirely: both edges
+        // and both replacements lived on one rank, so the switch was
+        // applied inline with zero messages. CP keeps communities (and
+        // hence switch partners) together; the hash schemes scatter
+        // them, trading locality for balance.
+        let fast: u64 = out.per_rank.iter().map(|s| s.performed_fastpath).sum();
         println!(
-            "{:6} {:>12.3} {:>12.3} {:>13.3} {:>12} {:>9.4}",
+            "{:6} {:>12.3} {:>12.3} {:>13.3} {:>12} {:>9.4} {:>7.1}%",
             scheme.label(),
             initial.edge_imbalance(),
             imbalance(&out.final_edges),
             imbalance(&out.workload()),
             aborts,
             out.visit_rate(),
+            100.0 * fast as f64 / out.performed().max(1) as f64,
         );
         last_out = Some(out);
     }

@@ -59,7 +59,8 @@ pub mod prelude {
     pub use edgeswitch_core::error_rate::error_rate;
     pub use edgeswitch_core::obs::{ObsSpec, Phase, RunReport};
     pub use edgeswitch_core::parallel::{
-        parallel_edge_switch, simulate_parallel, MsgCounts, MsgKind, ParallelOutcome, StepTelemetry,
+        parallel_edge_switch, simulate_parallel, MsgCounts, MsgKind, ParallelOutcome, RankStats,
+        StepTelemetry,
     };
     pub use edgeswitch_core::run::{Run, RunOutcome};
     pub use edgeswitch_core::sequential::{sequential_edge_switch, sequential_for_visit_rate};

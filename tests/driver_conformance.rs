@@ -168,6 +168,141 @@ fn run_threaded_invariants(g: &Graph, t: u64, cfg: &ParallelConfig) {
     }
 }
 
+/// Everything logical must agree between two runs of the same seeded
+/// configuration that differ only in fast-path setting or driver; the
+/// fast-path attribution counters are excluded (an off run reports
+/// zero where an on run attributes). DES virtual-time fields are also
+/// excluded: skipping self-deliveries removes their per-message
+/// charges without touching the causal schedule.
+fn assert_fastpath_identical(on: &ParallelOutcome, off: &ParallelOutcome, ctx: &str) {
+    assert!(on.graph.same_edge_set(&off.graph), "graph diverged: {ctx}");
+    assert_eq!(on.steps, off.steps, "steps diverged: {ctx}");
+    assert_eq!(on.final_edges, off.final_edges, "edges diverged: {ctx}");
+    assert_eq!(on.initial_edges, off.initial_edges);
+    assert_eq!(on.visit_rate(), off.visit_rate(), "visits diverged: {ctx}");
+    let strip = |s: &RankStats| {
+        let mut s = *s;
+        s.performed_fastpath = 0;
+        s
+    };
+    assert_eq!(
+        on.per_rank.iter().map(strip).collect::<Vec<_>>(),
+        off.per_rank.iter().map(strip).collect::<Vec<_>>(),
+        "stats diverged: {ctx}"
+    );
+    assert_eq!(on.telemetry.len(), off.telemetry.len());
+    for (a, b) in on.telemetry.iter().zip(off.telemetry.iter()) {
+        assert_eq!(a.ops, b.ops, "ops diverged: {ctx}");
+        assert_eq!(a.started, b.started, "started diverged: {ctx}");
+        assert_eq!(a.performed, b.performed, "performed diverged: {ctx}");
+        assert_eq!(a.forfeited, b.forfeited, "forfeited diverged: {ctx}");
+        assert_eq!(a.served, b.served, "served diverged: {ctx}");
+        assert_eq!(a.blocked, b.blocked, "blocked diverged: {ctx}");
+        assert_eq!(a.parked, b.parked, "parked diverged: {ctx}");
+        assert_eq!(a.window_peak, b.window_peak, "peak diverged: {ctx}");
+        assert_eq!(a.packets, b.packets, "packets diverged: {ctx}");
+        assert_eq!(a.logical_msgs, b.logical_msgs, "messages diverged: {ctx}");
+    }
+}
+
+/// The local fast path is a pure execution-strategy change: with it on
+/// (the default) or off, seeded runs are bit-identical in every logical
+/// field — across simulators, processor counts and window depths.
+#[test]
+fn local_fastpath_toggle_is_bit_identical_across_simulators() {
+    let g = clustered_graph(35);
+    let t = 2_000;
+    for p in [1usize, 2, 4] {
+        for window in [1usize, 16] {
+            let on = config(p).with_window(window);
+            let off = on.clone().with_local_fastpath(false);
+            let fifo_on = simulate_parallel(&g, t, &on);
+            let fifo_off = simulate_parallel(&g, t, &off);
+            assert_fastpath_identical(&fifo_on, &fifo_off, &format!("FIFO p={p} window={window}"));
+            let (des_on, _) = des_parallel(&g, t, &on, &CostModel::default());
+            let (des_off, _) = des_parallel(&g, t, &off, &CostModel::default());
+            assert_fastpath_identical(&des_on, &des_off, &format!("DES p={p} window={window}"));
+            // Disabled runs attribute nothing to the fast path.
+            for off in [&fifo_off, &des_off] {
+                assert!(
+                    off.per_rank.iter().all(|s| s.performed_fastpath == 0),
+                    "disabled fast path still attributed switches at p={p}"
+                );
+                assert!(off.telemetry.iter().all(|s| s.local_fastpath == 0));
+            }
+            // The toggle also commutes with the FIFO≡DES oracle — with
+            // both on, even the attribution counters agree exactly.
+            assert_eq!(
+                fifo_on.per_rank, des_on.per_rank,
+                "FIFO-on vs DES-on stats diverged at p={p} window={window}"
+            );
+            // The fast path actually fires, and the telemetry column sums
+            // to the per-rank attribution.
+            let fp: u64 = fifo_on.per_rank.iter().map(|s| s.performed_fastpath).sum();
+            assert!(fp > 0, "fast path never fired at p={p} window={window}");
+            assert_eq!(
+                fp,
+                fifo_on
+                    .telemetry
+                    .iter()
+                    .map(|s| s.local_fastpath)
+                    .sum::<u64>()
+            );
+            if p == 1 {
+                // One partition owns everything: every switch is local
+                // and every replacement endpoint resolves locally.
+                assert_eq!(fp, fifo_on.performed());
+            }
+        }
+    }
+}
+
+/// At `p = 1` the threaded engine has no cross-rank interleaving, so the
+/// toggle must be bit-identical there too (and the engine must agree
+/// with the simulator outright). At higher `p` the schedule is
+/// OS-dependent and the fast path is held to accounting invariants.
+#[test]
+fn local_fastpath_toggle_on_the_threaded_engine() {
+    let g = clustered_graph(36);
+    let t = 2_000;
+    for window in [1usize, 16] {
+        let on = config(1).with_window(window);
+        let off = on.clone().with_local_fastpath(false);
+        let eng_on = parallel_edge_switch(&g, t, &on);
+        let eng_off = parallel_edge_switch(&g, t, &off);
+        assert_fastpath_identical(&eng_on, &eng_off, &format!("threaded p=1 window={window}"));
+        assert!(eng_off.per_rank.iter().all(|s| s.performed_fastpath == 0));
+        let fifo = simulate_parallel(&g, t, &on);
+        assert!(
+            eng_on.graph.same_edge_set(&fifo.graph),
+            "threaded p=1 diverged from the simulator at window {window}"
+        );
+        assert_eq!(eng_on.per_rank, fifo.per_rank);
+    }
+    for p in [2usize, 4] {
+        let out = parallel_edge_switch(&g, t, &config(p));
+        out.graph.check_invariants().unwrap();
+        assert_eq!(out.graph.degree_sequence(), g.degree_sequence());
+        assert_eq!(out.performed() + out.forfeited(), t);
+        let fp: u64 = out.per_rank.iter().map(|s| s.performed_fastpath).sum();
+        let fp_tel: u64 = out.telemetry.iter().map(|s| s.local_fastpath).sum();
+        assert_eq!(
+            fp, fp_tel,
+            "telemetry and stats disagree on fast-path count"
+        );
+        for s in &out.per_rank {
+            assert!(
+                s.performed_fastpath <= s.performed_local,
+                "fast-path switches are a subset of local switches"
+            );
+        }
+        assert!(
+            fp > 0,
+            "fast path never fired on the threaded engine at p={p}"
+        );
+    }
+}
+
 #[test]
 fn fifo_des_conformance_holds_across_schemes_and_policies() {
     let g = clustered_graph(33);

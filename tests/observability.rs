@@ -233,7 +233,8 @@ fn run_report_json_schema_is_stable() {
             "msg-wait",
             "switch-apply",
             "step-barrier",
-            "q-refresh"
+            "q-refresh",
+            "local-fastpath"
         ],
         "phase labels or order changed"
     );
