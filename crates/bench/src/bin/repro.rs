@@ -8,7 +8,7 @@
 
 use edgeswitch_bench::experiments::{
     ablation_ids, all_ids, diagnostic_ids,
-    hotpath::{local_gate, probe_gate, scaling_gate},
+    hotpath::{batch_gate, local_gate, probe_gate, scaling_gate},
     perf_ids, run, ExpConfig,
 };
 use edgeswitch_bench::report::Report;
@@ -17,7 +17,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment|all|ablations|diagnostics|list> [--scale S] [--reps N] [--seed X] [--out DIR] [--quick] [--timeline] [--gate-scaling] [--gate-probe] [--gate-local]\n\
+        "usage: repro <experiment|all|ablations|diagnostics|list> [--scale S] [--reps N] [--seed X] [--out DIR] [--quick] [--timeline] [--gate-scaling] [--gate-probe] [--gate-local] [--gate-batch]\n\
          experiments: {}",
         all_ids().join(", ")
     );
@@ -67,6 +67,7 @@ fn main() {
     let mut gate_scaling = false;
     let mut gate_probe = false;
     let mut gate_local = false;
+    let mut gate_batch = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -121,6 +122,13 @@ fn main() {
                 // threaded p=1 at the default window falls below 75% of
                 // sequential throughput on the quick ER case.
                 gate_local = true;
+                i += 1;
+            }
+            "--gate-batch" => {
+                // CI speculative-batch guard (hotpath only): exit
+                // non-zero if threaded p=1 with batching on falls below
+                // 90% of sequential throughput on the quick ER case.
+                gate_batch = true;
                 i += 1;
             }
             "--gate-probe" => {
@@ -209,6 +217,17 @@ fn main() {
                         }
                         Err(why) => {
                             eprintln!("# local gate FAILED: {why}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                if gate_batch && report.id == "hotpath" {
+                    match batch_gate(&report.data) {
+                        Ok(()) => println!(
+                            "# batch gate: ok (threaded p=1 with batching >= 0.90x sequential on ER)"
+                        ),
+                        Err(why) => {
+                            eprintln!("# batch gate FAILED: {why}");
                             std::process::exit(1);
                         }
                     }

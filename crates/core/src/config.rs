@@ -23,6 +23,10 @@ fn default_local_fastpath() -> bool {
     true
 }
 
+fn default_spec_batch() -> usize {
+    1
+}
+
 /// How the step size `s` is chosen (Section 4.5: the probability vector
 /// `q` is refreshed every `s` operations).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -92,6 +96,15 @@ pub struct ParallelConfig {
     /// `tests/driver_conformance.rs`).
     #[serde(default = "default_local_fastpath")]
     pub local_fastpath: bool,
+    /// Speculative batch size: how many switches a rank optimistically
+    /// samples and applies per scheduling round before validating all
+    /// reservations touching a given partner rank in one coalesced
+    /// `BatchPropose`/`BatchVerdict` pair (losers roll back in reverse
+    /// apply order and retry through the per-switch path). `1` disables
+    /// speculation and reproduces the per-switch schedule bit-identically
+    /// (enforced by `tests/driver_conformance.rs`).
+    #[serde(default = "default_spec_batch")]
+    pub spec_batch: usize,
 }
 
 impl ParallelConfig {
@@ -107,6 +120,7 @@ impl ParallelConfig {
             window: default_window(),
             obs: ObsSpec::default(),
             local_fastpath: default_local_fastpath(),
+            spec_batch: default_spec_batch(),
         }
     }
 
@@ -151,6 +165,13 @@ impl ParallelConfig {
     /// only).
     pub fn with_local_fastpath(mut self, local_fastpath: bool) -> Self {
         self.local_fastpath = local_fastpath;
+        self
+    }
+
+    /// Builder-style speculative batch size override (`1` = per-switch
+    /// conversations only, clamped to ≥ 1).
+    pub fn with_spec_batch(mut self, spec_batch: usize) -> Self {
+        self.spec_batch = spec_batch.max(1);
         self
     }
 
@@ -213,5 +234,10 @@ mod tests {
                 .with_local_fastpath(false)
                 .local_fastpath
         );
+        // Speculative batching is off (batch = 1) unless requested, and
+        // the batch size is clamped to at least one switch per round.
+        assert_eq!(ParallelConfig::new(2).spec_batch, 1);
+        assert_eq!(ParallelConfig::new(2).with_spec_batch(16).spec_batch, 16);
+        assert_eq!(ParallelConfig::new(2).with_spec_batch(0).spec_batch, 1);
     }
 }

@@ -12,9 +12,9 @@
 //! - [`Clock`] abstracts *when*: the threaded engine and the sequential
 //!   algorithm use the monotonic [`MonoClock`], the DES injects a
 //!   [`VirtualClock`] so its report is in virtual nanoseconds;
-//! - [`Phase`] names the protocol's six real phases: edge sampling,
-//!   legality check, message wait, switch apply, step barrier and
-//!   q-refresh;
+//! - [`Phase`] names the protocol's instrumented phases: edge sampling,
+//!   legality check, message wait, switch apply, step barrier,
+//!   q-refresh, the local fast path and speculative batch validation;
 //! - [`RunReport`] is the serializable aggregate attached to
 //!   [`SequentialOutcome`](crate::sequential::SequentialOutcome) /
 //!   [`ParallelOutcome`](crate::parallel::ParallelOutcome) and exported
@@ -62,11 +62,15 @@ pub enum Phase {
     /// fast path (sample → legality → apply inline, covering the other
     /// phase spans it records along the way).
     LocalFastpath = 6,
+    /// Serving one speculative `BatchPropose`: checking and creating all
+    /// requested replacement edges at their owner (the owner-side cost
+    /// of a speculative batch round).
+    BatchValidate = 7,
 }
 
 impl Phase {
     /// Number of phases (length of dense per-phase arrays).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// All phases, in slot order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -77,6 +81,7 @@ impl Phase {
         Phase::StepBarrier,
         Phase::QRefresh,
         Phase::LocalFastpath,
+        Phase::BatchValidate,
     ];
 
     /// Stable label used in reports and JSON.
@@ -89,6 +94,7 @@ impl Phase {
             Phase::StepBarrier => "step-barrier",
             Phase::QRefresh => "q-refresh",
             Phase::LocalFastpath => "local-fastpath",
+            Phase::BatchValidate => "batch-validate",
         }
     }
 }

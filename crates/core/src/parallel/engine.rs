@@ -56,6 +56,7 @@ pub fn parallel_edge_switch_with(
     let seed = config.seed;
     let window = config.window;
     let local_fastpath = config.local_fastpath;
+    let spec_batch = config.spec_batch;
     let part_ref = &part;
     let slots_ref = &slots;
 
@@ -77,7 +78,8 @@ pub fn parallel_edge_switch_with(
                 .take()
                 .expect("store taken once per rank");
             let mut state = RankState::new(comm.rank(), (*part_ref).clone(), store, seed, window)
-                .with_fastpath(local_fastpath);
+                .with_fastpath(local_fastpath)
+                .with_spec_batch(spec_batch);
             if let Some(clock) = clock_ref {
                 state = state.with_obs(obs_spec.build(clock.clone()));
             }

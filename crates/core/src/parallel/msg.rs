@@ -20,8 +20,25 @@ impl std::fmt::Display for ConvId {
     }
 }
 
+/// One speculative reservation inside a [`Msg::BatchPropose`]: the
+/// initiator already applied the switch locally and asks this owner to
+/// check-and-create the listed replacement edges atomically.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatchReq {
+    /// Conversation (identifies the speculative op in the undo log).
+    pub conv: ConvId,
+    /// First replacement edge owned by the receiver.
+    pub first: Edge,
+    /// Second replacement edge, when both replacements land on the same
+    /// owner (the single-foreign-owner requirement of the speculative
+    /// path; `None` when one replacement was rank-local).
+    pub second: Option<Edge>,
+}
+
 /// Protocol messages. One switch operation exchanges a bounded number of
-/// these (at most ~10 in the four-rank worst case).
+/// these (at most ~10 in the four-rank worst case). A speculative batch
+/// round condenses up to `spec_batch` operations touching one partner
+/// rank into a single [`Msg::BatchPropose`]/[`Msg::BatchVerdict`] pair.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Msg {
     /// Initiator → partner: "switch my edge `e1` with one of yours".
@@ -93,6 +110,21 @@ pub enum Msg {
         /// Why the switch was rejected.
         reason: RejectReason,
     },
+    /// Initiator → owner: validate-and-create every listed replacement
+    /// edge, one entry per speculatively applied switch. All edges of one
+    /// entry are checked before any is created, and each entry succeeds
+    /// or fails independently of its neighbors in the batch.
+    BatchPropose {
+        /// Reservations to validate, in apply order.
+        reqs: Vec<BatchReq>,
+    },
+    /// Owner → initiator: per-entry verdicts for one [`Msg::BatchPropose`],
+    /// in the same order (`true` = created, commit the speculation;
+    /// `false` = conflict, roll back and retry per-switch).
+    BatchVerdict {
+        /// `(conversation, accepted)` per request.
+        verdicts: Vec<(ConvId, bool)>,
+    },
     /// Rank finished its own quota for the current step (keeps serving).
     EndOfStep,
     /// Collective payloads (step-boundary bookkeeping).
@@ -138,11 +170,18 @@ pub enum MsgKind {
     /// traffic accounting: the framed messages are counted by their own
     /// kinds, so this counter stays zero on every driver).
     Batch = 12,
+    /// [`Msg::BatchPropose`]. Unlike the coalescing frame, this is a
+    /// *logical* message: one speculative round trip per touched owner,
+    /// so it counts once under its own kind however many entries it
+    /// carries (it may still ride inside a [`Msg::Batch`] packet).
+    BatchPropose = 13,
+    /// [`Msg::BatchVerdict`].
+    BatchVerdict = 14,
 }
 
 impl MsgKind {
     /// Number of kinds (length of a dense per-kind counter array).
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 15;
 
     /// All kinds, in counter-slot order.
     pub const ALL: [MsgKind; MsgKind::COUNT] = [
@@ -159,6 +198,8 @@ impl MsgKind {
         MsgKind::EndOfStep,
         MsgKind::Coll,
         MsgKind::Batch,
+        MsgKind::BatchPropose,
+        MsgKind::BatchVerdict,
     ];
 
     /// Classify a message.
@@ -174,6 +215,8 @@ impl MsgKind {
             Msg::CommitAck { .. } => MsgKind::CommitAck,
             Msg::Done { .. } => MsgKind::Done,
             Msg::Abort { .. } => MsgKind::Abort,
+            Msg::BatchPropose { .. } => MsgKind::BatchPropose,
+            Msg::BatchVerdict { .. } => MsgKind::BatchVerdict,
             Msg::EndOfStep => MsgKind::EndOfStep,
             Msg::Coll(_) => MsgKind::Coll,
             Msg::Batch(_) => MsgKind::Batch,
@@ -196,6 +239,8 @@ impl MsgKind {
             MsgKind::EndOfStep => "end-of-step",
             MsgKind::Coll => "coll",
             MsgKind::Batch => "batch",
+            MsgKind::BatchPropose => "batch-propose",
+            MsgKind::BatchVerdict => "batch-verdict",
         }
     }
 }
@@ -222,6 +267,16 @@ impl CollCarrier for Msg {
             | Msg::CommitAdd { .. }
             | Msg::CommitRemove { .. } => 28,
             Msg::CommitAck { .. } | Msg::Done { .. } | Msg::Abort { .. } => 13,
+            // Length prefix plus per entry: conv (12) + first edge (16) +
+            // presence flag (1) + optional second edge (16).
+            Msg::BatchPropose { reqs } => {
+                4 + reqs
+                    .iter()
+                    .map(|r| 29 + if r.second.is_some() { 16 } else { 0 })
+                    .sum::<usize>()
+            }
+            // Length prefix plus conv (12) + verdict flag (1) per entry.
+            Msg::BatchVerdict { verdicts } => 4 + 13 * verdicts.len(),
             Msg::EndOfStep => 1,
             // Length prefix plus the framed messages.
             Msg::Batch(msgs) => 4 + msgs.iter().map(|m| m.wire_size()).sum::<usize>(),
@@ -341,6 +396,44 @@ mod tests {
         assert_eq!(slots[MsgKind::CommitAck as usize], 2);
         assert_eq!(slots[MsgKind::Batch as usize], 0);
         assert_eq!(slots.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn batch_propose_counts_once_per_round_trip() {
+        let conv = |seq| ConvId { initiator: 2, seq };
+        let propose = Msg::BatchPropose {
+            reqs: vec![
+                BatchReq {
+                    conv: conv(1),
+                    first: Edge::new(1, 2),
+                    second: Some(Edge::new(3, 4)),
+                },
+                BatchReq {
+                    conv: conv(2),
+                    first: Edge::new(5, 6),
+                    second: None,
+                },
+            ],
+        };
+        // One logical message per round trip, however many entries.
+        let mut slots = [0u64; MsgKind::COUNT];
+        propose.record_kinds(&mut slots);
+        assert_eq!(slots[MsgKind::BatchPropose as usize], 1);
+        assert_eq!(slots.iter().sum::<u64>(), 1);
+        // Wire size grows per entry: 29 with one edge, 45 with two.
+        assert_eq!(propose.wire_size(), 4 + 45 + 29);
+
+        let verdict = Msg::BatchVerdict {
+            verdicts: vec![(conv(1), true), (conv(2), false)],
+        };
+        assert_eq!(verdict.wire_size(), 4 + 26);
+        let mut slots = [0u64; MsgKind::COUNT];
+        // Riding inside a coalescing frame stays transparent: the frame
+        // contributes nothing, the batch messages their own kind once.
+        Msg::Batch(vec![propose, verdict]).record_kinds(&mut slots);
+        assert_eq!(slots[MsgKind::BatchPropose as usize], 1);
+        assert_eq!(slots[MsgKind::BatchVerdict as usize], 1);
+        assert_eq!(slots[MsgKind::Batch as usize], 0);
     }
 
     #[test]

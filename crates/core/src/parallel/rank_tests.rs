@@ -168,7 +168,7 @@ fn full_global_switch_between_two_ranks() {
     let mut started = false;
     for _ in 0..64 {
         match r0.try_start(&mut out) {
-            StartResult::Started => {
+            StartResult::Started(_) => {
                 started = true;
                 let mut states = [&mut r0, &mut r1];
                 pump(&mut states, 0, &mut out);
@@ -203,14 +203,14 @@ fn abort_releases_first_edge_for_reuse() {
     r0.begin_step(1, &[0.0, 1.0]); // partner is always rank 1
     r1.begin_step(0, &[0.0, 1.0]);
     let mut out = Outbox::new();
-    assert_eq!(r0.try_start(&mut out), StartResult::Started);
+    assert_eq!(r0.try_start(&mut out), StartResult::Started(1));
     let mut states = [&mut r0, &mut r1];
     // Rank 1 has no edges: Contended abort flows back, releasing e1.
     pump(&mut states, 0, &mut out);
     assert!(!r0.step_done(), "operation must be retried, not completed");
     assert_eq!(r0.stats.aborts_contended, 1);
     // e1 must be free again: the next start succeeds.
-    assert_eq!(r0.try_start(&mut out), StartResult::Started);
+    assert_eq!(r0.try_start(&mut out), StartResult::Started(1));
 }
 
 /// Deliver one rank's outbox into a world FIFO queue (self-addressed
@@ -274,7 +274,7 @@ fn concurrent_conversations_hold_disjoint_reservations() {
             let mut starts = 0;
             while starts < WINDOW {
                 match states[i].try_start(&mut out) {
-                    StartResult::Started => {
+                    StartResult::Started(_) => {
                         starts += 1;
                         any_started = true;
                         route(&mut states, i, &mut out, &mut queue);
@@ -352,7 +352,7 @@ fn fastpath_applies_respect_reservation_disjointness() {
             let mut starts = 0;
             while starts < WINDOW {
                 match states[i].try_start(&mut out) {
-                    StartResult::Started => {
+                    StartResult::Started(_) => {
                         starts += 1;
                         any_started = true;
                         route(&mut states, i, &mut out, &mut queue);
@@ -421,7 +421,7 @@ fn stop_and_wait_reference(
             }
             let mut any_started = false;
             for i in 0..states.len() {
-                if states[i].try_start(&mut out) == StartResult::Started {
+                if matches!(states[i].try_start(&mut out), StartResult::Started(_)) {
                     any_started = true;
                     route(&mut states, i, &mut out, &mut queue);
                 }
@@ -472,6 +472,99 @@ fn window_one_is_bit_identical_to_stop_and_wait() {
             "final edge set diverged (seed {seed})"
         );
     }
+}
+
+/// Seeded rollback property: a speculative batch whose every entry is
+/// rejected must restore the initiator *exactly* — the edge pool in the
+/// same order (the undo log replays swap-remove positions LIFO), and
+/// empty reservation and potential sets. The world is built so every
+/// recombination yields exactly one foreign-owned replacement: edges
+/// `(4i, 4i+1)` pair an even `src` (rank 0 under HP-D(2)) with an odd
+/// endpoint, so crossing any two produces one even-src and one odd-src
+/// edge — always the speculative `f_local` shape, never a fully-local
+/// inline apply that would legitimately survive the rollback.
+#[test]
+fn all_reject_batch_verdict_restores_store_exactly() {
+    let edges0: Vec<(u64, u64)> = (0..12).map(|i| (4 * i, 4 * i + 1)).collect();
+    let (r0, _r1) = two_rank_world_windowed(&edges0, &[], 16);
+    let mut r0 = r0.with_spec_batch(8);
+    r0.begin_step(8, &[1.0, 0.0]); // partner draw is always self
+
+    let pre_edges: Vec<Edge> = r0.store().edges().collect();
+    let pre_reserved = r0.reserved_edges();
+    assert!(pre_reserved.is_empty());
+    assert!(r0.potential_edges().is_empty());
+
+    let mut out = Outbox::new();
+    assert!(matches!(r0.try_start(&mut out), StartResult::Started(_)));
+
+    // Every outgoing message must be a coalesced BatchPropose to the
+    // foreign owner; collect its conversations and refuse them all.
+    let mut verdicts: Vec<(ConvId, bool)> = Vec::new();
+    while let Some((dst, msg)) = out.pop() {
+        assert_eq!(dst, 1, "speculation only talks to the foreign owner");
+        match msg {
+            Msg::BatchPropose { reqs } => {
+                verdicts.extend(reqs.iter().map(|r| (r.conv, false)));
+            }
+            other => panic!("unexpected message {other:?}"),
+        }
+    }
+    assert!(!verdicts.is_empty(), "no speculation was ever attempted");
+    // The batch really is applied optimistically: the store has changed
+    // and the removed originals are parked as potential edges.
+    assert_ne!(r0.store().edges().collect::<Vec<_>>(), pre_edges);
+    assert!(!r0.potential_edges().is_empty());
+
+    r0.handle(
+        1,
+        Msg::BatchVerdict {
+            verdicts: verdicts.clone(),
+        },
+        &mut out,
+    );
+    assert!(out.pop().is_none(), "rollback sends nothing");
+
+    // Exact restoration: same edges in the same pool order, books clean.
+    assert_eq!(r0.store().edges().collect::<Vec<_>>(), pre_edges);
+    assert!(r0.reserved_edges().is_empty());
+    assert!(r0.potential_edges().is_empty());
+    assert_eq!(r0.inflight_len(), 0, "undo log must be drained");
+    assert_eq!(r0.stats.spec_rolled_back, verdicts.len() as u64);
+    assert_eq!(r0.stats.spec_committed, 0);
+    assert_eq!(r0.stats.performed, 0);
+    assert!(!r0.step_done(), "rejected ops must be retried, not lost");
+}
+
+/// Speculation under an adversarial partition (Section 5.2): relabel a
+/// graph so the highest-degree vertices pile onto one HP-D rank, then
+/// run with batching on. The hot rank forces heavy cross-rank
+/// replacement traffic — speculation must still keep the books exact.
+#[test]
+fn speculation_survives_adversarial_partitions() {
+    let mut rng = edgeswitch_dist::root_rng(17);
+    let g = erdos_renyi_gnm(300, 1500, &mut rng);
+    let p = 4;
+    let relab = edgeswitch_graph::partition::adversary::division_worst_case(&g, p, 1);
+    let h = relab.apply(&g);
+    let t = 2_000;
+    let cfg = ParallelConfig::new(p)
+        .with_scheme(SchemeKind::HashDivision)
+        .with_step_size(StepSize::FractionOfT(8))
+        .with_seed(909)
+        .with_spec_batch(8);
+    let on = simulate_parallel(&h, t, &cfg);
+    on.graph.check_invariants().unwrap();
+    assert_eq!(on.graph.degree_sequence(), h.degree_sequence());
+    assert_eq!(on.performed() + on.forfeited(), t);
+    let committed: u64 = on.per_rank.iter().map(|s| s.spec_committed).sum();
+    assert!(committed > 0, "speculation never engaged on the hot graph");
+    // The per-switch path on the same adversarial layout stays intact.
+    let off = simulate_parallel(&h, t, &cfg.clone().with_spec_batch(1));
+    off.graph.check_invariants().unwrap();
+    assert_eq!(off.graph.degree_sequence(), h.degree_sequence());
+    assert_eq!(off.performed() + off.forfeited(), t);
+    assert!(off.per_rank.iter().all(|s| s.spec_committed == 0));
 }
 
 #[test]

@@ -130,6 +130,14 @@ impl Run {
         self
     }
 
+    /// Speculative batch size (parallel/simulated only; `1`, the
+    /// default, keeps every switch on the per-switch conversation path —
+    /// see [`ParallelConfig::with_spec_batch`]).
+    pub fn spec_batch(mut self, spec_batch: usize) -> Self {
+        self.config = self.config.with_spec_batch(spec_batch);
+        self
+    }
+
     /// Attach observation: with [`ObsSpec::Spans`] the outcome carries a
     /// [`RunReport`] of phase timings, latency histograms and gauges.
     /// Recording never perturbs the run (see [`crate::obs`]).
@@ -261,6 +269,7 @@ mod tests {
             .step_size(StepSize::SingleStep)
             .seed(42)
             .window(4)
+            .spec_batch(8)
             .probe(ObsSpec::Spans);
         let cfg = run.config();
         assert_eq!(cfg.processors, 8);
@@ -268,6 +277,7 @@ mod tests {
         assert_eq!(cfg.step_size, StepSize::SingleStep);
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.window, 4);
+        assert_eq!(cfg.spec_batch, 8);
         assert_eq!(cfg.obs, ObsSpec::Spans);
     }
 

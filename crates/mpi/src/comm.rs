@@ -223,6 +223,17 @@ impl<M: CollCarrier> Comm<M> {
         stats
     }
 
+    /// Zero every traffic counter, so a subsequent [`Comm::stats`] reads
+    /// only the traffic since this call (e.g. to exclude a warm-up phase
+    /// from a measurement). The buffer-reuse counter lives in the pending
+    /// buffer rather than in [`CommStats`] — `stats()` copies it in at
+    /// read time — so it must be cleared here too, or the next snapshot
+    /// would resurrect the pre-reset count.
+    pub fn reset_stats(&mut self) {
+        self.stats = CommStats::default();
+        self.pending.reuses = 0;
+    }
+
     /// Send `payload` to `dst` with a user tag.
     ///
     /// # Panics
@@ -441,6 +452,53 @@ mod tests {
         assert_eq!(buf.pop_tag(5).as_ref().map(val), Some(11));
         assert!(buf.pop_tag(5).is_none());
         assert_eq!(buf.pop_tag(6).as_ref().map(val), Some(12));
+    }
+
+    /// A one-rank world talking to itself, for exercising the `Comm`
+    /// surface without spinning up threads.
+    fn loopback() -> Comm<CollPayload> {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        Comm::new(0, vec![tx], rx, Duration::from_secs(5))
+    }
+
+    #[test]
+    fn reset_stats_clears_buffer_reuse_counter_too() {
+        let mut comm = loopback();
+        // Drive traffic that exercises the pending buffer's queue
+        // recycling: rotate tags so each retired queue is reused, which
+        // bumps the reuse counter that lives *outside* `CommStats`.
+        for tag in 0..10u32 {
+            comm.send(0, tag, CollPayload::U64(tag as u64));
+            // Buffer it under the wrong tag first, forcing a push.
+            assert!(comm.try_recv_tag(tag + 1).is_none());
+            assert!(comm.try_recv_tag(tag).is_some());
+        }
+        let before = comm.stats();
+        assert_eq!(before.packets_sent, 10);
+        assert_eq!(before.packets_received, 10);
+        assert!(
+            before.recv_buf_reuses > 0,
+            "rotating tags must recycle retired queues"
+        );
+
+        comm.reset_stats();
+        let zeroed = comm.stats();
+        assert_eq!(zeroed.packets_sent, 0);
+        assert_eq!(zeroed.packets_received, 0);
+        assert_eq!(zeroed.bytes_sent, 0);
+        assert_eq!(zeroed.parks, 0);
+        assert_eq!(
+            zeroed.recv_buf_reuses, 0,
+            "reset must reach the reuse counter in the pending buffer"
+        );
+        assert!(zeroed.logical_by_kind.iter().all(|&c| c == 0));
+
+        // Counters start fresh afterwards — no resurrected totals.
+        comm.send(0, 3, CollPayload::U64(7));
+        assert!(comm.try_recv().is_some());
+        let after = comm.stats();
+        assert_eq!(after.packets_sent, 1);
+        assert_eq!(after.packets_received, 1);
     }
 
     #[test]

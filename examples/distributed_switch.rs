@@ -8,6 +8,7 @@
 
 use edge_switching::graph::partition::stats::{imbalance, PartitionStats};
 use edge_switching::prelude::*;
+use edgeswitch_bench::experiments::telemetry::protocol_summary;
 
 fn main() {
     let mut rng = root_rng(11);
@@ -71,31 +72,13 @@ fn main() {
         last_out = Some(out);
     }
 
-    // The drivers record per-step telemetry; summarize the last run.
+    // The drivers record per-step telemetry; summarize the last run
+    // with the same renderer `repro diagnostics` uses. The pipelining
+    // window keeps several conversations in flight per rank, and
+    // coalescing packs their messages into shared packets.
     let out = last_out.expect("at least one scheme ran");
-    let totals = out.logical_msg_totals();
-    println!(
-        "\ntelemetry of the last run: {} steps, {} ops started, {} blocked-on-contention events",
-        out.telemetry.len(),
-        out.telemetry.iter().map(|s| s.started).sum::<u64>(),
-        out.blocked_events(),
-    );
-    print!("messages by variant:");
-    for (kind, count) in totals.iter().filter(|(_, c)| *c > 0) {
-        print!(" {}={count}", kind.label());
-    }
     println!();
-    // The pipelining window keeps several conversations in flight per
-    // rank, and coalescing packs their messages into shared packets.
-    println!(
-        "pipelining: window = {} conversations/rank, peak occupancy = {}, \
-         {} logical messages in {} packets, {} parked waits",
-        DEFAULT_WINDOW,
-        out.window_peak(),
-        totals.total(),
-        out.packet_total(),
-        out.parked_events(),
-    );
+    print!("{}", protocol_summary(&out, DEFAULT_WINDOW));
 
     println!(
         "\nCP starts perfectly edge-balanced but ends skewed on clustered graphs;\n\

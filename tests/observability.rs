@@ -172,6 +172,11 @@ fn threaded_observed_run_reports_all_phases_and_round_trips() {
     assert_eq!(report.ranks, 4);
     assert!(report.wall_ns > 0);
     for phase in Phase::ALL {
+        if phase == Phase::BatchValidate {
+            // Speculation is off here (`spec_batch = 1`); the batch
+            // phase has its own observed coverage test below.
+            continue;
+        }
         let stat = report.phase(phase);
         assert!(stat.hist.count > 0, "phase {:?} never recorded", phase);
         assert!(stat.hist.max_ns >= stat.hist.p50_ns);
@@ -187,6 +192,32 @@ fn threaded_observed_run_reports_all_phases_and_round_trips() {
     // the receive queues were observed.
     assert!(report.gauge("window-occupancy").expect("gauge").samples > 0);
     assert!(report.gauge("recv-queue-depth").expect("gauge").samples > 0);
+}
+
+#[test]
+fn speculative_batch_observed_run_covers_batch_phase() {
+    // With speculation on, the owner-side `BatchPropose` serve phase and
+    // the speculative round-trip histogram populate, the report's spec
+    // counters equal the per-rank sums — and the probe-identity claim
+    // still holds on the speculative schedule.
+    let g = graph(27);
+    let t = 2_000;
+    let cfg = config(4, DEFAULT_WINDOW).with_spec_batch(8);
+    let plain = simulate_parallel(&g, t, &cfg);
+    let observed = simulate_parallel(&g, t, &cfg.clone().with_obs(ObsSpec::Spans));
+    assert_logically_identical(&plain, &observed, "FIFO spec batch");
+    let report = observed.report.as_ref().expect("observed run");
+    assert!(
+        report.phase(Phase::BatchValidate).hist.count > 0,
+        "no speculative batch was ever served"
+    );
+    let batch = report.rtt_of(MsgKind::BatchPropose).expect("reported kind");
+    assert!(batch.hist.count > 0);
+    let committed: u64 = observed.per_rank.iter().map(|s| s.spec_committed).sum();
+    let rolled: u64 = observed.per_rank.iter().map(|s| s.spec_rolled_back).sum();
+    assert!(committed > 0, "no speculation was ever confirmed");
+    assert_eq!(report.spec_committed, committed);
+    assert_eq!(report.spec_rolled_back, rolled);
 }
 
 #[test]
@@ -214,7 +245,16 @@ fn run_report_json_schema_is_stable() {
 
     assert_eq!(
         keys(&v),
-        vec!["clock", "gauges", "phases", "ranks", "rtt", "wall_ns"],
+        vec![
+            "clock",
+            "gauges",
+            "phases",
+            "ranks",
+            "rtt",
+            "spec_committed",
+            "spec_rolled_back",
+            "wall_ns"
+        ],
         "top-level keys changed"
     );
     assert_eq!(v["clock"].as_str(), Some("monotonic"));
@@ -234,7 +274,8 @@ fn run_report_json_schema_is_stable() {
             "switch-apply",
             "step-barrier",
             "q-refresh",
-            "local-fastpath"
+            "local-fastpath",
+            "batch-validate"
         ],
         "phase labels or order changed"
     );
@@ -250,7 +291,13 @@ fn run_report_json_schema_is_stable() {
     let kinds: Vec<&str> = rtt.iter().map(|r| r["kind"].as_str().unwrap()).collect();
     assert_eq!(
         kinds,
-        vec!["propose", "validate", "commit-add", "commit-remove"],
+        vec![
+            "propose",
+            "validate",
+            "commit-add",
+            "commit-remove",
+            "batch-propose"
+        ],
         "round-trip kinds or order changed"
     );
 
