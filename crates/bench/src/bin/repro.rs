@@ -8,7 +8,7 @@
 
 use edgeswitch_bench::experiments::{
     ablation_ids, all_ids, diagnostic_ids,
-    hotpath::{batch_gate, local_gate, probe_gate, scaling_gate},
+    hotpath::{batch_gate, local_gate, probe_gate, proc_gate, scaling_gate},
     perf_ids, run, ExpConfig,
 };
 use edgeswitch_bench::report::Report;
@@ -17,7 +17,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment|all|ablations|diagnostics|list> [--scale S] [--reps N] [--seed X] [--out DIR] [--quick] [--timeline] [--gate-scaling] [--gate-probe] [--gate-local] [--gate-batch]\n\
+        "usage: repro <experiment|all|ablations|diagnostics|list> [--scale S] [--reps N] [--seed X] [--out DIR] [--quick] [--timeline] [--gate-scaling] [--gate-probe] [--gate-local] [--gate-batch] [--gate-proc]\n\
          experiments: {}",
         all_ids().join(", ")
     );
@@ -57,6 +57,11 @@ fn archive_perf(report: &Report) {
 }
 
 fn main() {
+    // Process-backend rank children re-enter through here: with the shm
+    // environment set this runs the rank loop and exits, so a `repro`
+    // invocation benching `Backend::Process` can re-spawn its own binary.
+    edgeswitch_core::parallel::child_entry_from_env();
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
@@ -68,6 +73,7 @@ fn main() {
     let mut gate_probe = false;
     let mut gate_local = false;
     let mut gate_batch = false;
+    let mut gate_proc = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -129,6 +135,14 @@ fn main() {
                 // non-zero if threaded p=1 with batching on falls below
                 // 90% of sequential throughput on the quick ER case.
                 gate_batch = true;
+                i += 1;
+            }
+            "--gate-proc" => {
+                // CI process-scaling guard (hotpath only): exit non-zero
+                // if process p=2 falls below 1.3x process p=1 on the
+                // quick ER case. Auto-skips (with a notice) on 1-core
+                // runners and platforms without the process backend.
+                gate_proc = true;
                 i += 1;
             }
             "--gate-probe" => {
@@ -237,6 +251,15 @@ fn main() {
                         Ok(()) => println!("# probe gate: ok (no-op probe within 3% of baseline)"),
                         Err(why) => {
                             eprintln!("# probe gate FAILED: {why}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                if gate_proc && report.id == "hotpath" {
+                    match proc_gate(&report.data) {
+                        Ok(note) => println!("# proc gate: {note}"),
+                        Err(why) => {
+                            eprintln!("# proc gate FAILED: {why}");
                             std::process::exit(1);
                         }
                     }

@@ -15,8 +15,8 @@
 
 use super::ExpConfig;
 use crate::report::{f, table, Report};
-use edgeswitch_core::config::ParallelConfig;
-use edgeswitch_core::parallel::parallel_edge_switch;
+use edgeswitch_core::config::{Backend, ParallelConfig};
+use edgeswitch_core::parallel::{parallel_edge_switch, process_backend_supported};
 use edgeswitch_core::sequential::sequential_edge_switch;
 use edgeswitch_core::switch::{flip_kind, recombine, Recombination};
 use edgeswitch_core::visit::VisitTracker;
@@ -47,6 +47,14 @@ const OPS_PER_EDGE: u64 = 5;
 
 fn scaled(base: usize, scale: f64, floor: usize) -> usize {
     ((base as f64 * scale) as usize).max(floor)
+}
+
+/// Hardware threads on the machine running the bench. Stamped into every
+/// case so archived numbers are interpretable: on a 1-core host threaded
+/// and process ranks alike timeshare one core, and any p>1 "speedup" is
+/// noise, not scaling.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// The 2–3 graph families measured, at `scale` of their 100k-edge
@@ -184,8 +192,38 @@ fn bench_threaded(
     (t, best)
 }
 
+/// Measure process-backend switches/sec: identical work and best-of
+/// discipline to [`bench_threaded`], but each rank is an OS child
+/// process over shared-memory rings, so every rep also pays process
+/// spawn and result-blob teardown — that end-to-end cost is the number
+/// being tracked.
+fn bench_process(
+    graph: &Graph,
+    p: usize,
+    window: usize,
+    spec_batch: usize,
+    reps: u32,
+    seed: u64,
+) -> (u64, f64) {
+    let t = OPS_PER_EDGE * graph.num_edges() as u64;
+    let cfg = ParallelConfig::new(p)
+        .with_backend(Backend::Process)
+        .with_seed(seed)
+        .with_window(window)
+        .with_spec_batch(spec_batch);
+    let mut best = 0.0f64;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let out = parallel_edge_switch(graph, t, &cfg);
+        let secs = start.elapsed().as_secs_f64();
+        best = best.max(out.performed() as f64 / secs);
+    }
+    (t, best)
+}
+
 /// `hotpath` — sequential and threaded-engine switch throughput.
 pub fn hotpath(cfg: &ExpConfig) -> Report {
+    let cores = host_cores();
     let mut cases = Vec::new();
     let mut rows = Vec::new();
     for (family, graph) in families(cfg) {
@@ -199,6 +237,7 @@ pub fn hotpath(cfg: &ExpConfig) -> Report {
             "m": m,
             "ops": ops,
             "switches_per_sec": rate,
+            "host_cores": cores,
         }));
         rows.push(vec![
             family.to_string(),
@@ -220,8 +259,7 @@ pub fn hotpath(cfg: &ExpConfig) -> Report {
         for (window, spec_batch) in sweeps {
             let mut p1_rate = 0.0f64;
             for p in PROCESSORS {
-                let (ops, rate) =
-                    bench_threaded(&graph, p, window, spec_batch, cfg.reps, cfg.seed);
+                let (ops, rate) = bench_threaded(&graph, p, window, spec_batch, cfg.reps, cfg.seed);
                 if p == 1 {
                     p1_rate = rate;
                 }
@@ -237,6 +275,7 @@ pub fn hotpath(cfg: &ExpConfig) -> Report {
                     "ops": ops,
                     "switches_per_sec": rate,
                     "speedup_vs_p1": speedup,
+                    "host_cores": cores,
                 }));
                 rows.push(vec![
                     family.to_string(),
@@ -253,11 +292,55 @@ pub fn hotpath(cfg: &ExpConfig) -> Report {
         }
     }
     // Probe-overhead comparison on the uniform family: the no-op probe
-    // must be free relative to the frozen uninstrumented loop.
+    // must be free relative to the frozen uninstrumented loop. Measured
+    // before the process sweep so the ratio is not skewed by the page
+    // cache / scheduler churn that spawning rank processes leaves behind.
     let fams = families(cfg);
     let (family, er) = &fams[0];
     let (baseline, noop) = bench_probe_overhead(er, cfg.reps, cfg.seed);
     let noop_vs_baseline = if baseline > 0.0 { noop / baseline } else { 1.0 };
+    // The process backend, measured at the default window on the
+    // per-switch path only: the interesting axis is the substrate
+    // (threads timesharing the parent vs. one process per core), not
+    // another full window × batch sweep.
+    if process_backend_supported() {
+        for (family, graph) in &fams {
+            let m = graph.num_edges();
+            let window = *WINDOWS.last().unwrap();
+            let mut p1_rate = 0.0f64;
+            for p in PROCESSORS {
+                let (ops, rate) = bench_process(graph, p, window, 1, cfg.reps, cfg.seed);
+                if p == 1 {
+                    p1_rate = rate;
+                }
+                let speedup = rate / p1_rate;
+                cases.push(json!({
+                    "family": *family,
+                    "mode": "process",
+                    "p": p,
+                    "window": window,
+                    "spec_batch": 1,
+                    "n": graph.num_vertices(),
+                    "m": m,
+                    "ops": ops,
+                    "switches_per_sec": rate,
+                    "speedup_vs_p1": speedup,
+                    "host_cores": cores,
+                }));
+                rows.push(vec![
+                    family.to_string(),
+                    "process".into(),
+                    p.to_string(),
+                    window.to_string(),
+                    "1".into(),
+                    m.to_string(),
+                    ops.to_string(),
+                    f(rate, 0),
+                    f(speedup, 2),
+                ]);
+            }
+        }
+    }
 
     let mut rendered = table(
         &[
@@ -429,6 +512,56 @@ pub fn batch_gate(data: &serde_json::Value) -> Result<(), String> {
     Ok(())
 }
 
+/// Process-scaling gate over an already-computed hotpath report: on the
+/// ER family at the default window, process-backend p=2 must reach at
+/// least 1.3× process p=1 — the whole point of the backend is that a
+/// second rank brings a second core. Only meaningful where that second
+/// core exists: the gate reads the report's `host_cores` stamp and
+/// *skips* (`Ok` with a notice, not a failure) on single-core runners
+/// and on reports without process cases (non-Linux). Returns the notice
+/// or pass summary in `Ok`, a human-readable error in `Err`.
+pub fn proc_gate(data: &serde_json::Value) -> Result<String, String> {
+    let window = *WINDOWS.last().unwrap() as u64;
+    let case = |p: u64| {
+        data["cases"]
+            .as_array()
+            .into_iter()
+            .flatten()
+            .find(|c| {
+                c["family"].as_str() == Some("erdos_renyi_100k")
+                    && c["mode"].as_str() == Some("process")
+                    && c["p"].as_u64() == Some(p)
+                    && c["window"].as_u64() == Some(window)
+            })
+            .cloned()
+    };
+    let (Some(c1), Some(c2)) = (case(1), case(2)) else {
+        return Ok("skipped: no process cases in report (platform unsupported)".into());
+    };
+    let cores = c2["host_cores"].as_u64().unwrap_or(1);
+    if cores < 2 {
+        return Ok(format!(
+            "skipped: host has {cores} core(s); process p=2 cannot beat p=1 while timesharing"
+        ));
+    }
+    let p1 = c1["switches_per_sec"]
+        .as_f64()
+        .ok_or("gate: p=1 case has no rate")?;
+    let p2 = c2["switches_per_sec"]
+        .as_f64()
+        .ok_or("gate: p=2 case has no rate")?;
+    let speedup = if p1 > 0.0 { p2 / p1 } else { 0.0 };
+    if speedup < 1.3 {
+        return Err(format!(
+            "process-scaling regression: ER process p=2 at {speedup:.2}x p=1 \
+             (floor 1.30x) on a {cores}-core host"
+        ));
+    }
+    Ok(format!(
+        "process p=2 at {speedup:.2}x p=1 on ER ({cores}-core host)"
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,15 +580,22 @@ mod tests {
         assert_eq!(r.data["metric"].as_str(), Some("switches_per_sec"));
         let cases = r.data["cases"].as_array().unwrap();
         // 3 families × (1 sequential + (|WINDOWS| per-switch sweeps + 1
-        // speculative sweep) × |PROCESSORS| threaded).
+        // speculative sweep) × |PROCESSORS| threaded + |PROCESSORS|
+        // process where the backend exists).
+        let proc_cases = if process_backend_supported() {
+            PROCESSORS.len()
+        } else {
+            0
+        };
         assert_eq!(
             cases.len(),
-            3 * (1 + (WINDOWS.len() + 1) * PROCESSORS.len())
+            3 * (1 + (WINDOWS.len() + 1) * PROCESSORS.len() + proc_cases)
         );
         for c in cases {
             assert!(c["switches_per_sec"].as_f64().unwrap() > 0.0);
             assert!(c["ops"].as_u64().unwrap() > 0);
-            if c["mode"].as_str() == Some("threaded") {
+            assert!(c["host_cores"].as_u64().unwrap() >= 1);
+            if matches!(c["mode"].as_str(), Some("threaded") | Some("process")) {
                 let speedup = c["speedup_vs_p1"].as_f64().unwrap();
                 assert!(speedup > 0.0);
                 if c["p"].as_u64() == Some(1) {
@@ -562,6 +702,37 @@ mod tests {
         ]});
         assert!(batch_gate(&bad).unwrap_err().contains("speculative-batch"));
         assert!(batch_gate(&json!({"cases": []})).is_err());
+    }
+
+    #[test]
+    fn proc_gate_skips_asserts_and_fails_by_schema() {
+        // No process cases → skip, not failure (non-Linux platforms).
+        let none = json!({"cases": []});
+        assert!(proc_gate(&none).unwrap().contains("skipped"));
+        // Single-core host → skip with the core count in the notice.
+        let one_core = json!({"cases": [
+            {"family": "erdos_renyi_100k", "mode": "process", "p": 1, "window": 16,
+             "switches_per_sec": 100.0, "host_cores": 1},
+            {"family": "erdos_renyi_100k", "mode": "process", "p": 2, "window": 16,
+             "switches_per_sec": 60.0, "host_cores": 1},
+        ]});
+        assert!(proc_gate(&one_core).unwrap().contains("skipped"));
+        // Multi-core host with real scaling → pass.
+        let ok = json!({"cases": [
+            {"family": "erdos_renyi_100k", "mode": "process", "p": 1, "window": 16,
+             "switches_per_sec": 100.0, "host_cores": 4},
+            {"family": "erdos_renyi_100k", "mode": "process", "p": 2, "window": 16,
+             "switches_per_sec": 150.0, "host_cores": 4},
+        ]});
+        assert!(proc_gate(&ok).unwrap().contains("1.50x"));
+        // Multi-core host without scaling → failure.
+        let bad = json!({"cases": [
+            {"family": "erdos_renyi_100k", "mode": "process", "p": 1, "window": 16,
+             "switches_per_sec": 100.0, "host_cores": 4},
+            {"family": "erdos_renyi_100k", "mode": "process", "p": 2, "window": 16,
+             "switches_per_sec": 110.0, "host_cores": 4},
+        ]});
+        assert!(proc_gate(&bad).unwrap_err().contains("process-scaling"));
     }
 
     #[test]

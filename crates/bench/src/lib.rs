@@ -40,6 +40,18 @@ pub fn full_visit_ops(m: usize) -> u64 {
 mod tests {
     use super::*;
 
+    /// Process-backend re-entry hook, not a test: when this crate's test
+    /// binary benches `Backend::Process` (the hotpath smoke test), each
+    /// rank child is this same binary re-spawned with argv selecting
+    /// exactly this `#[ignore]`d name — `child_entry_from_env` then runs
+    /// the rank loop and exits. Without the shm environment it is a
+    /// no-op that trivially passes.
+    #[test]
+    #[ignore = "process-backend child entry point, not a test"]
+    fn shm_child_entry() {
+        edgeswitch_core::parallel::child_entry_from_env();
+    }
+
     #[test]
     fn dataset_graph_is_deterministic() {
         let a = dataset_graph(Dataset::Miami, 0.1, 1);

@@ -27,6 +27,70 @@ fn default_spec_batch() -> usize {
     1
 }
 
+/// Default busy-spin iterations with CPU relax hints before a blocked
+/// receive starts yielding the scheduler slice.
+pub const DEFAULT_SPIN_RELAX: u32 = 64;
+
+/// Default total spin iterations (relax + yield) before a blocked receive
+/// parks on its transport's wakeup primitive.
+pub const DEFAULT_SPIN_TOTAL: u32 = 256;
+
+fn default_spin_relax() -> u32 {
+    DEFAULT_SPIN_RELAX
+}
+
+fn default_spin_total() -> u32 {
+    DEFAULT_SPIN_TOTAL
+}
+
+/// Which substrate the parallel driver runs its ranks on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backend {
+    /// Ranks are scoped threads in this process exchanging `Msg` values
+    /// through in-memory channels (`mpilite`). Deterministic-friendly and
+    /// portable, but on one machine all ranks timeshare the parent's
+    /// scheduler context.
+    #[default]
+    Threaded,
+    /// Ranks are child processes of the current binary exchanging encoded
+    /// frames through shared-memory rings (`edgeswitch-shm`), so `p` ranks
+    /// genuinely occupy `p` cores. Requires Linux; the launching binary
+    /// must route rank children into
+    /// [`crate::parallel::child_entry_from_env`].
+    Process,
+}
+
+/// Tuning for the process backend that only makes sense per-invocation
+/// (never serialized with the rest of the configuration).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcOpts {
+    /// Extra argv passed to re-spawned rank children. The default routes
+    /// libtest binaries into an `#[ignore]`d `shm_child_entry` hook test;
+    /// binaries that call [`crate::parallel::child_entry_from_env`] at the
+    /// top of `main` ignore their argv entirely.
+    pub child_args: Vec<String>,
+    /// Print one `shm-child-pid: <pid>` line per spawned rank child
+    /// (consumed by orphan-reaping tests).
+    pub announce_children: bool,
+    /// Per-pair ring data capacity in bytes (rounded up to a power of two,
+    /// min 4 KiB).
+    pub ring_capacity: usize,
+}
+
+impl Default for ProcOpts {
+    fn default() -> Self {
+        ProcOpts {
+            child_args: vec![
+                "shm_child_entry".into(),
+                "--include-ignored".into(),
+                "--nocapture".into(),
+            ],
+            announce_children: false,
+            ring_capacity: 1 << 18,
+        }
+    }
+}
+
 /// How the step size `s` is chosen (Section 4.5: the probability vector
 /// `q` is refreshed every `s` operations).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -105,6 +169,25 @@ pub struct ParallelConfig {
     /// (enforced by `tests/driver_conformance.rs`).
     #[serde(default = "default_spec_batch")]
     pub spec_batch: usize,
+    /// Rank substrate: in-process threads (default) or OS processes over
+    /// shared-memory rings. Identical logical protocol either way; at
+    /// `p = 1` both are bit-identical to the simulators (enforced by
+    /// `tests/driver_conformance.rs`).
+    #[serde(default)]
+    pub backend: Backend,
+    /// Busy-spin iterations with CPU relax hints before a blocked receive
+    /// starts yielding (both backends honor this).
+    #[serde(default = "default_spin_relax")]
+    pub spin_relax: u32,
+    /// Total spin iterations (relax + yield) before a blocked receive
+    /// parks (threaded: channel timeout-park; process: futex doorbell).
+    #[serde(default = "default_spin_total")]
+    pub spin_total: u32,
+    /// Per-invocation process-backend knobs (child argv, pid announcing,
+    /// ring sizing). Skipped by serde: a deserialized config gets the
+    /// defaults.
+    #[serde(skip)]
+    pub proc_opts: ProcOpts,
 }
 
 impl ParallelConfig {
@@ -121,6 +204,10 @@ impl ParallelConfig {
             obs: ObsSpec::default(),
             local_fastpath: default_local_fastpath(),
             spec_batch: default_spec_batch(),
+            backend: Backend::default(),
+            spin_relax: default_spin_relax(),
+            spin_total: default_spin_total(),
+            proc_opts: ProcOpts::default(),
         }
     }
 
@@ -172,6 +259,27 @@ impl ParallelConfig {
     /// conversations only, clamped to ≥ 1).
     pub fn with_spec_batch(mut self, spec_batch: usize) -> Self {
         self.spec_batch = spec_batch.max(1);
+        self
+    }
+
+    /// Builder-style backend override.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Builder-style spin tuning: `relax` iterations of CPU relax hints,
+    /// then yields up to `total` iterations, before a blocked receive
+    /// parks. `total` is clamped to ≥ `relax`.
+    pub fn with_spin(mut self, relax: u32, total: u32) -> Self {
+        self.spin_relax = relax;
+        self.spin_total = total.max(relax);
+        self
+    }
+
+    /// Builder-style process-backend options override.
+    pub fn with_proc_opts(mut self, proc_opts: ProcOpts) -> Self {
+        self.proc_opts = proc_opts;
         self
     }
 
@@ -239,5 +347,32 @@ mod tests {
         assert_eq!(ParallelConfig::new(2).spec_batch, 1);
         assert_eq!(ParallelConfig::new(2).with_spec_batch(16).spec_batch, 16);
         assert_eq!(ParallelConfig::new(2).with_spec_batch(0).spec_batch, 1);
+        // Backend defaults to threads; spins default to the tuned consts.
+        assert_eq!(ParallelConfig::new(2).backend, Backend::Threaded);
+        assert_eq!(ParallelConfig::new(2).spin_relax, DEFAULT_SPIN_RELAX);
+        assert_eq!(ParallelConfig::new(2).spin_total, DEFAULT_SPIN_TOTAL);
+        let cfg = ParallelConfig::new(2)
+            .with_backend(Backend::Process)
+            .with_spin(8, 4);
+        assert_eq!(cfg.backend, Backend::Process);
+        assert_eq!(
+            (cfg.spin_relax, cfg.spin_total),
+            (8, 8),
+            "total clamps to relax"
+        );
+    }
+
+    #[test]
+    fn proc_opts_default_routes_libtest_children() {
+        // The default child argv must select the `#[ignore]`d
+        // `shm_child_entry` hook by substring (libtest's default filter
+        // mode), so it matches at any module depth; `--nocapture` keeps
+        // `shm-child-pid` announcements visible to orphan tests.
+        let opts = ProcOpts::default();
+        assert_eq!(opts.child_args[0], "shm_child_entry");
+        assert!(opts.child_args.iter().any(|a| a == "--include-ignored"));
+        assert!(opts.child_args.iter().any(|a| a == "--nocapture"));
+        assert!(!opts.announce_children);
+        assert!(opts.ring_capacity.is_power_of_two());
     }
 }

@@ -39,11 +39,12 @@ pub mod switch;
 pub mod variants;
 pub mod visit;
 
-pub use config::{ParallelConfig, StepSize};
+pub use config::{Backend, ParallelConfig, ProcOpts, StepSize};
 pub use error_rate::{error_rate, BlockMatrix};
 pub use obs::{Obs, ObsSpec, Probe, RunReport};
 pub use parallel::{
-    parallel_edge_switch, simulate_parallel, MsgCounts, ParallelOutcome, StepTelemetry,
+    child_entry_from_env, parallel_edge_switch, simulate_parallel, MsgCounts, ParallelOutcome,
+    StepTelemetry,
 };
 pub use run::{Run, RunOutcome, SequentialRun};
 pub use sequential::{

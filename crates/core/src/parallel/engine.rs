@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 pub use super::harness::ParallelOutcome;
 
-use crate::config::ParallelConfig;
+use crate::config::{Backend, ParallelConfig};
 
 /// Run `t` switch operations on `graph` under `config`, using the
 /// partitioner built for the configured scheme.
@@ -40,6 +40,9 @@ pub fn parallel_edge_switch_with(
     config: &ParallelConfig,
     part: &Partitioner,
 ) -> ParallelOutcome {
+    if config.backend == Backend::Process {
+        return super::proc::parallel_edge_switch_proc(graph, t, config, part);
+    }
     let p = config.processors;
     assert_eq!(part.num_parts(), p, "partitioner size must match config");
     let stores = build_stores(graph, part);
@@ -71,8 +74,13 @@ pub fn parallel_edge_switch_with(
     let clock_ref = &clock;
     let run_start = clock.as_ref().map_or(0, |c| c.now_ns());
 
+    let world_config = WorldConfig {
+        spin_relax: config.spin_relax,
+        spin_total: config.spin_total,
+        ..WorldConfig::default()
+    };
     let results: Vec<(RankOutput, Vec<StepTelemetry>)> =
-        run_world(p, WorldConfig::default(), move |comm: &mut Comm<Msg>| {
+        run_world(p, world_config, move |comm: &mut Comm<Msg>| {
             let store = slots_ref[comm.rank()]
                 .lock()
                 .take()

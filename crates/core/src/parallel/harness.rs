@@ -32,7 +32,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Tag for protocol messages (collectives use the reserved namespace).
-const TAG_PROTO: u32 = 1;
+pub(crate) const TAG_PROTO: u32 = 1;
 
 // ---------------------------------------------------------------------
 // Telemetry
@@ -72,6 +72,17 @@ impl MsgCounts {
         MsgKind::ALL
             .iter()
             .map(move |&k| (k, self.counts[k as usize]))
+    }
+
+    /// Raw counter slots in [`MsgKind`] order, for serializing telemetry
+    /// across the process transport.
+    pub fn slots(&self) -> &[u64; MsgKind::COUNT] {
+        &self.counts
+    }
+
+    /// Rebuild from raw slots produced by [`MsgCounts::slots`].
+    pub fn from_slots(counts: [u64; MsgKind::COUNT]) -> Self {
+        MsgCounts { counts }
     }
 }
 

@@ -5,14 +5,18 @@
 //! - [`harness`]: the shared step machinery — [`Transport`] /
 //!   [`StepHarness`] / per-step [`StepTelemetry`] — every driver runs on,
 //! - [`engine`]: the threaded driver over `mpilite` ranks,
+//! - [`proc`]: the process-backed driver over shared-memory rings
+//!   ([`wire`] is its byte codec for [`Msg`]),
 //! - [`sim`]: a deterministic single-threaded driver for large virtual
 //!   worlds and similarity experiments.
 
 pub mod engine;
 pub mod harness;
 pub mod msg;
+pub mod proc;
 pub mod rank;
 pub mod sim;
+pub mod wire;
 
 #[cfg(test)]
 mod rank_tests;
@@ -26,5 +30,8 @@ pub use harness::{
     RunMeta, StepHarness, StepScratch, StepTelemetry, Transport, WorldTransport,
 };
 pub use msg::{ConvId, Msg, MsgKind, Outbox};
+pub use proc::{
+    child_entry_from_env, parallel_edge_switch_proc, process_backend_supported, ProcTransport,
+};
 pub use rank::{RankState, RankStats, StartResult};
 pub use sim::{simulate_parallel, simulate_parallel_with};

@@ -1,0 +1,1004 @@
+//! The process-backed driver: ranks as OS child processes over
+//! shared-memory rings, so `p` ranks genuinely occupy `p` cores.
+//!
+//! Structure mirrors the threaded driver (`super::engine`) exactly — the
+//! same [`StepHarness`], the same [`run_rank_step`] event loop, the same
+//! [`assemble_outcome`] merge — only the substrate differs:
+//!
+//! * the launcher builds the partition stores, serializes a **boot blob**
+//!   (config + partitioner as JSON, per-rank edge pools as raw keys) into
+//!   an [`ShmWorld`], and respawns the current binary once per rank with
+//!   the mapping inherited by fd;
+//! * each rank child attaches, rebuilds its [`RankState`] bit-identically
+//!   (pool order is preserved, so edge sampling matches the threaded
+//!   engine and the simulators), and runs the step loop over a
+//!   [`ProcTransport`] — point-to-point `Msg` frames and the step-boundary
+//!   collectives all travel the world's SPSC rings;
+//! * at teardown each child streams a **result blob** (final store,
+//!   tracker, [`RankStats`], comm stats, per-step telemetry) back to the
+//!   launcher over its ring, and exits.
+//!
+//! Orphan safety is layered: children arm `PR_SET_PDEATHSIG(SIGKILL)`
+//! before exec (re-checking `getppid` to close the pre-arm race), and the
+//! world header carries a liveness word that parked ranks poll between
+//! futex slices, so a rank can never outlive a dead launcher.
+//!
+//! Process runs are never observed (`RunReport` stays `None`): probes are
+//! guaranteed non-perturbing, so conformance digests are unaffected.
+
+use std::collections::VecDeque;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use edgeswitch_dist::BlockRng64;
+use edgeswitch_graph::store::{build_stores, PartitionStore};
+use edgeswitch_graph::{Edge, Graph, Partitioner};
+use edgeswitch_shm::{Endpoint, ShmWorld, WaitOutcome};
+use mpilite::{CollCarrier, CommStats, COLLECTIVE_TAG_BASE, KIND_SLOTS};
+
+use crate::config::ParallelConfig;
+use crate::visit::VisitTracker;
+
+use super::harness::{
+    assemble_outcome, run_rank_step, MsgCounts, ParallelOutcome, RankOutput, RankTransport,
+    StepHarness, StepScratch, StepTelemetry, Transport, TAG_PROTO,
+};
+use super::msg::{Msg, MsgKind};
+use super::rank::{RankState, RankStats};
+use super::wire;
+
+const ENV_RANK: &str = "EDGESWITCH_SHM_RANK";
+const ENV_FD: &str = "EDGESWITCH_SHM_FD";
+const ENV_LEN: &str = "EDGESWITCH_SHM_LEN";
+const ENV_PPID: &str = "EDGESWITCH_SHM_PPID";
+
+/// Tag for result-blob frames (distinct from `TAG_PROTO`, below the
+/// collective namespace).
+const TAG_RESULT: u32 = 2;
+
+/// Tags per collective invocation; mirrors `mpilite::collectives` so the
+/// tag sequence is identical across backends.
+const TAG_STRIDE: u32 = 4;
+
+/// Per-receive deadlock timeout, matching `mpilite::WorldConfig`.
+const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Backpressure timeout for a full ring (peer presumed dead after this).
+const SEND_TIMEOUT: Duration = Duration::from_secs(120);
+
+// ---------------------------------------------------------------------
+// Little-endian blob helpers
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, at: 0 }
+    }
+
+    fn u8(&mut self) -> u8 {
+        let v = self.bytes[self.at];
+        self.at += 1;
+        v
+    }
+
+    fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.bytes[self.at..self.at + 4].try_into().unwrap());
+        self.at += 4;
+        v
+    }
+
+    fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.bytes[self.at..self.at + 8].try_into().unwrap());
+        self.at += 8;
+        v
+    }
+
+    fn f64(&mut self) -> f64 {
+        f64::from_bits(self.u64())
+    }
+
+    fn done(&self) {
+        assert_eq!(self.at, self.bytes.len(), "trailing bytes in blob");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------
+
+/// [`RankTransport`] over a shared-memory world: the process-backend
+/// sibling of [`super::harness::MpiliteTransport`].
+///
+/// Point-to-point sends encode one [`Msg`] per ring frame under
+/// `TAG_PROTO`; the step-boundary collectives replicate
+/// `mpilite::collectives` exactly (same direct-exchange order, same tag
+/// sequence), with frames that arrive out of matching order buffered in
+/// a pending queue — the ring grid only guarantees per-pair FIFO.
+pub struct ProcTransport<'w> {
+    ep: Endpoint<'w>,
+    /// Ranks `p` (the world has `p + 1` participants; the launcher owns
+    /// the extra endpoint).
+    p: usize,
+    stats: CommStats,
+    coll_seq: u32,
+    /// Frames received while waiting for something more specific:
+    /// `(src, tag, payload)`.
+    pending: VecDeque<(usize, u32, Vec<u8>)>,
+    /// Logical messages unpacked from a `Msg::Batch` frame.
+    inbox: VecDeque<(usize, Msg)>,
+    spin_relax: u32,
+    spin_total: u32,
+    ebuf: Vec<u8>,
+}
+
+impl<'w> ProcTransport<'w> {
+    /// Wrap a rank's endpoint (`ep.me()` must be the rank id, `< p`).
+    pub fn new(ep: Endpoint<'w>, p: usize, spin_relax: u32, spin_total: u32) -> Self {
+        assert!(ep.me() < p, "launcher endpoint is not a rank");
+        ProcTransport {
+            ep,
+            p,
+            stats: CommStats::default(),
+            coll_seq: 0,
+            pending: VecDeque::new(),
+            inbox: VecDeque::new(),
+            spin_relax,
+            spin_total,
+            ebuf: Vec::new(),
+        }
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    fn next_coll_tag(&mut self) -> u32 {
+        let seq = self.coll_seq;
+        self.coll_seq = self.coll_seq.wrapping_add(1);
+        COLLECTIVE_TAG_BASE + (seq % ((u32::MAX - COLLECTIVE_TAG_BASE) / TAG_STRIDE)) * TAG_STRIDE
+    }
+
+    fn send_msg(&mut self, dst: usize, tag: u32, msg: &Msg) {
+        self.stats.packets_sent += 1;
+        self.stats.bytes_sent += msg.wire_size() as u64;
+        msg.record_kinds(&mut self.stats.logical_by_kind);
+        self.ebuf.clear();
+        wire::encode_msg(msg, &mut self.ebuf);
+        self.ep.send(dst, tag, &self.ebuf, SEND_TIMEOUT);
+    }
+
+    fn note_queue_depth(&mut self) {
+        let depth = (self.pending.len() + self.inbox.len()) as u64;
+        self.stats.recv_queue_peak = self.stats.recv_queue_peak.max(depth);
+    }
+
+    /// Unpack one protocol frame: batches queue their tail behind the
+    /// first framed message; bare messages pass through.
+    fn unpack(&mut self, src: usize, payload: Msg) -> (usize, Msg) {
+        match payload {
+            Msg::Batch(msgs) => {
+                let mut it = msgs.into_iter();
+                let first = it.next().expect("batch frames are never empty");
+                for m in it {
+                    self.inbox.push_back((src, m));
+                }
+                (src, first)
+            }
+            m => (src, m),
+        }
+    }
+
+    /// Park until a frame arrives, metering park time; panics on world
+    /// death or deadlock timeout.
+    fn wait_for_traffic(&mut self) {
+        match self.ep.wait(self.spin_relax, self.spin_total, RECV_TIMEOUT) {
+            WaitOutcome::Ready => {}
+            WaitOutcome::ParkedReady(ns) => {
+                self.stats.parks += 1;
+                self.stats.park_ns += ns;
+            }
+            WaitOutcome::Dead => panic!(
+                "rank {}: shm world died while waiting for messages",
+                self.ep.me()
+            ),
+            WaitOutcome::TimedOut => panic!(
+                "rank {}: no message within {RECV_TIMEOUT:?} (protocol deadlock?)",
+                self.ep.me()
+            ),
+        }
+    }
+
+    fn try_recv_proto(&mut self) -> Option<(usize, Msg)> {
+        if let Some(x) = self.inbox.pop_front() {
+            return Some(x);
+        }
+        self.note_queue_depth();
+        if let Some(at) = self
+            .pending
+            .iter()
+            .position(|(_, tag, _)| *tag == TAG_PROTO)
+        {
+            let (src, _, bytes) = self.pending.remove(at).expect("position is in range");
+            self.stats.packets_received += 1;
+            let msg = wire::decode_msg(&bytes);
+            return Some(self.unpack(src, msg));
+        }
+        loop {
+            let (src, tag, payload) = self.ep.try_recv()?;
+            if tag == TAG_PROTO {
+                let msg = wire::decode_msg(payload);
+                self.stats.packets_received += 1;
+                return Some(self.unpack(src, msg));
+            }
+            let owned = payload.to_vec();
+            self.pending.push_back((src, tag, owned));
+        }
+    }
+
+    /// Earliest-arrived frame from `src` under `tag` (collective
+    /// matching), buffering everything else.
+    fn recv_match(&mut self, src: usize, tag: u32) -> Vec<u8> {
+        self.note_queue_depth();
+        if let Some(at) = self
+            .pending
+            .iter()
+            .position(|(s, t, _)| *s == src && *t == tag)
+        {
+            let (_, _, bytes) = self.pending.remove(at).expect("position is in range");
+            self.stats.packets_received += 1;
+            return bytes;
+        }
+        loop {
+            match self.ep.try_recv() {
+                Some((s, t, payload)) => {
+                    let owned = payload.to_vec();
+                    if s == src && t == tag {
+                        self.stats.packets_received += 1;
+                        return owned;
+                    }
+                    self.pending.push_back((s, t, owned));
+                }
+                None => self.wait_for_traffic(),
+            }
+        }
+    }
+
+    /// Direct-exchange allgather of one `u64`, mirroring
+    /// `mpilite::Comm::allgather_u64` (same send/recv order, same tag
+    /// draw, same stats accounting).
+    // Rank indices double as slot indices and message routes, as in
+    // `mpilite::collectives`; iterator rewrites would hide that.
+    #[allow(clippy::needless_range_loop)]
+    fn allgather_u64(&mut self, value: u64) -> Vec<u64> {
+        let tag = self.next_coll_tag();
+        let (rank, p) = (self.ep.me(), self.p);
+        let mut out = vec![0u64; p];
+        out[rank] = value;
+        for dst in 0..p {
+            if dst != rank {
+                self.send_msg(dst, tag, &Msg::Coll(mpilite::CollPayload::U64(value)));
+            }
+        }
+        for src in 0..p {
+            if src != rank {
+                let bytes = self.recv_match(src, tag);
+                match wire::decode_msg(&bytes) {
+                    Msg::Coll(mpilite::CollPayload::U64(v)) => out[src] = v,
+                    other => panic!("allgather_u64 got {other:?}"),
+                }
+            }
+        }
+        self.stats.collectives += 1;
+        out
+    }
+
+    /// Direct-exchange personalized all-to-all of one `u64` per peer,
+    /// mirroring `mpilite::Comm::alltoall_u64`.
+    #[allow(clippy::needless_range_loop)]
+    fn alltoall_u64(&mut self, row: &[u64]) -> Vec<u64> {
+        let (rank, p) = (self.ep.me(), self.p);
+        assert_eq!(row.len(), p, "alltoall row must have one entry per rank");
+        let tag = self.next_coll_tag();
+        let mut out = vec![0u64; p];
+        out[rank] = row[rank];
+        for dst in 0..p {
+            if dst != rank {
+                self.send_msg(dst, tag, &Msg::Coll(mpilite::CollPayload::U64(row[dst])));
+            }
+        }
+        for src in 0..p {
+            if src != rank {
+                let bytes = self.recv_match(src, tag);
+                match wire::decode_msg(&bytes) {
+                    Msg::Coll(mpilite::CollPayload::U64(v)) => out[src] = v,
+                    other => panic!("alltoall_u64 got {other:?}"),
+                }
+            }
+        }
+        self.stats.collectives += 1;
+        out
+    }
+}
+
+impl Transport for ProcTransport<'_> {}
+
+impl RankTransport for ProcTransport<'_> {
+    fn rank(&self) -> usize {
+        self.ep.me()
+    }
+    fn size(&self) -> usize {
+        self.p
+    }
+    fn exchange_edge_counts(&mut self, count: u64) -> Vec<u64> {
+        debug_assert!(self.inbox.is_empty(), "protocol traffic across step end");
+        self.allgather_u64(count)
+    }
+    fn draw_quota(&mut self, step_ops: u64, q: &[f64], rng: &mut BlockRng64) -> u64 {
+        // Identical RNG consumption to `parallel_multinomial_owned`.
+        let local = edgeswitch_dist::local_quota_row(step_ops, self.p, self.ep.me(), q, rng);
+        let mine = self.alltoall_u64(&local);
+        mine.into_iter().sum()
+    }
+    fn send(&mut self, dst: usize, msg: Msg) {
+        self.send_msg(dst, TAG_PROTO, &msg);
+    }
+    fn try_recv(&mut self) -> Option<(usize, Msg)> {
+        self.try_recv_proto()
+    }
+    fn recv_block(&mut self) -> (usize, Msg) {
+        loop {
+            if let Some(x) = self.try_recv_proto() {
+                return x;
+            }
+            self.wait_for_traffic();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Boot blob
+// ---------------------------------------------------------------------
+
+struct BootBlob {
+    config: ParallelConfig,
+    part: Partitioner,
+    t: u64,
+    /// Per-rank edge-pool lengths; rank `r`'s keys follow rank `r-1`'s in
+    /// the concatenated key array.
+    counts: Vec<u64>,
+    keys: Vec<u64>,
+}
+
+fn encode_config(out: &mut Vec<u8>, config: &ParallelConfig) {
+    // Only fields the rank loop reads; per-invocation `proc_opts` and
+    // observation are launcher-side (children always run unobserved —
+    // probes never perturb, and process runs carry no `RunReport`).
+    put_u64(out, config.processors as u64);
+    out.push(match config.scheme {
+        edgeswitch_graph::SchemeKind::Consecutive => 0,
+        edgeswitch_graph::SchemeKind::HashDivision => 1,
+        edgeswitch_graph::SchemeKind::HashMultiplication => 2,
+        edgeswitch_graph::SchemeKind::HashUniversal => 3,
+    });
+    let (step_tag, step_arg) = match config.step_size {
+        crate::config::StepSize::Ops(s) => (0u8, s),
+        crate::config::StepSize::FractionOfT(d) => (1, d),
+        crate::config::StepSize::SingleStep => (2, 0),
+    };
+    out.push(step_tag);
+    put_u64(out, step_arg);
+    out.push(match config.quota_policy {
+        crate::config::QuotaPolicy::EdgeProportional => 0,
+        crate::config::QuotaPolicy::Uniform => 1,
+    });
+    put_u64(out, config.seed);
+    put_u64(out, config.window as u64);
+    out.push(config.local_fastpath as u8);
+    put_u64(out, config.spec_batch as u64);
+    put_u32(out, config.spin_relax);
+    put_u32(out, config.spin_total);
+}
+
+fn decode_config(r: &mut Reader<'_>) -> ParallelConfig {
+    let processors = r.u64() as usize;
+    let scheme = match r.u8() {
+        0 => edgeswitch_graph::SchemeKind::Consecutive,
+        1 => edgeswitch_graph::SchemeKind::HashDivision,
+        2 => edgeswitch_graph::SchemeKind::HashMultiplication,
+        3 => edgeswitch_graph::SchemeKind::HashUniversal,
+        tag => panic!("unknown scheme tag {tag}"),
+    };
+    let step_size = match (r.u8(), r.u64()) {
+        (0, s) => crate::config::StepSize::Ops(s),
+        (1, d) => crate::config::StepSize::FractionOfT(d),
+        (2, _) => crate::config::StepSize::SingleStep,
+        (tag, _) => panic!("unknown step-size tag {tag}"),
+    };
+    let quota_policy = match r.u8() {
+        0 => crate::config::QuotaPolicy::EdgeProportional,
+        1 => crate::config::QuotaPolicy::Uniform,
+        tag => panic!("unknown quota-policy tag {tag}"),
+    };
+    let mut config = ParallelConfig::new(processors)
+        .with_scheme(scheme)
+        .with_step_size(step_size)
+        .with_quota_policy(quota_policy)
+        .with_seed(r.u64());
+    config = config.with_window(r.u64() as usize);
+    config = config.with_local_fastpath(r.u8() != 0);
+    config = config.with_spec_batch(r.u64() as usize);
+    let (relax, total) = (r.u32(), r.u32());
+    config.with_spin(relax, total)
+}
+
+fn encode_partitioner(out: &mut Vec<u8>, part: &Partitioner) {
+    match part {
+        Partitioner::Consecutive { starts } => {
+            out.push(0);
+            put_u64(out, starts.len() as u64);
+            for s in starts {
+                put_u64(out, *s);
+            }
+        }
+        Partitioner::HashDivision { p } => {
+            out.push(1);
+            put_u32(out, *p);
+        }
+        Partitioner::HashMultiplication { p, a } => {
+            out.push(2);
+            put_u32(out, *p);
+            put_u64(out, a.to_bits());
+        }
+        Partitioner::HashUniversal { p, a, b, c } => {
+            out.push(3);
+            put_u32(out, *p);
+            put_u64(out, *a);
+            put_u64(out, *b);
+            put_u64(out, *c);
+        }
+    }
+}
+
+fn decode_partitioner(r: &mut Reader<'_>) -> Partitioner {
+    match r.u8() {
+        0 => {
+            let len = r.u64() as usize;
+            Partitioner::Consecutive {
+                starts: (0..len).map(|_| r.u64()).collect(),
+            }
+        }
+        1 => Partitioner::HashDivision { p: r.u32() },
+        2 => Partitioner::HashMultiplication {
+            p: r.u32(),
+            a: f64::from_bits(r.u64()),
+        },
+        3 => Partitioner::HashUniversal {
+            p: r.u32(),
+            a: r.u64(),
+            b: r.u64(),
+            c: r.u64(),
+        },
+        tag => panic!("unknown partitioner tag {tag}"),
+    }
+}
+
+fn encode_boot(
+    config: &ParallelConfig,
+    part: &Partitioner,
+    n: usize,
+    t: u64,
+    stores: &[PartitionStore],
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_config(&mut out, config);
+    encode_partitioner(&mut out, part);
+    put_u64(&mut out, n as u64);
+    put_u64(&mut out, t);
+    put_u64(&mut out, stores.len() as u64);
+    for store in stores {
+        put_u64(&mut out, store.num_edges() as u64);
+    }
+    for store in stores {
+        // Pool order: edge sampling order. Raw keys keep the blob
+        // byte-exact across processes.
+        for e in store.edges() {
+            put_u64(&mut out, e.key());
+        }
+    }
+    out
+}
+
+fn decode_boot(bytes: &[u8]) -> BootBlob {
+    let mut r = Reader::new(bytes);
+    let config = decode_config(&mut r);
+    let part = decode_partitioner(&mut r);
+    let _n = r.u64(); // vertex count: launcher-side (assemble_outcome)
+    let t = r.u64();
+    let p = r.u64() as usize;
+    let counts: Vec<u64> = (0..p).map(|_| r.u64()).collect();
+    let total: u64 = counts.iter().sum();
+    let keys: Vec<u64> = (0..total).map(|_| r.u64()).collect();
+    r.done();
+    BootBlob {
+        config,
+        part,
+        t,
+        counts,
+        keys,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Result blob
+// ---------------------------------------------------------------------
+
+fn encode_result(
+    rank: usize,
+    store: &PartitionStore,
+    tracker: &VisitTracker,
+    stats: &RankStats,
+    comm: &CommStats,
+    telemetry: &[StepTelemetry],
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, rank as u64);
+
+    put_u64(&mut out, store.num_edges() as u64);
+    for e in store.edges() {
+        put_u64(&mut out, e.key());
+    }
+
+    put_u64(&mut out, tracker.initial_count() as u64);
+    let remaining: Vec<u64> = tracker.remaining_keys().collect();
+    put_u64(&mut out, remaining.len() as u64);
+    for key in remaining {
+        put_u64(&mut out, key);
+    }
+
+    for v in [
+        stats.performed,
+        stats.performed_local,
+        stats.performed_global,
+        stats.performed_fastpath,
+        stats.aborts_loop,
+        stats.aborts_useless,
+        stats.aborts_parallel,
+        stats.aborts_contended,
+        stats.forfeited,
+        stats.proposals_served,
+        stats.validations_served,
+        stats.spec_committed,
+        stats.spec_rolled_back,
+    ] {
+        put_u64(&mut out, v);
+    }
+
+    for v in [
+        comm.packets_sent,
+        comm.bytes_sent,
+        comm.packets_received,
+        comm.collectives,
+        comm.parks,
+        comm.park_ns,
+        comm.recv_queue_peak,
+        comm.recv_buf_reuses,
+    ] {
+        put_u64(&mut out, v);
+    }
+    for v in comm.logical_by_kind {
+        put_u64(&mut out, v);
+    }
+
+    put_u64(&mut out, telemetry.len() as u64);
+    for tel in telemetry {
+        for v in [
+            tel.ops,
+            tel.started,
+            tel.performed,
+            tel.local_fastpath,
+            tel.forfeited,
+            tel.served,
+            tel.blocked,
+            tel.parked,
+            tel.window_peak,
+            tel.spec_committed,
+            tel.spec_rolled_back,
+            tel.packets,
+        ] {
+            put_u64(&mut out, v);
+        }
+        for v in tel.logical_msgs.slots() {
+            put_u64(&mut out, *v);
+        }
+        for v in [
+            tel.boundary_ns,
+            tel.drain_ns,
+            tel.barrier_ns,
+            tel.qrefresh_ns,
+            tel.wait_ns,
+        ] {
+            put_u64(&mut out, v.to_bits());
+        }
+    }
+    out
+}
+
+fn decode_result(bytes: &[u8]) -> (usize, RankOutput, Vec<StepTelemetry>) {
+    let mut r = Reader::new(bytes);
+    let rank = r.u64() as usize;
+
+    let edge_count = r.u64() as usize;
+    let mut store = PartitionStore::new(rank);
+    for _ in 0..edge_count {
+        let inserted = store.insert(Edge::from_key(r.u64()));
+        debug_assert!(inserted, "result store has duplicate edges");
+    }
+
+    let initial_count = r.u64() as usize;
+    let remaining_len = r.u64() as usize;
+    let tracker = VisitTracker::from_parts(initial_count, (0..remaining_len).map(|_| r.u64()));
+
+    let stats = RankStats {
+        performed: r.u64(),
+        performed_local: r.u64(),
+        performed_global: r.u64(),
+        performed_fastpath: r.u64(),
+        aborts_loop: r.u64(),
+        aborts_useless: r.u64(),
+        aborts_parallel: r.u64(),
+        aborts_contended: r.u64(),
+        forfeited: r.u64(),
+        proposals_served: r.u64(),
+        validations_served: r.u64(),
+        spec_committed: r.u64(),
+        spec_rolled_back: r.u64(),
+    };
+
+    let mut comm = CommStats {
+        packets_sent: r.u64(),
+        bytes_sent: r.u64(),
+        packets_received: r.u64(),
+        collectives: r.u64(),
+        parks: r.u64(),
+        park_ns: r.u64(),
+        recv_queue_peak: r.u64(),
+        recv_buf_reuses: r.u64(),
+        ..CommStats::default()
+    };
+    for slot in 0..KIND_SLOTS {
+        comm.logical_by_kind[slot] = r.u64();
+    }
+
+    let steps = r.u64() as usize;
+    let telemetry: Vec<StepTelemetry> = (0..steps)
+        .map(|_| {
+            let mut tel = StepTelemetry {
+                ops: r.u64(),
+                started: r.u64(),
+                performed: r.u64(),
+                local_fastpath: r.u64(),
+                forfeited: r.u64(),
+                served: r.u64(),
+                blocked: r.u64(),
+                parked: r.u64(),
+                window_peak: r.u64(),
+                spec_committed: r.u64(),
+                spec_rolled_back: r.u64(),
+                packets: r.u64(),
+                ..StepTelemetry::default()
+            };
+            let mut slots = [0u64; MsgKind::COUNT];
+            for slot in &mut slots {
+                *slot = r.u64();
+            }
+            tel.logical_msgs = MsgCounts::from_slots(slots);
+            tel.boundary_ns = r.f64();
+            tel.drain_ns = r.f64();
+            tel.barrier_ns = r.f64();
+            tel.qrefresh_ns = r.f64();
+            tel.wait_ns = r.f64();
+            tel
+        })
+        .collect();
+    r.done();
+
+    let output = RankOutput {
+        store,
+        tracker,
+        stats,
+        comm,
+        obs: None,
+    };
+    (rank, output, telemetry)
+}
+
+// ---------------------------------------------------------------------
+// Result streaming (chunked over the child → launcher ring)
+// ---------------------------------------------------------------------
+
+fn result_chunk_len(world: &ShmWorld) -> usize {
+    (world.ring_capacity() / 2).clamp(1024, 16 * 1024)
+}
+
+fn send_result(ep: &Endpoint<'_>, launcher: usize, blob: &[u8], chunk: usize) {
+    let mut header = Vec::with_capacity(8);
+    put_u64(&mut header, blob.len() as u64);
+    ep.send(launcher, TAG_RESULT, &header, SEND_TIMEOUT);
+    for piece in blob.chunks(chunk.max(1)) {
+        ep.send(launcher, TAG_RESULT, piece, SEND_TIMEOUT);
+    }
+}
+
+/// Launcher side: drain `TAG_RESULT` frames from all `p` rank children
+/// until every blob is complete, panicking if a child dies first.
+fn collect_results(ep: &mut Endpoint<'_>, p: usize, children: &mut [Child]) -> Vec<Vec<u8>> {
+    let mut want: Vec<Option<usize>> = vec![None; p];
+    let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); p];
+    let mut done = 0usize;
+    while done < p {
+        if let Some((src, tag, payload)) = ep.try_recv() {
+            assert_eq!(
+                tag, TAG_RESULT,
+                "unexpected tag {tag} from rank {src} at teardown"
+            );
+            assert!(src < p);
+            match want[src] {
+                None => {
+                    assert_eq!(payload.len(), 8, "result header frame");
+                    let total = u64::from_le_bytes(payload.try_into().unwrap()) as usize;
+                    want[src] = Some(total);
+                    bufs[src].reserve(total);
+                    if total == 0 {
+                        done += 1;
+                    }
+                }
+                Some(total) => {
+                    assert!(
+                        bufs[src].len() < total,
+                        "rank {src} sent extra result bytes"
+                    );
+                    bufs[src].extend_from_slice(payload);
+                    if bufs[src].len() == total {
+                        done += 1;
+                    }
+                }
+            }
+            continue;
+        }
+        match ep.wait(64, 256, Duration::from_millis(100)) {
+            WaitOutcome::Ready | WaitOutcome::ParkedReady(_) | WaitOutcome::TimedOut => {}
+            WaitOutcome::Dead => unreachable!("launcher owns the liveness word"),
+        }
+        // A rank that died before completing its blob would hang us
+        // forever: check child status whenever the rings run dry.
+        for (rank, child) in children.iter_mut().enumerate() {
+            let complete = want[rank].is_some_and(|total| bufs[rank].len() == total);
+            if complete {
+                continue;
+            }
+            if let Ok(Some(status)) = child.try_wait() {
+                if !status.success() {
+                    panic!("shm rank {rank} exited with {status} before returning results");
+                }
+                // Exited cleanly: its frames are still in the ring; keep
+                // draining (the next loop iterations will consume them).
+            }
+        }
+    }
+    bufs
+}
+
+// ---------------------------------------------------------------------
+// Launcher
+// ---------------------------------------------------------------------
+
+/// Run `t` switch operations on `graph` under `config` with rank
+/// processes over shared memory. Mirrors
+/// [`super::engine::parallel_edge_switch_with`]; bit-identical outcomes
+/// at `p = 1` and schedule-equivalent outcomes at `p > 1`.
+///
+/// # Panics
+/// Panics when shared-memory worlds are unsupported on this platform
+/// (non-Linux), when a rank child cannot be spawned, or when a child
+/// dies mid-run.
+pub fn parallel_edge_switch_proc(
+    graph: &Graph,
+    t: u64,
+    config: &ParallelConfig,
+    part: &Partitioner,
+) -> ParallelOutcome {
+    let p = config.processors;
+    assert_eq!(part.num_parts(), p, "partitioner size must match config");
+    let stores = build_stores(graph, part);
+    let initial_edges: Vec<u64> = stores.iter().map(|s| s.num_edges() as u64).collect();
+    let n = graph.num_vertices();
+    let harness = StepHarness::new(t, config);
+    let steps = harness.steps();
+
+    let boot = encode_boot(config, part, n, t, &stores);
+    drop(stores);
+
+    // k = p ranks + 1 launcher endpoint (index p) for result return.
+    let world = ShmWorld::create(p + 1, config.proc_opts.ring_capacity, boot.len())
+        .unwrap_or_else(|err| panic!("process backend needs shared-memory support (Linux): {err}"));
+    world.write_boot(&boot);
+
+    let exe = std::env::current_exe().expect("current_exe for rank respawn");
+    let mut children: Vec<Child> = Vec::with_capacity(p);
+    for rank in 0..p {
+        let mut cmd = Command::new(&exe);
+        cmd.args(&config.proc_opts.child_args)
+            .env(ENV_RANK, rank.to_string())
+            .env(ENV_FD, world.fd().to_string())
+            .env(ENV_LEN, world.len().to_string())
+            .env(ENV_PPID, std::process::id().to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null());
+        #[cfg(unix)]
+        {
+            use std::os::unix::process::CommandExt;
+            // Arm the parent-death signal before exec; the child re-checks
+            // its ppid to close the fork-to-arm race.
+            unsafe {
+                cmd.pre_exec(|| {
+                    edgeswitch_shm::die_with_parent();
+                    Ok(())
+                });
+            }
+        }
+        let child = cmd
+            .spawn()
+            .unwrap_or_else(|err| panic!("spawning shm rank {rank}: {err}"));
+        if config.proc_opts.announce_children {
+            println!("shm-child-pid: {}", child.id());
+        }
+        children.push(child);
+    }
+
+    let mut ep = world.endpoint(p);
+    let blobs = collect_results(&mut ep, p, &mut children);
+    for (rank, child) in children.iter_mut().enumerate() {
+        let status = child.wait().expect("reaping shm rank child");
+        assert!(status.success(), "shm rank {rank} exited with {status}");
+    }
+
+    let mut outputs: Vec<Option<RankOutput>> = (0..p).map(|_| None).collect();
+    let mut telemetry = vec![StepTelemetry::default(); steps as usize];
+    for blob in &blobs {
+        let (rank, output, rank_telemetry) = decode_result(blob);
+        for (acc, step) in telemetry.iter_mut().zip(&rank_telemetry) {
+            acc.merge(step);
+        }
+        assert!(
+            outputs[rank].replace(output).is_none(),
+            "duplicate result for rank {rank}"
+        );
+    }
+    let outputs: Vec<RankOutput> = outputs
+        .into_iter()
+        .enumerate()
+        .map(|(rank, o)| o.unwrap_or_else(|| panic!("no result from rank {rank}")))
+        .collect();
+
+    // Process runs are unobserved: meta stays None, report stays None.
+    assemble_outcome(n, steps, initial_edges, outputs, telemetry, None)
+}
+
+// ---------------------------------------------------------------------
+// Rank child
+// ---------------------------------------------------------------------
+
+/// Whether this platform can run the process backend (Linux with
+/// shared-memory worlds). [`parallel_edge_switch_proc`] panics where this
+/// returns `false`; benches and tests use it to skip process cases.
+pub fn process_backend_supported() -> bool {
+    edgeswitch_shm::SUPPORTED
+}
+
+/// Re-entry hook for rank children: a no-op unless the shm environment
+/// variables are present, in which case it attaches to the inherited
+/// world, runs the full rank loop, streams its results back, and
+/// **exits the process** (never returns).
+///
+/// Every binary that launches process-backed runs must route its rank
+/// children here: binaries call it at the top of `main`; libtest
+/// binaries expose it through an `#[ignore]`d test named
+/// `shm_child_entry` (the default `ProcOpts::child_args` select exactly
+/// that test in the respawned child).
+pub fn child_entry_from_env() {
+    let Ok(rank) = std::env::var(ENV_RANK) else {
+        return;
+    };
+    let rank: usize = rank.parse().expect("EDGESWITCH_SHM_RANK parses");
+    let fd: i32 = std::env::var(ENV_FD)
+        .expect(ENV_FD)
+        .parse()
+        .expect("fd parses");
+    let len: usize = std::env::var(ENV_LEN)
+        .expect(ENV_LEN)
+        .parse()
+        .expect("len parses");
+    let ppid: u32 = std::env::var(ENV_PPID)
+        .expect(ENV_PPID)
+        .parse()
+        .expect("ppid parses");
+
+    // Defense in depth: re-arm the death signal (pre_exec already did on
+    // Unix), then verify the parent is still the process that spawned us —
+    // if it died before the signal was armed, exit instead of orphaning.
+    edgeswitch_shm::die_with_parent();
+    if edgeswitch_shm::parent_pid() != ppid {
+        std::process::exit(2);
+    }
+
+    let world = ShmWorld::open(fd, len).expect("attaching inherited shm world");
+    run_rank_child(&world, rank);
+    std::process::exit(0);
+}
+
+fn run_rank_child(world: &ShmWorld, rank: usize) {
+    let BootBlob {
+        config,
+        part,
+        t,
+        counts,
+        keys,
+    } = decode_boot(world.boot());
+    let p = config.processors;
+    assert_eq!(world.participants(), p + 1);
+    assert!(rank < p);
+
+    // Rebuild this rank's store with the exact pool order the launcher
+    // serialized (insertion order == pool order == sampling order).
+    let offset: u64 = counts[..rank].iter().sum();
+    let mut store = PartitionStore::new(rank);
+    for key in &keys[offset as usize..(offset + counts[rank]) as usize] {
+        let inserted = store.insert(Edge::from_key(*key));
+        debug_assert!(inserted, "boot store has duplicate edges");
+    }
+
+    let harness = StepHarness::new(t, &config);
+    let steps = harness.steps();
+    let mut state = RankState::new(rank, part, store, config.seed, config.window)
+        .with_fastpath(config.local_fastpath)
+        .with_spec_batch(config.spec_batch);
+
+    let mut transport = ProcTransport::new(
+        world.endpoint(rank),
+        p,
+        config.spin_relax,
+        config.spin_total,
+    );
+    let mut scratch = StepScratch::new(p);
+    let telemetry: Vec<StepTelemetry> = (0..steps)
+        .map(|step| {
+            run_rank_step(
+                &mut transport,
+                &mut state,
+                &mut scratch,
+                harness.step_ops(step),
+                harness.uniform_q(),
+            )
+        })
+        .collect();
+
+    let comm_stats = transport.stats();
+    let ProcTransport { ep, .. } = transport;
+    let (store, tracker, stats, _obs) = state.into_parts();
+    let blob = encode_result(rank, &store, &tracker, &stats, &comm_stats, &telemetry);
+    send_result(&ep, p, &blob, result_chunk_len(world));
+}

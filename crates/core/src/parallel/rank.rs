@@ -1161,10 +1161,11 @@ impl RankState {
             .inflight
             .remove(&conv)
             .expect("done for conversation not in flight");
-        debug_assert!(
-            !self.reserved.contains(&op.e1),
-            "e1 must have been removed by commit before Done"
-        );
+        // `op.e1` left `reserved` when the commit applied, but it may be
+        // reserved *again* by now: once removed from the store, the same
+        // edge value can be re-created as another conversation's
+        // replacement and sampled by a later operation before this Done
+        // bookkeeping runs, so its absence cannot be asserted here.
         self.obs.rtt_since(MsgKind::Propose, op.started_ns);
         self.remaining -= 1;
         self.consecutive_aborts = 0;
@@ -1441,8 +1442,7 @@ impl RankState {
     /// fully-local switch at p = 1 — so its probe hides behind a length
     /// check.
     fn occupied(&self, f: Edge) -> bool {
-        self.store.contains(f)
-            || (!self.potential.is_empty() && self.potential.contains(&f))
+        self.store.contains(f) || (!self.potential.is_empty() && self.potential.contains(&f))
     }
 
     // ------------------------------------------------------------------

@@ -1,0 +1,461 @@
+//! Byte codec for [`Msg`] frames crossing the process-backed transport.
+//!
+//! The threaded driver moves `Msg` values through in-process channels, so it
+//! never needs a serialized form; the shared-memory rings move raw bytes, so
+//! this module defines one. The format is deliberately dumb: a one-byte
+//! discriminant followed by little-endian fields, edges as their canonical
+//! `u64` keys, floats via `to_bits`. Frames are trusted (both ends are the
+//! same binary), so malformed input panics — a torn or corrupt frame is a
+//! transport bug, not an input error.
+
+use edgeswitch_graph::Edge;
+use mpilite::CollPayload;
+
+use crate::switch::RejectReason;
+
+use super::msg::{BatchReq, ConvId, Msg};
+
+const T_PROPOSE: u8 = 0;
+const T_VALIDATE: u8 = 1;
+const T_VALIDATE_OK: u8 = 2;
+const T_VALIDATE_FAIL: u8 = 3;
+const T_RELEASE: u8 = 4;
+const T_COMMIT_ADD: u8 = 5;
+const T_COMMIT_REMOVE: u8 = 6;
+const T_COMMIT_ACK: u8 = 7;
+const T_DONE: u8 = 8;
+const T_ABORT: u8 = 9;
+const T_END_OF_STEP: u8 = 10;
+const T_COLL: u8 = 11;
+const T_BATCH: u8 = 12;
+const T_BATCH_PROPOSE: u8 = 13;
+const T_BATCH_VERDICT: u8 = 14;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_conv(out: &mut Vec<u8>, conv: ConvId) {
+    put_u32(out, conv.initiator);
+    put_u64(out, conv.seq);
+}
+
+fn put_edge(out: &mut Vec<u8>, edge: Edge) {
+    put_u64(out, edge.key());
+}
+
+fn reason_code(reason: RejectReason) -> u8 {
+    match reason {
+        RejectReason::SelfLoop => 0,
+        RejectReason::Useless => 1,
+        RejectReason::ParallelEdge => 2,
+        RejectReason::Contended => 3,
+    }
+}
+
+fn reason_from(code: u8) -> RejectReason {
+    match code {
+        0 => RejectReason::SelfLoop,
+        1 => RejectReason::Useless,
+        2 => RejectReason::ParallelEdge,
+        3 => RejectReason::Contended,
+        other => panic!("wire: bad reject reason {other}"),
+    }
+}
+
+const C_UNIT: u8 = 0;
+const C_U64: u8 = 1;
+const C_F64: u8 = 2;
+const C_VEC_U64: u8 = 3;
+const C_VEC_F64: u8 = 4;
+
+/// Append the encoding of `payload` to `out`.
+pub fn encode_coll(payload: &CollPayload, out: &mut Vec<u8>) {
+    match payload {
+        CollPayload::Unit => out.push(C_UNIT),
+        CollPayload::U64(v) => {
+            out.push(C_U64);
+            put_u64(out, *v);
+        }
+        CollPayload::F64(v) => {
+            out.push(C_F64);
+            put_u64(out, v.to_bits());
+        }
+        CollPayload::VecU64(vs) => {
+            out.push(C_VEC_U64);
+            put_u32(out, vs.len() as u32);
+            for v in vs {
+                put_u64(out, *v);
+            }
+        }
+        CollPayload::VecF64(vs) => {
+            out.push(C_VEC_F64);
+            put_u32(out, vs.len() as u32);
+            for v in vs {
+                put_u64(out, v.to_bits());
+            }
+        }
+    }
+}
+
+/// Append the encoding of `msg` to `out` (`out` is not cleared).
+pub fn encode_msg(msg: &Msg, out: &mut Vec<u8>) {
+    match msg {
+        Msg::Propose { conv, e1 } => {
+            out.push(T_PROPOSE);
+            put_conv(out, *conv);
+            put_edge(out, *e1);
+        }
+        Msg::Validate { conv, edge } => {
+            out.push(T_VALIDATE);
+            put_conv(out, *conv);
+            put_edge(out, *edge);
+        }
+        Msg::ValidateOk { conv, edge } => {
+            out.push(T_VALIDATE_OK);
+            put_conv(out, *conv);
+            put_edge(out, *edge);
+        }
+        Msg::ValidateFail { conv, edge } => {
+            out.push(T_VALIDATE_FAIL);
+            put_conv(out, *conv);
+            put_edge(out, *edge);
+        }
+        Msg::Release { conv, edge } => {
+            out.push(T_RELEASE);
+            put_conv(out, *conv);
+            put_edge(out, *edge);
+        }
+        Msg::CommitAdd { conv, edge } => {
+            out.push(T_COMMIT_ADD);
+            put_conv(out, *conv);
+            put_edge(out, *edge);
+        }
+        Msg::CommitRemove { conv, edge } => {
+            out.push(T_COMMIT_REMOVE);
+            put_conv(out, *conv);
+            put_edge(out, *edge);
+        }
+        Msg::CommitAck { conv } => {
+            out.push(T_COMMIT_ACK);
+            put_conv(out, *conv);
+        }
+        Msg::Done { conv } => {
+            out.push(T_DONE);
+            put_conv(out, *conv);
+        }
+        Msg::Abort { conv, reason } => {
+            out.push(T_ABORT);
+            put_conv(out, *conv);
+            out.push(reason_code(*reason));
+        }
+        Msg::EndOfStep => out.push(T_END_OF_STEP),
+        Msg::Coll(payload) => {
+            out.push(T_COLL);
+            encode_coll(payload, out);
+        }
+        Msg::Batch(msgs) => {
+            out.push(T_BATCH);
+            put_u32(out, msgs.len() as u32);
+            for m in msgs {
+                encode_msg(m, out);
+            }
+        }
+        Msg::BatchPropose { reqs } => {
+            out.push(T_BATCH_PROPOSE);
+            put_u32(out, reqs.len() as u32);
+            for req in reqs {
+                put_conv(out, req.conv);
+                put_edge(out, req.first);
+                match req.second {
+                    Some(edge) => {
+                        out.push(1);
+                        put_edge(out, edge);
+                    }
+                    None => out.push(0),
+                }
+            }
+        }
+        Msg::BatchVerdict { verdicts } => {
+            out.push(T_BATCH_VERDICT);
+            put_u32(out, verdicts.len() as u32);
+            for (conv, accepted) in verdicts {
+                put_conv(out, *conv);
+                out.push(u8::from(*accepted));
+            }
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> u8 {
+        let v = self.bytes[self.at];
+        self.at += 1;
+        v
+    }
+
+    fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.bytes[self.at..self.at + 4].try_into().unwrap());
+        self.at += 4;
+        v
+    }
+
+    fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.bytes[self.at..self.at + 8].try_into().unwrap());
+        self.at += 8;
+        v
+    }
+
+    fn conv(&mut self) -> ConvId {
+        let initiator = self.u32();
+        let seq = self.u64();
+        ConvId { initiator, seq }
+    }
+
+    fn edge(&mut self) -> Edge {
+        Edge::from_key(self.u64())
+    }
+
+    fn coll(&mut self) -> CollPayload {
+        match self.u8() {
+            C_UNIT => CollPayload::Unit,
+            C_U64 => CollPayload::U64(self.u64()),
+            C_F64 => CollPayload::F64(f64::from_bits(self.u64())),
+            C_VEC_U64 => {
+                let n = self.u32() as usize;
+                CollPayload::VecU64((0..n).map(|_| self.u64()).collect())
+            }
+            C_VEC_F64 => {
+                let n = self.u32() as usize;
+                CollPayload::VecF64((0..n).map(|_| f64::from_bits(self.u64())).collect())
+            }
+            other => panic!("wire: bad collective subtag {other}"),
+        }
+    }
+
+    fn msg(&mut self) -> Msg {
+        match self.u8() {
+            T_PROPOSE => Msg::Propose {
+                conv: self.conv(),
+                e1: self.edge(),
+            },
+            T_VALIDATE => Msg::Validate {
+                conv: self.conv(),
+                edge: self.edge(),
+            },
+            T_VALIDATE_OK => Msg::ValidateOk {
+                conv: self.conv(),
+                edge: self.edge(),
+            },
+            T_VALIDATE_FAIL => Msg::ValidateFail {
+                conv: self.conv(),
+                edge: self.edge(),
+            },
+            T_RELEASE => Msg::Release {
+                conv: self.conv(),
+                edge: self.edge(),
+            },
+            T_COMMIT_ADD => Msg::CommitAdd {
+                conv: self.conv(),
+                edge: self.edge(),
+            },
+            T_COMMIT_REMOVE => Msg::CommitRemove {
+                conv: self.conv(),
+                edge: self.edge(),
+            },
+            T_COMMIT_ACK => Msg::CommitAck { conv: self.conv() },
+            T_DONE => Msg::Done { conv: self.conv() },
+            T_ABORT => Msg::Abort {
+                conv: self.conv(),
+                reason: reason_from(self.u8()),
+            },
+            T_END_OF_STEP => Msg::EndOfStep,
+            T_COLL => Msg::Coll(self.coll()),
+            T_BATCH => {
+                let n = self.u32() as usize;
+                Msg::Batch((0..n).map(|_| self.msg()).collect())
+            }
+            T_BATCH_PROPOSE => {
+                let n = self.u32() as usize;
+                let reqs = (0..n)
+                    .map(|_| {
+                        let conv = self.conv();
+                        let first = self.edge();
+                        let second = match self.u8() {
+                            0 => None,
+                            _ => Some(self.edge()),
+                        };
+                        BatchReq {
+                            conv,
+                            first,
+                            second,
+                        }
+                    })
+                    .collect();
+                Msg::BatchPropose { reqs }
+            }
+            T_BATCH_VERDICT => {
+                let n = self.u32() as usize;
+                let verdicts = (0..n).map(|_| (self.conv(), self.u8() != 0)).collect();
+                Msg::BatchVerdict { verdicts }
+            }
+            other => panic!("wire: bad message discriminant {other}"),
+        }
+    }
+}
+
+/// Decode one message; panics on malformed or trailing bytes.
+pub fn decode_msg(bytes: &[u8]) -> Msg {
+    let mut r = Reader { bytes, at: 0 };
+    let msg = r.msg();
+    assert_eq!(
+        r.at,
+        bytes.len(),
+        "wire: {} trailing bytes after message",
+        bytes.len() - r.at
+    );
+    msg
+}
+
+/// Decode one collective payload; panics on malformed or trailing bytes.
+pub fn decode_coll(bytes: &[u8]) -> CollPayload {
+    let mut r = Reader { bytes, at: 0 };
+    let payload = r.coll();
+    assert_eq!(
+        r.at,
+        bytes.len(),
+        "wire: trailing bytes after collective payload"
+    );
+    payload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(i: u32, s: u64) -> ConvId {
+        ConvId {
+            initiator: i,
+            seq: s,
+        }
+    }
+
+    fn roundtrip(msg: Msg) {
+        let mut bytes = Vec::new();
+        encode_msg(&msg, &mut bytes);
+        assert_eq!(decode_msg(&bytes), msg);
+    }
+
+    #[test]
+    fn every_message_variant_roundtrips() {
+        let e = |a, b| Edge::new(a, b);
+        roundtrip(Msg::Propose {
+            conv: conv(1, 2),
+            e1: e(3, 4),
+        });
+        roundtrip(Msg::Validate {
+            conv: conv(0, u64::MAX),
+            edge: e(7, 8),
+        });
+        roundtrip(Msg::ValidateOk {
+            conv: conv(9, 1),
+            edge: e(1, 2),
+        });
+        roundtrip(Msg::ValidateFail {
+            conv: conv(9, 1),
+            edge: e(2, 1),
+        });
+        roundtrip(Msg::Release {
+            conv: conv(4, 4),
+            edge: e(5, 6),
+        });
+        roundtrip(Msg::CommitAdd {
+            conv: conv(4, 4),
+            edge: e(5, 6),
+        });
+        roundtrip(Msg::CommitRemove {
+            conv: conv(4, 4),
+            edge: e(6, 5),
+        });
+        roundtrip(Msg::CommitAck {
+            conv: conv(u32::MAX, 0),
+        });
+        roundtrip(Msg::Done { conv: conv(2, 3) });
+        for reason in [
+            RejectReason::SelfLoop,
+            RejectReason::Useless,
+            RejectReason::ParallelEdge,
+            RejectReason::Contended,
+        ] {
+            roundtrip(Msg::Abort {
+                conv: conv(8, 8),
+                reason,
+            });
+        }
+        roundtrip(Msg::EndOfStep);
+        roundtrip(Msg::BatchPropose {
+            reqs: vec![
+                BatchReq {
+                    conv: conv(1, 1),
+                    first: e(1, 2),
+                    second: Some(e(3, 4)),
+                },
+                BatchReq {
+                    conv: conv(1, 2),
+                    first: e(5, 6),
+                    second: None,
+                },
+            ],
+        });
+        roundtrip(Msg::BatchVerdict {
+            verdicts: vec![(conv(1, 1), true), (conv(1, 2), false)],
+        });
+    }
+
+    #[test]
+    fn collective_payloads_roundtrip_bit_exactly() {
+        for payload in [
+            CollPayload::Unit,
+            CollPayload::U64(u64::MAX),
+            CollPayload::F64(-0.0),
+            CollPayload::F64(f64::NAN),
+            CollPayload::VecU64(vec![]),
+            CollPayload::VecU64(vec![1, 2, 3]),
+            CollPayload::VecF64(vec![1.5, f64::INFINITY]),
+        ] {
+            let mut msg_bytes = Vec::new();
+            encode_msg(&Msg::Coll(payload.clone()), &mut msg_bytes);
+            let mut msg_again = Vec::new();
+            encode_msg(&decode_msg(&msg_bytes), &mut msg_again);
+            // Compare re-encodings bitwise so NaN payloads count as equal.
+            assert_eq!(msg_bytes, msg_again);
+
+            let mut bytes = Vec::new();
+            encode_coll(&payload, &mut bytes);
+            let mut again = Vec::new();
+            encode_coll(&decode_coll(&bytes), &mut again);
+            assert_eq!(bytes, again);
+        }
+    }
+
+    #[test]
+    fn batches_nest_protocol_messages() {
+        roundtrip(Msg::Batch(vec![
+            Msg::Propose {
+                conv: conv(1, 2),
+                e1: Edge::new(3, 4),
+            },
+            Msg::EndOfStep,
+            Msg::Done { conv: conv(5, 6) },
+        ]));
+    }
+}

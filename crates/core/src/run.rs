@@ -25,7 +25,7 @@
 //! The original free functions remain as thin layers over the same
 //! engines; `Run` is the recommended entry point.
 
-use crate::config::{ParallelConfig, StepSize};
+use crate::config::{Backend, ParallelConfig, StepSize};
 use crate::obs::{ObsSpec, RunReport};
 use crate::parallel::{parallel_edge_switch, simulate_parallel, ParallelOutcome};
 use crate::sequential::{sequential_edge_switch_observed, SequentialOutcome};
@@ -85,6 +85,17 @@ impl Run {
         Run::new(Mode::Parallel, p)
     }
 
+    /// A parallel run on `p` rank *processes* over shared-memory rings
+    /// (Linux only): the same protocol as [`Run::parallel`], but each
+    /// rank owns an OS process — and therefore a core — instead of a
+    /// thread. Logically equivalent to [`Run::parallel`] at every `p`,
+    /// bit-identical to the simulators at `p = 1`.
+    pub fn process(p: usize) -> Self {
+        let mut run = Run::new(Mode::Parallel, p);
+        run.config = run.config.with_backend(Backend::Process);
+        run
+    }
+
     /// A parallel run on `p` deterministically simulated ranks: the same
     /// protocol as [`Run::parallel`], delivered from a global FIFO queue
     /// in one thread — bit-reproducible for a given seed at any `p`.
@@ -135,6 +146,22 @@ impl Run {
     /// see [`ParallelConfig::with_spec_batch`]).
     pub fn spec_batch(mut self, spec_batch: usize) -> Self {
         self.config = self.config.with_spec_batch(spec_batch);
+        self
+    }
+
+    /// Execution backend for parallel runs: [`Backend::Threaded`] (the
+    /// default) or [`Backend::Process`] (Linux only). Ignored by
+    /// sequential and simulated runs.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.config = self.config.with_backend(backend);
+        self
+    }
+
+    /// Receive-side spin tuning for parallel runs (see
+    /// [`ParallelConfig::with_spin`]): `relax` busy iterations with CPU
+    /// relax hints, then yields up to `total`, then park.
+    pub fn spin(mut self, relax: u32, total: u32) -> Self {
+        self.config = self.config.with_spin(relax, total);
         self
     }
 

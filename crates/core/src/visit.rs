@@ -64,6 +64,25 @@ impl VisitTracker {
         self.initial_count += other.initial_count;
         self.remaining.extend(other.remaining);
     }
+
+    /// Keys of initial edges not yet visited, in arbitrary order (for
+    /// serializing a tracker across the process transport).
+    pub fn remaining_keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.remaining.iter().copied()
+    }
+
+    /// Rebuild a tracker from [`VisitTracker::initial_count`] and
+    /// [`VisitTracker::remaining_keys`].
+    pub fn from_parts<I: IntoIterator<Item = u64>>(initial_count: usize, remaining: I) -> Self {
+        let iter = remaining.into_iter();
+        let mut set: FxHashSet<u64> = set_with_capacity(iter.size_hint().0);
+        set.extend(iter);
+        debug_assert!(set.len() <= initial_count);
+        VisitTracker {
+            initial_count,
+            remaining: set,
+        }
+    }
 }
 
 #[cfg(test)]

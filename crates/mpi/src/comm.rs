@@ -6,15 +6,18 @@ use crossbeam::channel::{Receiver, Sender};
 use std::collections::VecDeque;
 use std::time::Duration;
 
-/// Iterations of the cheap spin phase of a blocking receive (busy-poll
-/// with a CPU relax hint) before escalating to `yield_now`.
-const SPIN_RELAX: u32 = 64;
+/// Default iterations of the cheap spin phase of a blocking receive
+/// (busy-poll with a CPU relax hint) before escalating to `yield_now`.
+/// Tuned for oversubscribed single-machine worlds; configurable per world
+/// through [`crate::WorldConfig`] once ranks own their cores.
+pub const DEFAULT_SPIN_RELAX: u32 = 64;
 
-/// Total polling iterations (relax + yield phases) of a blocking receive
-/// before parking on the channel with a timeout. Oversubscribed boxes
-/// reach the yield phase almost immediately, so the sender's thread gets
-/// scheduled instead of us burning its time slice.
-const SPIN_TOTAL: u32 = 256;
+/// Default total polling iterations (relax + yield phases) of a blocking
+/// receive before parking on the channel with a timeout. Oversubscribed
+/// boxes reach the yield phase almost immediately, so the sender's thread
+/// gets scheduled instead of us burning its time slice. Configurable per
+/// world through [`crate::WorldConfig`].
+pub const DEFAULT_SPIN_TOTAL: u32 = 256;
 
 /// How user message types expose their approximate wire size and embed
 /// collective payloads. Implemented for [`CollPayload`] itself and easily
@@ -182,6 +185,8 @@ pub struct Comm<M> {
     pub(crate) stats: CommStats,
     pub(crate) coll_seq: u32,
     timeout: Duration,
+    spin_relax: u32,
+    spin_total: u32,
 }
 
 impl<M: CollCarrier> Comm<M> {
@@ -190,6 +195,8 @@ impl<M: CollCarrier> Comm<M> {
         senders: Vec<Sender<Packet<M>>>,
         receiver: Receiver<Packet<M>>,
         timeout: Duration,
+        spin_relax: u32,
+        spin_total: u32,
     ) -> Self {
         let size = senders.len();
         Comm {
@@ -201,6 +208,8 @@ impl<M: CollCarrier> Comm<M> {
             stats: CommStats::default(),
             coll_seq: 0,
             timeout,
+            spin_relax,
+            spin_total,
         }
     }
 
@@ -267,11 +276,11 @@ impl<M: CollCarrier> Comm<M> {
     /// Park time is metered into [`CommStats::park_ns`] (the park
     /// already costs microseconds, so the `Instant` reads are noise).
     fn recv_spin(&mut self) -> Option<Packet<M>> {
-        for spin in 0..SPIN_TOTAL {
+        for spin in 0..self.spin_total {
             if let Ok(p) = self.receiver.try_recv() {
                 return Some(p);
             }
-            if spin < SPIN_RELAX {
+            if spin < self.spin_relax {
                 std::hint::spin_loop();
             } else {
                 std::thread::yield_now();
@@ -458,7 +467,14 @@ mod tests {
     /// surface without spinning up threads.
     fn loopback() -> Comm<CollPayload> {
         let (tx, rx) = crossbeam::channel::unbounded();
-        Comm::new(0, vec![tx], rx, Duration::from_secs(5))
+        Comm::new(
+            0,
+            vec![tx],
+            rx,
+            Duration::from_secs(5),
+            DEFAULT_SPIN_RELAX,
+            DEFAULT_SPIN_TOTAL,
+        )
     }
 
     #[test]

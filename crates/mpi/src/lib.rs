@@ -29,7 +29,7 @@ mod collective_tests2;
 #[cfg(test)]
 mod tag_tests;
 
-pub use comm::{CollCarrier, Comm};
+pub use comm::{CollCarrier, Comm, DEFAULT_SPIN_RELAX, DEFAULT_SPIN_TOTAL};
 pub use packet::{CollPayload, Packet, COLLECTIVE_TAG_BASE};
 pub use runtime::{run_world, run_world_default, WorldConfig};
 pub use stats::{CommStats, KIND_SLOTS};

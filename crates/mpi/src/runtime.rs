@@ -1,6 +1,6 @@
 //! Spawning a world of ranks as scoped threads.
 
-use crate::comm::{CollCarrier, Comm};
+use crate::comm::{CollCarrier, Comm, DEFAULT_SPIN_RELAX, DEFAULT_SPIN_TOTAL};
 use crate::packet::Packet;
 use crossbeam::channel::unbounded;
 use std::time::Duration;
@@ -10,12 +10,21 @@ use std::time::Duration;
 pub struct WorldConfig {
     /// Per-receive deadlock timeout; a rank that waits longer panics.
     pub recv_timeout: Duration,
+    /// Busy-spin iterations with CPU relax hints at the start of a
+    /// blocking receive.
+    pub spin_relax: u32,
+    /// Total spin iterations (relax, then `yield_now`) before the receive
+    /// parks on the channel. Keep small when ranks timeshare cores; grow
+    /// it once each rank owns one.
+    pub spin_total: u32,
 }
 
 impl Default for WorldConfig {
     fn default() -> Self {
         WorldConfig {
             recv_timeout: Duration::from_secs(120),
+            spin_relax: DEFAULT_SPIN_RELAX,
+            spin_total: DEFAULT_SPIN_TOTAL,
         }
     }
 }
@@ -47,7 +56,16 @@ where
     let mut comms: Vec<Comm<M>> = receivers
         .into_iter()
         .enumerate()
-        .map(|(rank, rx)| Comm::new(rank, senders.clone(), rx, config.recv_timeout))
+        .map(|(rank, rx)| {
+            Comm::new(
+                rank,
+                senders.clone(),
+                rx,
+                config.recv_timeout,
+                config.spin_relax,
+                config.spin_total,
+            )
+        })
         .collect();
     // Channels now live only inside the Comms, so a send to a finished
     // rank fails fast instead of queueing forever.

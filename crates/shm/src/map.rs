@@ -1,0 +1,70 @@
+//! Anonymous shared-memory mappings backed by `memfd_create`.
+
+use std::io;
+
+use crate::sys;
+
+/// A shared, writable memory mapping identified by an inheritable file
+/// descriptor.
+///
+/// The creating process passes the fd (plus the byte length) to child
+/// processes — the fd is deliberately created without `CLOEXEC` so it survives
+/// `exec` — and each child attaches with [`SharedMapping::from_fd`]. All
+/// attachments see the same physical pages.
+pub struct SharedMapping {
+    ptr: *mut u8,
+    len: usize,
+    fd: i32,
+}
+
+// The mapping itself is plain shared memory; all concurrent access goes
+// through atomics managed by the ring/world layers.
+unsafe impl Send for SharedMapping {}
+unsafe impl Sync for SharedMapping {}
+
+impl SharedMapping {
+    /// Create a fresh zero-filled mapping of `len` bytes.
+    pub fn create(len: usize) -> io::Result<Self> {
+        let fd = sys::shm_create(len)?;
+        match sys::shm_map(fd, len) {
+            Ok(ptr) => Ok(SharedMapping { ptr, len, fd }),
+            Err(err) => {
+                sys::close_fd(fd);
+                Err(err)
+            }
+        }
+    }
+
+    /// Attach to an existing mapping through an inherited fd.
+    pub fn from_fd(fd: i32, len: usize) -> io::Result<Self> {
+        let ptr = sys::shm_map(fd, len)?;
+        Ok(SharedMapping { ptr, len, fd })
+    }
+
+    /// The file descriptor to hand to child processes.
+    pub fn fd(&self) -> i32 {
+        self.fd
+    }
+
+    /// Mapping length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty (never true for a live mapping).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base pointer of the mapping (page-aligned).
+    pub fn as_ptr(&self) -> *mut u8 {
+        self.ptr
+    }
+}
+
+impl Drop for SharedMapping {
+    fn drop(&mut self) {
+        sys::shm_unmap(self.ptr, self.len);
+        sys::close_fd(self.fd);
+    }
+}

@@ -1,0 +1,293 @@
+//! Lock-free single-producer/single-consumer byte ring over shared memory.
+//!
+//! Layout in memory (`RING_HDR` + capacity bytes, capacity a power of two):
+//!
+//! ```text
+//! offset 0    head  (AtomicU64, consumer-owned, free-running byte counter)
+//! offset 64   tail  (AtomicU64, producer-owned, free-running byte counter)
+//! offset 128  data[capacity]
+//! ```
+//!
+//! Head and tail live on separate cache lines so the producer and consumer
+//! never false-share. Both counters run freely (they are only reduced modulo
+//! the capacity when indexing), which makes the full/empty distinction
+//! unambiguous: `tail - head` is the number of unread bytes.
+//!
+//! Frames are `[u32 len][len payload bytes]`, written with plain (non-atomic)
+//! copies. Publication order makes torn reads impossible: the producer writes
+//! the frame bytes first and only then release-stores the advanced `tail`; the
+//! consumer acquire-loads `tail` before touching data. Symmetrically the
+//! consumer release-stores `head` after copying a frame out, and the producer
+//! acquire-loads `head` before reusing that region.
+
+use std::ptr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bytes reserved for the ring header (head + tail on separate cache lines).
+pub const RING_HDR: usize = 128;
+
+/// Byte cost of one frame carrying `payload` bytes.
+pub const FRAME_OVERHEAD: usize = 4;
+
+/// SPSC byte ring attached to caller-provided memory.
+///
+/// The struct itself holds only pointers; clones of the underlying memory view
+/// (e.g. in another process) observe the same ring. Safety contract: at most
+/// one thread/process pushes and at most one pops at any time.
+pub struct SpscRing {
+    head: *const AtomicU64,
+    tail: *const AtomicU64,
+    data: *mut u8,
+    cap: usize,
+}
+
+// SPSC discipline is the caller's responsibility (one producer, one consumer);
+// the ring's own memory operations are atomics + owned-region copies.
+unsafe impl Send for SpscRing {}
+unsafe impl Sync for SpscRing {}
+
+impl SpscRing {
+    /// Total bytes of backing memory needed for a ring of `cap` data bytes.
+    pub fn footprint(cap: usize) -> usize {
+        RING_HDR + cap
+    }
+
+    /// Attach to (already initialised or zeroed) ring memory.
+    ///
+    /// # Safety
+    /// `mem` must point to at least `footprint(cap)` bytes, 8-byte aligned,
+    /// valid for the lifetime of the returned ring; `cap` must be a power of
+    /// two ≥ 64 and match the value used by every other attachment.
+    pub unsafe fn attach(mem: *mut u8, cap: usize) -> Self {
+        assert!(
+            cap.is_power_of_two() && cap >= 64,
+            "ring capacity {cap} invalid"
+        );
+        debug_assert_eq!(mem as usize % 8, 0, "ring memory must be 8-byte aligned");
+        SpscRing {
+            head: mem as *const AtomicU64,
+            tail: mem.add(64) as *const AtomicU64,
+            data: mem.add(RING_HDR),
+            cap,
+        }
+    }
+
+    /// Zero the header and attach. Call once per ring before any traffic.
+    ///
+    /// # Safety
+    /// Same contract as [`SpscRing::attach`], plus exclusive access during
+    /// initialisation.
+    pub unsafe fn init(mem: *mut u8, cap: usize) -> Self {
+        ptr::write_bytes(mem, 0, RING_HDR);
+        Self::attach(mem, cap)
+    }
+
+    fn head(&self) -> &AtomicU64 {
+        unsafe { &*self.head }
+    }
+
+    fn tail(&self) -> &AtomicU64 {
+        unsafe { &*self.tail }
+    }
+
+    /// Data capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Producer side: append one frame whose payload is the concatenation of
+    /// `parts` (gather-style, so callers never build a contiguous copy).
+    ///
+    /// Returns `false` if the ring lacks space; the caller retries after the
+    /// consumer drains. Panics if the frame could never fit — that is a
+    /// programming error which would otherwise livelock.
+    pub fn try_push(&self, parts: &[&[u8]]) -> bool {
+        let len: usize = parts.iter().map(|p| p.len()).sum();
+        let total = FRAME_OVERHEAD + len;
+        assert!(
+            total <= self.cap,
+            "frame of {len} payload bytes can never fit in ring of {} bytes",
+            self.cap
+        );
+        let head = self.head().load(Ordering::Acquire);
+        let tail = self.tail().load(Ordering::Relaxed);
+        if self.cap - ((tail - head) as usize) < total {
+            return false;
+        }
+        let mut at = tail as usize;
+        self.copy_in(at, &(len as u32).to_le_bytes());
+        at += FRAME_OVERHEAD;
+        for part in parts {
+            self.copy_in(at, part);
+            at += part.len();
+        }
+        self.tail().store(tail + total as u64, Ordering::Release);
+        true
+    }
+
+    /// Consumer side: pop one frame's payload into `out` (cleared first).
+    ///
+    /// Returns `false` when the ring is empty.
+    pub fn try_pop(&self, out: &mut Vec<u8>) -> bool {
+        let tail = self.tail().load(Ordering::Acquire);
+        let head = self.head().load(Ordering::Relaxed);
+        if tail == head {
+            return false;
+        }
+        let mut len_bytes = [0u8; FRAME_OVERHEAD];
+        self.copy_out(head as usize, &mut len_bytes);
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        debug_assert!((tail - head) as usize >= FRAME_OVERHEAD + len);
+        out.clear();
+        out.resize(len, 0);
+        self.copy_out(head as usize + FRAME_OVERHEAD, out);
+        self.head()
+            .store(head + (FRAME_OVERHEAD + len) as u64, Ordering::Release);
+        true
+    }
+
+    /// Consumer side: is at least one frame waiting?
+    pub fn has_frame(&self) -> bool {
+        self.tail().load(Ordering::Acquire) != self.head().load(Ordering::Relaxed)
+    }
+
+    fn copy_in(&self, at: usize, src: &[u8]) {
+        let at = at & (self.cap - 1);
+        let first = src.len().min(self.cap - at);
+        unsafe {
+            ptr::copy_nonoverlapping(src.as_ptr(), self.data.add(at), first);
+            ptr::copy_nonoverlapping(src.as_ptr().add(first), self.data, src.len() - first);
+        }
+    }
+
+    fn copy_out(&self, at: usize, dst: &mut [u8]) {
+        let at = at & (self.cap - 1);
+        let first = dst.len().min(self.cap - at);
+        unsafe {
+            ptr::copy_nonoverlapping(self.data.add(at), dst.as_mut_ptr(), first);
+            ptr::copy_nonoverlapping(self.data, dst.as_mut_ptr().add(first), dst.len() - first);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 8-byte-aligned scratch memory for an in-process ring.
+    fn ring_mem(cap: usize) -> Vec<u64> {
+        vec![0u64; SpscRing::footprint(cap) / 8]
+    }
+
+    fn frame(seq: u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| (seq as u8).wrapping_mul(31).wrapping_add(i as u8))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrips_frames_across_the_wrap_boundary() {
+        let mut mem = ring_mem(64);
+        let ring = unsafe { SpscRing::init(mem.as_mut_ptr() as *mut u8, 64) };
+        let mut out = Vec::new();
+        // Frames of co-prime-ish sizes force the write cursor across the
+        // wrap point many times.
+        for seq in 0..1000u64 {
+            let len = (seq % 23) as usize;
+            let payload = frame(seq, len);
+            assert!(
+                ring.try_push(&[&payload]),
+                "push {seq} should fit in empty ring"
+            );
+            assert!(ring.try_pop(&mut out));
+            assert_eq!(out, payload, "frame {seq} corrupted across wrap");
+        }
+        assert!(!ring.try_pop(&mut out));
+    }
+
+    #[test]
+    fn gathers_multi_part_payloads() {
+        let mut mem = ring_mem(256);
+        let ring = unsafe { SpscRing::init(mem.as_mut_ptr() as *mut u8, 256) };
+        let (a, b, c) = ([1u8, 2], [3u8, 4, 5], [6u8]);
+        assert!(ring.try_push(&[&a, &b, &c, &[]]));
+        let mut out = Vec::new();
+        assert!(ring.try_pop(&mut out));
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn reports_full_and_empty_at_exact_boundaries() {
+        let cap = 64;
+        let mut mem = ring_mem(cap);
+        let ring = unsafe { SpscRing::init(mem.as_mut_ptr() as *mut u8, cap) };
+        let mut out = Vec::new();
+        assert!(!ring.try_pop(&mut out), "fresh ring must be empty");
+
+        // One frame that exactly fills the ring: payload = cap - overhead.
+        let exact = frame(7, cap - FRAME_OVERHEAD);
+        assert!(ring.try_push(&[&exact]));
+        assert!(
+            !ring.try_push(&[&[]]),
+            "even an empty frame must not fit when full"
+        );
+        assert!(ring.try_pop(&mut out));
+        assert_eq!(out, exact);
+        assert!(!ring.try_pop(&mut out));
+
+        // Fill with empty frames: each costs FRAME_OVERHEAD bytes.
+        let mut pushed = 0;
+        while ring.try_push(&[&[]]) {
+            pushed += 1;
+        }
+        assert_eq!(pushed, cap / FRAME_OVERHEAD);
+        for _ in 0..pushed {
+            assert!(ring.try_pop(&mut out));
+            assert!(out.is_empty());
+        }
+        assert!(!ring.try_pop(&mut out));
+    }
+
+    #[test]
+    fn hammering_producer_consumer_sees_no_torn_frames() {
+        let cap = 256; // tiny on purpose: maximises wrap + backpressure churn
+        let mut mem = ring_mem(cap);
+        let ring = unsafe { SpscRing::init(mem.as_mut_ptr() as *mut u8, cap) };
+        let frames: u64 = 100_000;
+
+        std::thread::scope(|scope| {
+            let ring = &ring;
+            scope.spawn(move || {
+                for seq in 0..frames {
+                    let len = (seq % 40) as usize;
+                    let payload = frame(seq, len);
+                    let seq_bytes = seq.to_le_bytes();
+                    // yield, not spin: on a single-core host a pure spin loop
+                    // starves the other side for a whole scheduler quantum
+                    while !ring.try_push(&[&seq_bytes, &payload]) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            let mut out = Vec::new();
+            for seq in 0..frames {
+                while !ring.try_pop(&mut out) {
+                    std::thread::yield_now();
+                }
+                let got_seq = u64::from_le_bytes(out[..8].try_into().unwrap());
+                assert_eq!(got_seq, seq, "frames must arrive in FIFO order");
+                let expect = frame(seq, (seq % 40) as usize);
+                assert_eq!(&out[8..], &expect[..], "torn frame at seq {seq}");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "can never fit")]
+    fn oversized_frame_panics_instead_of_livelocking() {
+        let mut mem = ring_mem(64);
+        let ring = unsafe { SpscRing::init(mem.as_mut_ptr() as *mut u8, 64) };
+        let huge = vec![0u8; 61];
+        ring.try_push(&[&huge]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Thin raw-syscall layer: anonymous shared memory, futex, parent-death signal.
+//!
+//! Everything here is declared by hand so the crate stays dependency-free.
+//! On platforms other than Linux/{x86_64,aarch64} the mapping constructors
+//! fail with `Unsupported` and the futex helpers degrade to short sleeps, so
+//! the rest of the workspace still compiles (the process backend simply
+//! reports that it cannot run).
+
+use std::io;
+use std::sync::atomic::AtomicU32;
+use std::time::Duration;
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    use super::*;
+    use std::ffi::{c_int, c_long, c_uint, c_void};
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        fn ftruncate(fd: c_int, len: i64) -> c_int;
+        fn close(fd: c_int) -> c_int;
+        fn getppid() -> c_int;
+        fn syscall(num: c_long, ...) -> c_long;
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        use std::ffi::c_long;
+        pub const FUTEX: c_long = 202;
+        pub const PRCTL: c_long = 157;
+        pub const MEMFD_CREATE: c_long = 319;
+    }
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        use std::ffi::c_long;
+        pub const FUTEX: c_long = 98;
+        pub const PRCTL: c_long = 167;
+        pub const MEMFD_CREATE: c_long = 279;
+    }
+
+    const PROT_READ: c_int = 1;
+    const PROT_WRITE: c_int = 2;
+    const MAP_SHARED: c_int = 1;
+    const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+    // No FUTEX_PRIVATE_FLAG: the word is shared between processes.
+    const FUTEX_WAIT: c_long = 0;
+    const FUTEX_WAKE: c_long = 1;
+    const PR_SET_PDEATHSIG: c_long = 1;
+    const SIGKILL: c_long = 9;
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    pub fn shm_create(len: usize) -> io::Result<i32> {
+        // memfd_create WITHOUT MFD_CLOEXEC so the fd survives exec into the
+        // rank children.
+        let name: &[u8] = b"edgeswitch-shm\0";
+        let fd = unsafe { syscall(nr::MEMFD_CREATE, name.as_ptr(), 0 as c_uint) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let fd = fd as c_int;
+        if unsafe { ftruncate(fd, len as i64) } != 0 {
+            let err = io::Error::last_os_error();
+            unsafe { close(fd) };
+            return Err(err);
+        }
+        Ok(fd)
+    }
+
+    pub fn shm_map(fd: i32, len: usize) -> io::Result<*mut u8> {
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED,
+                fd,
+                0,
+            )
+        };
+        if ptr == MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(ptr as *mut u8)
+    }
+
+    pub fn shm_unmap(ptr: *mut u8, len: usize) {
+        unsafe { munmap(ptr as *mut c_void, len) };
+    }
+
+    pub fn close_fd(fd: i32) {
+        unsafe { close(fd) };
+    }
+
+    pub fn futex_wait(word: &AtomicU32, expected: u32, timeout: Duration) {
+        let ts = Timespec {
+            tv_sec: timeout.as_secs() as i64,
+            tv_nsec: i64::from(timeout.subsec_nanos()),
+        };
+        // EAGAIN / EINTR / ETIMEDOUT are all fine: the caller re-checks state.
+        unsafe {
+            syscall(
+                nr::FUTEX,
+                word as *const AtomicU32,
+                FUTEX_WAIT,
+                expected as c_long,
+                &ts as *const Timespec,
+            );
+        }
+    }
+
+    pub fn futex_wake_all(word: &AtomicU32) {
+        unsafe {
+            syscall(
+                nr::FUTEX,
+                word as *const AtomicU32,
+                FUTEX_WAKE,
+                c_long::from(i32::MAX),
+            );
+        }
+    }
+
+    pub fn die_with_parent() {
+        // prctl is variadic in libc, so route it through syscall(2) instead of
+        // declaring a mismatched non-variadic prototype.
+        unsafe {
+            syscall(
+                nr::PRCTL,
+                PR_SET_PDEATHSIG,
+                SIGKILL,
+                0 as c_long,
+                0 as c_long,
+                0 as c_long,
+            );
+        }
+    }
+
+    pub fn parent_pid() -> u32 {
+        (unsafe { getppid() }) as u32
+    }
+
+    pub const SUPPORTED: bool = true;
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    use super::*;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "edgeswitch-shm requires Linux on x86_64 or aarch64",
+        )
+    }
+
+    pub fn shm_create(_len: usize) -> io::Result<i32> {
+        Err(unsupported())
+    }
+
+    pub fn shm_map(_fd: i32, _len: usize) -> io::Result<*mut u8> {
+        Err(unsupported())
+    }
+
+    pub fn shm_unmap(_ptr: *mut u8, _len: usize) {}
+
+    pub fn close_fd(_fd: i32) {}
+
+    pub fn futex_wait(_word: &AtomicU32, _expected: u32, timeout: Duration) {
+        std::thread::sleep(timeout.min(Duration::from_millis(1)));
+    }
+
+    pub fn futex_wake_all(_word: &AtomicU32) {}
+
+    pub fn die_with_parent() {}
+
+    pub fn parent_pid() -> u32 {
+        0
+    }
+
+    pub const SUPPORTED: bool = false;
+}
+
+pub(crate) use imp::{close_fd, futex_wait, futex_wake_all, shm_create, shm_map, shm_unmap};
+
+/// `true` when this build can create and attach shared-memory worlds
+/// (Linux on x86_64/aarch64).
+pub const SUPPORTED: bool = imp::SUPPORTED;
+
+/// Arrange for the calling process to receive `SIGKILL` when its parent dies.
+///
+/// Call from `pre_exec` (or early in the child) so rank processes can never
+/// outlive the launcher. No-op on unsupported platforms.
+pub fn die_with_parent() {
+    imp::die_with_parent()
+}
+
+/// The parent process id of the calling process (0 on unsupported platforms).
+pub fn parent_pid() -> u32 {
+    imp::parent_pid()
+}

@@ -55,12 +55,14 @@ pub use mpilite as mpi;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use edgeswitch_core::config::{ParallelConfig, StepSize, DEFAULT_WINDOW};
+    pub use edgeswitch_core::config::{
+        Backend, ParallelConfig, ProcOpts, StepSize, DEFAULT_WINDOW,
+    };
     pub use edgeswitch_core::error_rate::error_rate;
     pub use edgeswitch_core::obs::{ObsSpec, Phase, RunReport};
     pub use edgeswitch_core::parallel::{
-        parallel_edge_switch, simulate_parallel, MsgCounts, MsgKind, ParallelOutcome, RankStats,
-        StepTelemetry,
+        child_entry_from_env, parallel_edge_switch, simulate_parallel, MsgCounts, MsgKind,
+        ParallelOutcome, RankStats, StepTelemetry,
     };
     pub use edgeswitch_core::run::{Run, RunOutcome};
     pub use edgeswitch_core::sequential::{sequential_edge_switch, sequential_for_visit_rate};

@@ -10,8 +10,12 @@
 //!   held to the seed-independent invariants instead: degree sequence,
 //!   simplicity, and total performed + forfeited operations.
 
+use edge_switching::core::parallel::process_backend_supported;
 use edge_switching::prelude::*;
 use edge_switching::scalesim::des_parallel;
+use std::io::{BufRead, BufReader};
+use std::process::Stdio;
+use std::time::{Duration, Instant};
 
 fn clustered_graph(seed: u64) -> Graph {
     let mut rng = root_rng(seed);
@@ -429,6 +433,215 @@ fn threaded_engine_invariants_hold_under_speculation() {
             assert!(s.spec_committed <= s.performed_local);
             assert!(s.spec_rolled_back <= s.aborts());
         }
+    }
+}
+
+/// Process-backend re-entry hook, not a test: rank children spawned by
+/// the process-backend tests below are this same test binary re-executed
+/// with argv selecting exactly this `#[ignore]`d name. With the shm
+/// environment set, `child_entry_from_env` runs the rank loop and exits
+/// before libtest ever sees the process; without it this is a no-op.
+#[test]
+#[ignore = "process-backend child entry point, not a test"]
+fn shm_child_entry() {
+    child_entry_from_env();
+}
+
+/// At `p = 1` the process engine, like the threaded engine, has no
+/// cross-rank interleaving: the child rank must replay exactly the FIFO
+/// simulator's schedule, bit for bit, across window depths and with
+/// speculation on — despite crossing a process boundary twice (boot blob
+/// out, result blob back).
+#[test]
+fn process_engine_p1_is_bit_identical_to_simulator() {
+    if !process_backend_supported() {
+        eprintln!("process backend unsupported on this platform; skipping");
+        return;
+    }
+    let g = clustered_graph(41);
+    let t = 2_000;
+    for (window, batch) in [(1usize, 1usize), (16, 1), (16, 8)] {
+        let cfg = config(1).with_window(window).with_spec_batch(batch);
+        let fifo = simulate_parallel(&g, t, &cfg);
+        let proc = parallel_edge_switch(&g, t, &cfg.clone().with_backend(Backend::Process));
+        let ctx = format!("process p=1 window={window} batch={batch}");
+        assert!(
+            proc.graph.same_edge_set(&fifo.graph),
+            "graph diverged: {ctx}"
+        );
+        assert_eq!(proc.steps, fifo.steps, "steps diverged: {ctx}");
+        assert_eq!(proc.per_rank, fifo.per_rank, "stats diverged: {ctx}");
+        assert_eq!(proc.final_edges, fifo.final_edges, "edges diverged: {ctx}");
+        assert_eq!(proc.initial_edges, fifo.initial_edges);
+        assert_eq!(
+            proc.visit_rate(),
+            fifo.visit_rate(),
+            "visits diverged: {ctx}"
+        );
+        assert_eq!(proc.telemetry.len(), fifo.telemetry.len());
+        for (a, b) in proc.telemetry.iter().zip(fifo.telemetry.iter()) {
+            assert_eq!(a.ops, b.ops, "ops diverged: {ctx}");
+            assert_eq!(a.started, b.started, "started diverged: {ctx}");
+            assert_eq!(a.performed, b.performed, "performed diverged: {ctx}");
+            assert_eq!(a.forfeited, b.forfeited, "forfeited diverged: {ctx}");
+            assert_eq!(a.served, b.served, "served diverged: {ctx}");
+            assert_eq!(a.blocked, b.blocked, "blocked diverged: {ctx}");
+            assert_eq!(a.window_peak, b.window_peak, "peak diverged: {ctx}");
+            assert_eq!(a.local_fastpath, b.local_fastpath);
+            assert_eq!(a.spec_committed, b.spec_committed);
+            assert_eq!(a.spec_rolled_back, b.spec_rolled_back);
+            assert_eq!(a.packets, b.packets, "packets diverged: {ctx}");
+            assert_eq!(a.logical_msgs, b.logical_msgs, "messages diverged: {ctx}");
+        }
+    }
+}
+
+/// At `p > 1` the process engine's schedule depends on OS interleaving
+/// (like the threaded engine's), so the two drivers are compared on
+/// schedule-independent logical outcomes across processor counts ×
+/// window depths × speculative batch depths: the permanent invariants
+/// hold for both, and everything determined by `(graph, t, config)`
+/// alone — step count, step sizes, initial edge count — agrees exactly.
+#[test]
+fn process_engine_matches_threaded_logical_outcomes() {
+    if !process_backend_supported() {
+        eprintln!("process backend unsupported on this platform; skipping");
+        return;
+    }
+    let g = clustered_graph(42);
+    let t = 1_500;
+    for p in [2usize, 4] {
+        for window in [1usize, 16] {
+            for batch in [1usize, 8] {
+                let cfg = config(p).with_window(window).with_spec_batch(batch);
+                let thr = parallel_edge_switch(&g, t, &cfg);
+                let proc = parallel_edge_switch(&g, t, &cfg.clone().with_backend(Backend::Process));
+                let ctx = format!("p={p} window={window} batch={batch}");
+                for out in [&thr, &proc] {
+                    out.graph.check_invariants().unwrap();
+                    assert_eq!(out.graph.degree_sequence(), g.degree_sequence(), "{ctx}");
+                    assert_eq!(out.performed() + out.forfeited(), t, "{ctx}");
+                    assert_eq!(out.telemetry.len(), out.steps as usize, "{ctx}");
+                    assert_eq!(out.telemetry.iter().map(|s| s.ops).sum::<u64>(), t);
+                    assert_eq!(
+                        out.telemetry.iter().map(|s| s.performed).sum::<u64>(),
+                        out.performed()
+                    );
+                    let aborts: u64 = out.per_rank.iter().map(|s| s.aborts()).sum();
+                    assert_eq!(
+                        out.telemetry.iter().map(|s| s.started).sum::<u64>(),
+                        out.performed() + aborts,
+                        "{ctx}"
+                    );
+                    // Per-kind message counters agree between the
+                    // telemetry layer and the transport's own books.
+                    let msgs = out.logical_msg_totals();
+                    for kind in MsgKind::ALL {
+                        if kind == MsgKind::Coll {
+                            continue;
+                        }
+                        let from_comm: u64 = out
+                            .comm
+                            .iter()
+                            .map(|c| c.logical_by_kind[kind as usize])
+                            .sum();
+                        assert_eq!(msgs.get(kind), from_comm, "kind {kind:?}: {ctx}");
+                    }
+                }
+                // Everything fixed by `(graph, t, config)` alone is
+                // identical across the two transports.
+                assert_eq!(proc.steps, thr.steps, "steps diverged: {ctx}");
+                assert_eq!(proc.initial_edges, thr.initial_edges, "{ctx}");
+                assert_eq!(proc.per_rank.len(), thr.per_rank.len());
+                for (a, b) in proc.telemetry.iter().zip(thr.telemetry.iter()) {
+                    assert_eq!(a.ops, b.ops, "step sizes diverged: {ctx}");
+                }
+            }
+        }
+    }
+}
+
+/// Orphan-safety driver, not a test: launches a process-backend run far
+/// too long to finish, with child-pid announcements on, so the kill test
+/// below can murder this driver mid-run and watch the rank children die
+/// with it (PDEATHSIG plus the liveness word in the shm header).
+#[test]
+#[ignore = "orphan-safety driver for killing_the_launcher_reaps_rank_children"]
+fn shm_orphan_driver() {
+    if !process_backend_supported() {
+        return;
+    }
+    let g = clustered_graph(43);
+    let cfg = config(2)
+        .with_backend(Backend::Process)
+        .with_proc_opts(ProcOpts {
+            announce_children: true,
+            ..ProcOpts::default()
+        });
+    // ~10^9 switches: minutes of work — the parent kills us long before.
+    parallel_edge_switch(&g, 1_000_000_000, &cfg);
+}
+
+/// Read the state letter from `/proc/<pid>/stat` — `None` once the pid is
+/// gone. The state field follows the parenthesised comm, which may itself
+/// contain anything, so parse from the *last* `)`.
+fn proc_state(pid: u32) -> Option<char> {
+    let stat = std::fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    stat.rsplit(')').next()?.trim().chars().next()
+}
+
+/// Kill-parent-mid-run: SIGKILL the launcher while its rank children are
+/// grinding, then assert the children disappear on their own. SIGKILL
+/// means no destructor runs in the launcher — only the PDEATHSIG set in
+/// `pre_exec` (and the shm liveness word polled on park) can reap them.
+#[test]
+fn killing_the_launcher_reaps_rank_children() {
+    if !process_backend_supported() {
+        eprintln!("process backend unsupported on this platform; skipping");
+        return;
+    }
+    let exe = std::env::current_exe().expect("own test binary");
+    let mut driver = std::process::Command::new(exe)
+        .args(["shm_orphan_driver", "--include-ignored", "--nocapture"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn orphan driver");
+    // The launcher announces each rank child as `shm-child-pid: <pid>`.
+    let stdout = driver.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout);
+    let mut pids: Vec<u32> = Vec::new();
+    let mut line = String::new();
+    while pids.len() < 2 {
+        line.clear();
+        let n = lines.read_line(&mut line).expect("read driver stdout");
+        assert!(n > 0, "driver exited before announcing both rank children");
+        // Not anchored: libtest's `test shm_orphan_driver ...` progress
+        // prefix lands on the same line as the first announcement.
+        if let Some(at) = line.find("shm-child-pid: ") {
+            let rest = line[at + "shm-child-pid: ".len()..].trim();
+            pids.push(rest.parse().expect("pid"));
+        }
+    }
+    for &pid in &pids {
+        assert!(proc_state(pid).is_some(), "announced child {pid} not alive");
+    }
+    driver.kill().expect("kill driver");
+    driver.wait().expect("reap driver");
+    // Children must vanish without anyone waiting on them. A zombie
+    // counts as dead: it stopped running and awaits only init's reap.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut remaining = pids;
+    while !remaining.is_empty() {
+        remaining.retain(|&pid| !matches!(proc_state(pid), None | Some('Z')));
+        if remaining.is_empty() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "rank children survived the launcher's death: {remaining:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
     }
 }
 
