@@ -9,6 +9,7 @@
 use edgeswitch_bench::experiments::{
     ablation_ids, all_ids, diagnostic_ids,
     hotpath::{batch_gate, local_gate, probe_gate, proc_gate, scaling_gate},
+    mixing::mixing_gate,
     perf_ids, run, ExpConfig,
 };
 use edgeswitch_bench::report::Report;
@@ -17,7 +18,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment|all|ablations|diagnostics|list> [--scale S] [--reps N] [--seed X] [--out DIR] [--quick] [--timeline] [--gate-scaling] [--gate-probe] [--gate-local] [--gate-batch] [--gate-proc]\n\
+        "usage: repro <experiment|all|ablations|diagnostics|list> [--scale S] [--reps N] [--seed X] [--out DIR] [--quick] [--timeline] [--gate-scaling] [--gate-probe] [--gate-local] [--gate-batch] [--gate-proc] [--gate-mixing]\n\
          experiments: {}",
         all_ids().join(", ")
     );
@@ -74,6 +75,7 @@ fn main() {
     let mut gate_local = false;
     let mut gate_batch = false;
     let mut gate_proc = false;
+    let mut gate_mixing = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -143,6 +145,15 @@ fn main() {
                 // quick ER case. Auto-skips (with a notice) on 1-core
                 // runners and platforms without the process backend.
                 gate_proc = true;
+                i += 1;
+            }
+            "--gate-mixing" => {
+                // CI mixing-efficiency guard (mixing only): exit non-zero
+                // if sequential Curveball needs more than half the
+                // operations sequential switching needs to reach the
+                // target visit rate on the quick PA case. Auto-skips
+                // (with a notice) when the instance is too small to mix.
+                gate_mixing = true;
                 i += 1;
             }
             "--gate-probe" => {
@@ -260,6 +271,15 @@ fn main() {
                         Ok(note) => println!("# proc gate: {note}"),
                         Err(why) => {
                             eprintln!("# proc gate FAILED: {why}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                if gate_mixing && report.id == "mixing" {
+                    match mixing_gate(&report.data) {
+                        Ok(note) => println!("# mixing gate: {note}"),
+                        Err(why) => {
+                            eprintln!("# mixing gate FAILED: {why}");
                             std::process::exit(1);
                         }
                     }

@@ -14,7 +14,7 @@
 //! `{"bench": "hotpath", "metric": "switches_per_sec", "cases": [...]}`.
 
 use super::ExpConfig;
-use crate::report::{f, table, Report};
+use crate::report::{f, provenance, table, Report};
 use edgeswitch_core::config::{Backend, ParallelConfig};
 use edgeswitch_core::parallel::{parallel_edge_switch, process_backend_supported};
 use edgeswitch_core::sequential::sequential_edge_switch;
@@ -369,6 +369,7 @@ pub fn hotpath(cfg: &ExpConfig) -> Report {
         data: json!({
             "bench": "hotpath",
             "metric": "switches_per_sec",
+            "provenance": provenance(),
             "cases": cases,
             "probe": {
                 "family": *family,
@@ -605,6 +606,8 @@ mod tests {
         }
         assert!(r.rendered.contains("switches/sec"));
         assert!(r.rendered.contains("window"));
+        // Archived numbers carry their build provenance.
+        assert!(!r.data["provenance"]["rustc"].as_str().unwrap().is_empty());
         // The probe-overhead section is always present for the gate.
         assert!(r.data["probe"]["baseline_per_sec"].as_f64().unwrap() > 0.0);
         assert!(r.data["probe"]["noop_per_sec"].as_f64().unwrap() > 0.0);

@@ -5,6 +5,7 @@
 pub mod ablation;
 pub mod hotpath;
 pub mod loadbalance;
+pub mod mixing;
 pub mod multinomial;
 pub mod properties;
 pub mod scaling;
@@ -66,7 +67,7 @@ pub fn diagnostic_ids() -> Vec<&'static str> {
 /// Performance-tracking experiment ids (not paper figures; the repro
 /// binary archives these as `BENCH_<id>.json` for regression tracking).
 pub fn perf_ids() -> Vec<&'static str> {
-    vec!["hotpath"]
+    vec!["hotpath", "mixing"]
 }
 
 /// Run one experiment by id; `None` for an unknown id.
@@ -77,6 +78,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Option<Report> {
         "telemetry-steps" => telemetry::telemetry_steps(cfg),
         "trace" => trace::trace(cfg),
         "hotpath" => hotpath::hotpath(cfg),
+        "mixing" => mixing::mixing(cfg),
         "table1" => visit::table1(cfg),
         "fig2" => visit::fig2(cfg),
         "table2" => visit::table2(cfg),

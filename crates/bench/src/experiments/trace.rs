@@ -202,6 +202,11 @@ mod tests {
             if phase["phase"].as_str() == Some("batch-validate") {
                 continue;
             }
+            if phase["phase"].as_str() == Some("trade-shuffle") {
+                // Curveball-only phase; this experiment traces the
+                // switch protocol.
+                continue;
+            }
             assert!(
                 phase["hist"]["count"].as_u64().unwrap() > 0,
                 "threaded phase {:?} never recorded",

@@ -1,6 +1,6 @@
 //! Result reporting: aligned text tables for stdout plus JSON archival.
 
-use serde_json::Value;
+use serde_json::{json, Value};
 use std::fs;
 use std::path::Path;
 
@@ -78,6 +78,44 @@ pub fn f(x: f64, d: usize) -> String {
     format!("{:.*}", d, x)
 }
 
+/// Build provenance stamped into every `BENCH_*.json` archive: the
+/// compiler that produced the numbers and the `[profile.release]` flags
+/// it was built under, so archived trajectories stay interpretable
+/// across toolchain bumps and profile changes.
+pub fn provenance() -> Value {
+    let rustc = std::process::Command::new("rustc")
+        .arg("-V")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+    json!({
+        "rustc": rustc,
+        "profile_release": release_profile(),
+    })
+}
+
+/// The `[profile.release]` key/value lines of the workspace manifest,
+/// captured at compile time (comments stripped).
+fn release_profile() -> Vec<String> {
+    let manifest = include_str!("../../../Cargo.toml");
+    let mut flags = Vec::new();
+    let mut in_section = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_section = line == "[profile.release]";
+            continue;
+        }
+        if in_section && !line.is_empty() && !line.starts_with('#') {
+            flags.push(line.to_string());
+        }
+    }
+    flags
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +144,16 @@ mod tests {
     #[test]
     fn float_format() {
         assert_eq!(f(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn provenance_reports_compiler_and_profile() {
+        let p = provenance();
+        assert!(!p["rustc"].as_str().unwrap().is_empty());
+        let flags = p["profile_release"].as_array().unwrap();
+        assert!(
+            flags.iter().any(|l| l.as_str().unwrap().starts_with("lto")),
+            "release profile flags not captured: {flags:?}"
+        );
     }
 }

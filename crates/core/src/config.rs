@@ -91,6 +91,25 @@ impl Default for ProcOpts {
     }
 }
 
+/// Which randomization engine a [`crate::Run`] drives.
+///
+/// Both engines preserve the degree sequence exactly and report
+/// progress through the same [`crate::VisitTracker`] semantics; they
+/// differ in how much graph they re-randomize per unit of work (see
+/// DESIGN.md §4h).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Randomizer {
+    /// Single edge switches (the paper's protocol): each operation
+    /// removes two sampled edges and inserts the crossed pair.
+    #[default]
+    Switch,
+    /// Global Curveball trades (Carstens/Hamann/Meyer, arXiv
+    /// 1804.08487): each pass pairs all vertices in a random perfect
+    /// matching and every pair re-deals the disjoint part of its two
+    /// neighborhoods in one Fisher–Yates shuffle.
+    Curveball,
+}
+
 /// How the step size `s` is chosen (Section 4.5: the probability vector
 /// `q` is refreshed every `s` operations).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -188,6 +207,12 @@ pub struct ParallelConfig {
     /// defaults.
     #[serde(skip)]
     pub proc_opts: ProcOpts,
+    /// Randomization engine: single edge switches (default) or global
+    /// Curveball trades. The Curveball engine runs on the sequential,
+    /// threaded, FIFO, and DES drivers; the process backend currently
+    /// supports switches only.
+    #[serde(default)]
+    pub randomizer: Randomizer,
 }
 
 impl ParallelConfig {
@@ -208,6 +233,7 @@ impl ParallelConfig {
             spin_relax: default_spin_relax(),
             spin_total: default_spin_total(),
             proc_opts: ProcOpts::default(),
+            randomizer: Randomizer::default(),
         }
     }
 
@@ -283,6 +309,12 @@ impl ParallelConfig {
         self
     }
 
+    /// Builder-style randomizer override (switches vs Curveball trades).
+    pub fn with_randomizer(mut self, randomizer: Randomizer) -> Self {
+        self.randomizer = randomizer;
+        self
+    }
+
     /// The driver-level root stream for this configuration: seeds
     /// partition construction and any other pre-protocol randomness.
     /// Every driver (threaded, FIFO, DES, predictor) derives it the same
@@ -347,6 +379,14 @@ mod tests {
         assert_eq!(ParallelConfig::new(2).spec_batch, 1);
         assert_eq!(ParallelConfig::new(2).with_spec_batch(16).spec_batch, 16);
         assert_eq!(ParallelConfig::new(2).with_spec_batch(0).spec_batch, 1);
+        // The switch protocol is the default engine.
+        assert_eq!(ParallelConfig::new(2).randomizer, Randomizer::Switch);
+        assert_eq!(
+            ParallelConfig::new(2)
+                .with_randomizer(Randomizer::Curveball)
+                .randomizer,
+            Randomizer::Curveball
+        );
         // Backend defaults to threads; spins default to the tuned consts.
         assert_eq!(ParallelConfig::new(2).backend, Backend::Threaded);
         assert_eq!(ParallelConfig::new(2).spin_relax, DEFAULT_SPIN_RELAX);

@@ -36,15 +36,16 @@ pub mod parallel;
 pub mod run;
 pub mod sequential;
 pub mod switch;
+pub mod trade;
 pub mod variants;
 pub mod visit;
 
-pub use config::{Backend, ParallelConfig, ProcOpts, StepSize};
+pub use config::{Backend, ParallelConfig, ProcOpts, Randomizer, StepSize};
 pub use error_rate::{error_rate, BlockMatrix};
 pub use obs::{Obs, ObsSpec, Probe, RunReport};
 pub use parallel::{
-    child_entry_from_env, parallel_edge_switch, simulate_parallel, MsgCounts, ParallelOutcome,
-    StepTelemetry,
+    child_entry_from_env, parallel_curveball, parallel_edge_switch, simulate_curveball,
+    simulate_parallel, MsgCounts, ParallelOutcome, StepTelemetry,
 };
 pub use run::{Run, RunOutcome, SequentialRun};
 pub use sequential::{
@@ -52,5 +53,8 @@ pub use sequential::{
     SequentialOutcome,
 };
 pub use switch::{RejectReason, SwitchKind};
+pub use trade::{
+    sequential_curveball, sequential_curveball_observed, CurveballOutcome, TradeBudget,
+};
 pub use variants::{sequential_edge_switch_connected, sequential_exact_visit, ConstrainedOutcome};
 pub use visit::VisitTracker;

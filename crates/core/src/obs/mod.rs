@@ -66,11 +66,15 @@ pub enum Phase {
     /// requested replacement edges at their owner (the owner-side cost
     /// of a speculative batch round).
     BatchValidate = 7,
+    /// Executing one Curveball trade: splitting the paired neighborhoods
+    /// into common/disjoint parts, shuffling the disjoint union, and
+    /// reassigning (Curveball runs only; see DESIGN.md §4h).
+    TradeShuffle = 8,
 }
 
 impl Phase {
     /// Number of phases (length of dense per-phase arrays).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// All phases, in slot order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -82,6 +86,7 @@ impl Phase {
         Phase::QRefresh,
         Phase::LocalFastpath,
         Phase::BatchValidate,
+        Phase::TradeShuffle,
     ];
 
     /// Stable label used in reports and JSON.
@@ -95,6 +100,7 @@ impl Phase {
             Phase::QRefresh => "q-refresh",
             Phase::LocalFastpath => "local-fastpath",
             Phase::BatchValidate => "batch-validate",
+            Phase::TradeShuffle => "trade-shuffle",
         }
     }
 }

@@ -150,6 +150,13 @@ pub struct StepTelemetry {
     /// Observed runs only: time spent blocked waiting for messages
     /// (max across ranks; clock-domain ns).
     pub wait_ns: f64,
+    /// Curveball only: trades executed this pass (matched pairs whose
+    /// neighborhoods were split and re-dealt). Zero on switch runs.
+    pub trades: u64,
+    /// Curveball only: neighbors reassigned this pass (summed sizes of
+    /// the shuffled disjoint unions — the scheme's unit of work). Zero
+    /// on switch runs.
+    pub neighbors_moved: u64,
 }
 
 impl StepTelemetry {
@@ -175,6 +182,8 @@ impl StepTelemetry {
         self.barrier_ns = self.barrier_ns.max(other.barrier_ns);
         self.qrefresh_ns = self.qrefresh_ns.max(other.qrefresh_ns);
         self.wait_ns = self.wait_ns.max(other.wait_ns);
+        self.trades += other.trades;
+        self.neighbors_moved += other.neighbors_moved;
     }
 
     /// Served-versus-performed diff of `after - before` rank statistics,

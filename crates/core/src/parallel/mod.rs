@@ -8,7 +8,9 @@
 //! - [`proc`]: the process-backed driver over shared-memory rings
 //!   ([`wire`] is its byte codec for [`Msg`]),
 //! - [`sim`]: a deterministic single-threaded driver for large virtual
-//!   worlds and similarity experiments.
+//!   worlds and similarity experiments,
+//! - [`trade`]: the Curveball randomizer's drivers (global trades over
+//!   the same transports; see [`crate::trade`]).
 
 pub mod engine;
 pub mod harness;
@@ -16,6 +18,7 @@ pub mod msg;
 pub mod proc;
 pub mod rank;
 pub mod sim;
+pub mod trade;
 pub mod wire;
 
 #[cfg(test)]
@@ -35,3 +38,7 @@ pub use proc::{
 };
 pub use rank::{RankState, RankStats, StartResult};
 pub use sim::{simulate_parallel, simulate_parallel_with};
+pub use trade::{
+    parallel_curveball, parallel_curveball_with, run_simulated_trades, simulate_curveball,
+    simulate_curveball_with,
+};

@@ -125,6 +125,31 @@ pub enum Msg {
         /// `(conversation, accepted)` per request.
         verdicts: Vec<(ConvId, bool)>,
     },
+    /// Curveball: edges bound for one trade's executor. At pass start
+    /// every rank routes each stored edge with a traded endpoint to the
+    /// lowest-indexed trade touching it; after a trade fires, its output
+    /// edges whose far endpoint belongs to a later trade are forwarded
+    /// the same way. Edge keys are packed ([`Edge::key`]).
+    TradeLoad {
+        /// Pass-local trade index the edges are bound for.
+        trade: u32,
+        /// Packed keys of the contributed edges.
+        edges: Vec<u64>,
+    },
+    /// Curveball: finalized edges (no later trade touches either
+    /// endpoint this pass) returning to the owner of their reduced-
+    /// adjacency home, `owner(src)`, for partition-store insertion.
+    TradeHome {
+        /// Packed keys of the finalized edges.
+        edges: Vec<u64>,
+    },
+    /// Curveball: initial-edge keys whose membership in a shuffled
+    /// disjoint union makes them *visited*, routed to the rank whose
+    /// [`crate::VisitTracker`] covers them (`owner(src)` of the key).
+    TradeVisit {
+        /// Packed keys of the re-dealt initial edges.
+        edges: Vec<u64>,
+    },
     /// Rank finished its own quota for the current step (keeps serving).
     EndOfStep,
     /// Collective payloads (step-boundary bookkeeping).
@@ -177,11 +202,18 @@ pub enum MsgKind {
     BatchPropose = 13,
     /// [`Msg::BatchVerdict`].
     BatchVerdict = 14,
+    /// [`Msg::TradeLoad`]. Like [`MsgKind::BatchPropose`], one logical
+    /// message per coalesced send however many edge keys it carries.
+    TradeLoad = 15,
+    /// [`Msg::TradeHome`].
+    TradeHome = 16,
+    /// [`Msg::TradeVisit`].
+    TradeVisit = 17,
 }
 
 impl MsgKind {
     /// Number of kinds (length of a dense per-kind counter array).
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 18;
 
     /// All kinds, in counter-slot order.
     pub const ALL: [MsgKind; MsgKind::COUNT] = [
@@ -200,6 +232,9 @@ impl MsgKind {
         MsgKind::Batch,
         MsgKind::BatchPropose,
         MsgKind::BatchVerdict,
+        MsgKind::TradeLoad,
+        MsgKind::TradeHome,
+        MsgKind::TradeVisit,
     ];
 
     /// Classify a message.
@@ -217,6 +252,9 @@ impl MsgKind {
             Msg::Abort { .. } => MsgKind::Abort,
             Msg::BatchPropose { .. } => MsgKind::BatchPropose,
             Msg::BatchVerdict { .. } => MsgKind::BatchVerdict,
+            Msg::TradeLoad { .. } => MsgKind::TradeLoad,
+            Msg::TradeHome { .. } => MsgKind::TradeHome,
+            Msg::TradeVisit { .. } => MsgKind::TradeVisit,
             Msg::EndOfStep => MsgKind::EndOfStep,
             Msg::Coll(_) => MsgKind::Coll,
             Msg::Batch(_) => MsgKind::Batch,
@@ -241,6 +279,9 @@ impl MsgKind {
             MsgKind::Batch => "batch",
             MsgKind::BatchPropose => "batch-propose",
             MsgKind::BatchVerdict => "batch-verdict",
+            MsgKind::TradeLoad => "trade-load",
+            MsgKind::TradeHome => "trade-home",
+            MsgKind::TradeVisit => "trade-visit",
         }
     }
 }
@@ -277,6 +318,10 @@ impl CollCarrier for Msg {
             }
             // Length prefix plus conv (12) + verdict flag (1) per entry.
             Msg::BatchVerdict { verdicts } => 4 + 13 * verdicts.len(),
+            // Trade index (4) + length prefix (4) + packed key (8) each.
+            Msg::TradeLoad { edges, .. } => 8 + 8 * edges.len(),
+            // Length prefix (4) + packed key (8) each.
+            Msg::TradeHome { edges } | Msg::TradeVisit { edges } => 4 + 8 * edges.len(),
             Msg::EndOfStep => 1,
             // Length prefix plus the framed messages.
             Msg::Batch(msgs) => 4 + msgs.iter().map(|m| m.wire_size()).sum::<usize>(),
@@ -434,6 +479,27 @@ mod tests {
         assert_eq!(slots[MsgKind::BatchPropose as usize], 1);
         assert_eq!(slots[MsgKind::BatchVerdict as usize], 1);
         assert_eq!(slots[MsgKind::Batch as usize], 0);
+    }
+
+    #[test]
+    fn trade_messages_count_once_per_coalesced_send() {
+        let load = Msg::TradeLoad {
+            trade: 7,
+            edges: vec![Edge::new(1, 2).key(), Edge::new(3, 4).key()],
+        };
+        assert_eq!(load.wire_size(), 8 + 16);
+        let home = Msg::TradeHome {
+            edges: vec![Edge::new(1, 2).key()],
+        };
+        let visit = Msg::TradeVisit { edges: vec![] };
+        assert_eq!(home.wire_size(), 4 + 8);
+        assert_eq!(visit.wire_size(), 4);
+        let mut slots = [0u64; MsgKind::COUNT];
+        Msg::Batch(vec![load, home, visit]).record_kinds(&mut slots);
+        assert_eq!(slots[MsgKind::TradeLoad as usize], 1);
+        assert_eq!(slots[MsgKind::TradeHome as usize], 1);
+        assert_eq!(slots[MsgKind::TradeVisit as usize], 1);
+        assert_eq!(slots.iter().sum::<u64>(), 3);
     }
 
     #[test]

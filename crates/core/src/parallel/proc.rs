@@ -618,6 +618,8 @@ fn encode_result(
             tel.spec_committed,
             tel.spec_rolled_back,
             tel.packets,
+            tel.trades,
+            tel.neighbors_moved,
         ] {
             put_u64(&mut out, v);
         }
@@ -699,6 +701,8 @@ fn decode_result(bytes: &[u8]) -> (usize, RankOutput, Vec<StepTelemetry>) {
                 spec_committed: r.u64(),
                 spec_rolled_back: r.u64(),
                 packets: r.u64(),
+                trades: r.u64(),
+                neighbors_moved: r.u64(),
                 ..StepTelemetry::default()
             };
             let mut slots = [0u64; MsgKind::COUNT];

@@ -1512,6 +1512,9 @@ impl RankState {
             Msg::EndOfStep | Msg::Coll(_) | Msg::Batch(_) => {
                 unreachable!("driver-level message leaked into RankState")
             }
+            Msg::TradeLoad { .. } | Msg::TradeHome { .. } | Msg::TradeVisit { .. } => {
+                unreachable!("Curveball traffic routed into the switch state machine")
+            }
         }
     }
 }

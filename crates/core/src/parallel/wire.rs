@@ -30,6 +30,9 @@ const T_COLL: u8 = 11;
 const T_BATCH: u8 = 12;
 const T_BATCH_PROPOSE: u8 = 13;
 const T_BATCH_VERDICT: u8 = 14;
+const T_TRADE_LOAD: u8 = 15;
+const T_TRADE_HOME: u8 = 16;
+const T_TRADE_VISIT: u8 = 17;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -188,6 +191,28 @@ pub fn encode_msg(msg: &Msg, out: &mut Vec<u8>) {
                 out.push(u8::from(*accepted));
             }
         }
+        Msg::TradeLoad { trade, edges } => {
+            out.push(T_TRADE_LOAD);
+            put_u32(out, *trade);
+            put_u32(out, edges.len() as u32);
+            for key in edges {
+                put_u64(out, *key);
+            }
+        }
+        Msg::TradeHome { edges } => {
+            out.push(T_TRADE_HOME);
+            put_u32(out, edges.len() as u32);
+            for key in edges {
+                put_u64(out, *key);
+            }
+        }
+        Msg::TradeVisit { edges } => {
+            out.push(T_TRADE_VISIT);
+            put_u32(out, edges.len() as u32);
+            for key in edges {
+                put_u64(out, *key);
+            }
+        }
     }
 }
 
@@ -308,6 +333,26 @@ impl<'a> Reader<'a> {
                 let verdicts = (0..n).map(|_| (self.conv(), self.u8() != 0)).collect();
                 Msg::BatchVerdict { verdicts }
             }
+            T_TRADE_LOAD => {
+                let trade = self.u32();
+                let n = self.u32() as usize;
+                Msg::TradeLoad {
+                    trade,
+                    edges: (0..n).map(|_| self.u64()).collect(),
+                }
+            }
+            T_TRADE_HOME => {
+                let n = self.u32() as usize;
+                Msg::TradeHome {
+                    edges: (0..n).map(|_| self.u64()).collect(),
+                }
+            }
+            T_TRADE_VISIT => {
+                let n = self.u32() as usize;
+                Msg::TradeVisit {
+                    edges: (0..n).map(|_| self.u64()).collect(),
+                }
+            }
             other => panic!("wire: bad message discriminant {other}"),
         }
     }
@@ -418,6 +463,20 @@ mod tests {
         });
         roundtrip(Msg::BatchVerdict {
             verdicts: vec![(conv(1, 1), true), (conv(1, 2), false)],
+        });
+        roundtrip(Msg::TradeLoad {
+            trade: u32::MAX,
+            edges: vec![e(1, 2).key(), e(3, 4).key()],
+        });
+        roundtrip(Msg::TradeLoad {
+            trade: 0,
+            edges: vec![],
+        });
+        roundtrip(Msg::TradeHome {
+            edges: vec![e(9, 10).key()],
+        });
+        roundtrip(Msg::TradeVisit {
+            edges: vec![e(5, 6).key(), e(7, 8).key()],
         });
     }
 

@@ -25,10 +25,14 @@
 //! The original free functions remain as thin layers over the same
 //! engines; `Run` is the recommended entry point.
 
-use crate::config::{Backend, ParallelConfig, StepSize};
+use crate::config::{Backend, ParallelConfig, Randomizer, StepSize};
 use crate::obs::{ObsSpec, RunReport};
-use crate::parallel::{parallel_edge_switch, simulate_parallel, ParallelOutcome};
+use crate::parallel::{
+    parallel_curveball, parallel_edge_switch, simulate_curveball, simulate_parallel,
+    ParallelOutcome,
+};
 use crate::sequential::{sequential_edge_switch_observed, SequentialOutcome};
+use crate::trade::{sequential_curveball_observed, TradeBudget};
 use edgeswitch_graph::{Graph, SchemeKind};
 
 /// Which engine executes the run.
@@ -111,9 +115,23 @@ impl Run {
         self
     }
 
-    /// Budget by explicit switch-operation count `t`.
+    /// Budget by explicit switch-operation count `t`. Under
+    /// [`Randomizer::Curveball`] the count budgets whole passes of
+    /// trades instead (a pass of an `n`-vertex graph runs `⌊n/2⌋`
+    /// trades; the run stops at the first pass boundary at or past `t`).
     pub fn switches(mut self, t: u64) -> Self {
         self.budget = Budget::Switches(t);
+        self
+    }
+
+    /// Randomization scheme: classic edge [`Randomizer::Switch`]
+    /// operations (the default) or global [`Randomizer::Curveball`]
+    /// trades, which re-deal whole disjoint neighborhoods per operation
+    /// and reach a target visit rate with far fewer operations (see
+    /// `crate::trade`). Curveball supports the sequential, threaded and
+    /// simulated drivers, but not the process backend.
+    pub fn randomizer(mut self, randomizer: Randomizer) -> Self {
+        self.config = self.config.with_randomizer(randomizer);
         self
     }
 
@@ -188,9 +206,24 @@ impl Run {
         }
     }
 
+    /// The budget as Curveball sees it: an explicit count budgets
+    /// trades; a visit-rate target is handled natively by the trade
+    /// engine's pass controller (no operation-count derivation — that
+    /// conversion is the switch protocol's, and Curveball needing fewer
+    /// operations to the same rate is precisely the point).
+    fn trade_budget(&self) -> TradeBudget {
+        match self.budget {
+            Budget::Switches(t) => TradeBudget::Trades(t),
+            Budget::VisitRate(x) => TradeBudget::VisitRate(x),
+        }
+    }
+
     /// Execute the run. The input graph is not modified: sequential runs
     /// switch a clone, parallel runs partition and reassemble.
     pub fn execute(&self, graph: &Graph) -> RunOutcome {
+        if self.config.randomizer == Randomizer::Curveball {
+            return self.execute_curveball(graph);
+        }
         let t = self.resolve_ops(graph);
         match self.mode {
             Mode::Sequential => {
@@ -204,6 +237,39 @@ impl Run {
             }
             Mode::Simulated => {
                 RunOutcome::Parallel(Box::new(simulate_parallel(graph, t, &self.config)))
+            }
+        }
+    }
+
+    /// The Curveball dispatch of [`Run::execute`]. A sequential trade
+    /// run is surfaced through [`SequentialOutcome`] with `performed`
+    /// counting trades, so [`RunOutcome`]'s accessors stay
+    /// driver-independent.
+    fn execute_curveball(&self, graph: &Graph) -> RunOutcome {
+        let budget = self.trade_budget();
+        match self.mode {
+            Mode::Sequential => {
+                let mut g = graph.clone();
+                let out = sequential_curveball_observed(
+                    &mut g,
+                    budget,
+                    self.config.seed,
+                    self.config.obs,
+                );
+                let outcome = SequentialOutcome {
+                    performed: out.trades,
+                    abandoned: 0,
+                    rejects: Default::default(),
+                    tracker: out.tracker,
+                    report: out.report,
+                };
+                RunOutcome::Sequential(Box::new(SequentialRun { graph: g, outcome }))
+            }
+            Mode::Parallel => {
+                RunOutcome::Parallel(Box::new(parallel_curveball(graph, budget, &self.config)))
+            }
+            Mode::Simulated => {
+                RunOutcome::Parallel(Box::new(simulate_curveball(graph, budget, &self.config)))
             }
         }
     }

@@ -15,8 +15,44 @@
 //! index updates, so this map is the hottest structure in the system.
 
 use crate::hashing::{map_with_capacity, FxHashMap};
-use crate::types::Edge;
+use crate::types::{Edge, VertexId};
 use rand::Rng;
+
+/// In-place Fisher–Yates shuffle.
+///
+/// Draws exactly `items.len().saturating_sub(1)` values from `rng`
+/// (one `gen_range` per position, back to front), so the consumed RNG
+/// stream depends only on the slice length — a prerequisite for the
+/// Curveball engines, which replay per-trade substreams bit-exactly
+/// across sequential, threaded, and simulated drivers.
+pub fn fisher_yates_shuffle<T, R: Rng + ?Sized>(items: &mut [T], rng: &mut R) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// A uniformly random permutation of `0..n`, seeded by `rng`.
+pub fn random_permutation<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<VertexId> {
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    fisher_yates_shuffle(&mut perm, rng);
+    perm
+}
+
+/// A uniformly random perfect matching of the vertices `0..n`: `⌊n/2⌋`
+/// disjoint pairs, each canonicalized as `(min, max)`. For odd `n` one
+/// vertex is left unmatched.
+///
+/// This is the per-pass pairing primitive of the global Curveball
+/// trade sequence: pair `k` is `(perm[2k], perm[2k+1])` of a random
+/// permutation, so every vertex appears in at most one pair and every
+/// matching is equally likely.
+pub fn random_matching<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<(VertexId, VertexId)> {
+    let perm = random_permutation(n, rng);
+    perm.chunks_exact(2)
+        .map(|pair| (pair[0].min(pair[1]), pair[0].max(pair[1])))
+        .collect()
+}
 
 /// A dynamic multiset-free edge pool supporting uniform sampling.
 #[derive(Clone, Debug, Default)]
@@ -291,5 +327,80 @@ mod tests {
     fn from_iterator_dedups() {
         let p: EdgePool = vec![e(1, 2), e(2, 1), e(3, 4)].into_iter().collect();
         assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Pcg64::seed_from_u64(7);
+        for n in [0usize, 1, 2, 3, 17, 100] {
+            let mut v: Vec<u64> = (0..n as u64).collect();
+            fisher_yates_shuffle(&mut v, &mut rng);
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..n as u64).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn shuffle_and_permutation_are_deterministic_per_seed() {
+        let mut a = Pcg64::seed_from_u64(99);
+        let mut b = Pcg64::seed_from_u64(99);
+        assert_eq!(
+            random_permutation(64, &mut a),
+            random_permutation(64, &mut b)
+        );
+        assert_eq!(random_matching(33, &mut a), random_matching(33, &mut b));
+        let mut c = Pcg64::seed_from_u64(100);
+        assert_ne!(
+            random_permutation(64, &mut a),
+            random_permutation(64, &mut c),
+            "different seeds should diverge on 64 elements"
+        );
+    }
+
+    #[test]
+    fn matching_pairs_are_disjoint_and_canonical() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        for n in [0usize, 1, 2, 5, 6, 101] {
+            let pairs = random_matching(n, &mut rng);
+            assert_eq!(pairs.len(), n / 2);
+            let mut seen = std::collections::HashSet::new();
+            for &(u, v) in &pairs {
+                assert!(u < v, "pair must be canonicalized (min, max)");
+                assert!(v < n as u64);
+                assert!(seen.insert(u) && seen.insert(v), "vertex reused");
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_uniformity_chi_square_smoke() {
+        // All 4! = 24 orderings of a 4-element shuffle should be
+        // equally likely. With 48k trials the chi-square statistic over
+        // 23 degrees of freedom stays far below the ~49.7 cutoff
+        // (p = 0.001) unless the shuffle is biased.
+        let mut rng = Pcg64::seed_from_u64(20140901);
+        let trials = 48_000usize;
+        let mut counts = [0u32; 24];
+        for _ in 0..trials {
+            let mut v = [0u8, 1, 2, 3];
+            fisher_yates_shuffle(&mut v, &mut rng);
+            // Lehmer code of the permutation -> index in 0..24.
+            let mut code = 0usize;
+            for i in 0..3 {
+                let smaller = v[i + 1..].iter().filter(|&&x| x < v[i]).count();
+                code = code * (4 - i) + smaller;
+            }
+            counts[code] += 1;
+        }
+        let expect = trials as f64 / 24.0;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expect;
+                d * d / expect
+            })
+            .sum();
+        assert!(chi2 < 49.7, "chi-square {chi2:.1} exceeds p=0.001 cutoff");
     }
 }

@@ -15,7 +15,7 @@
 /// Message types report a slot via [`crate::comm::CollCarrier::kind_index`];
 /// the last slot (`KIND_SLOTS - 1`) is the default catch-all for types that
 /// don't classify their variants.
-pub const KIND_SLOTS: usize = 16;
+pub const KIND_SLOTS: usize = 24;
 
 /// Traffic and wait counters accumulated by one rank's
 /// [`crate::comm::Comm`].

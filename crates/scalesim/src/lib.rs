@@ -23,7 +23,9 @@ pub mod des;
 pub mod model;
 pub mod predict;
 
-pub use des::{des_parallel, des_parallel_with, DesReport, DesTransport};
+pub use des::{
+    des_curveball, des_curveball_with, des_parallel, des_parallel_with, DesReport, DesTransport,
+};
 pub use model::CostModel;
 pub use predict::{
     calibrate, multinomial_strong_scaling, multinomial_weak_scaling, strong_scaling,

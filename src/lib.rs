@@ -56,16 +56,19 @@ pub use mpilite as mpi;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use edgeswitch_core::config::{
-        Backend, ParallelConfig, ProcOpts, StepSize, DEFAULT_WINDOW,
+        Backend, ParallelConfig, ProcOpts, Randomizer, StepSize, DEFAULT_WINDOW,
     };
     pub use edgeswitch_core::error_rate::error_rate;
     pub use edgeswitch_core::obs::{ObsSpec, Phase, RunReport};
     pub use edgeswitch_core::parallel::{
-        child_entry_from_env, parallel_edge_switch, simulate_parallel, MsgCounts, MsgKind,
-        ParallelOutcome, RankStats, StepTelemetry,
+        child_entry_from_env, parallel_curveball, parallel_edge_switch, simulate_curveball,
+        simulate_parallel, MsgCounts, MsgKind, ParallelOutcome, RankStats, StepTelemetry,
     };
     pub use edgeswitch_core::run::{Run, RunOutcome};
     pub use edgeswitch_core::sequential::{sequential_edge_switch, sequential_for_visit_rate};
+    pub use edgeswitch_core::trade::{
+        sequential_curveball, sequential_curveball_observed, CurveballOutcome, TradeBudget,
+    };
     pub use edgeswitch_core::variants::{sequential_edge_switch_connected, sequential_exact_visit};
     pub use edgeswitch_core::visit::VisitTracker;
     pub use edgeswitch_dist::harmonic::{expected_touches, switch_ops_for_visit_rate};
@@ -81,5 +84,5 @@ pub mod prelude {
         degree_assortativity, is_connected, transitivity, triangle_count,
     };
     pub use edgeswitch_graph::{Edge, Graph, Partitioner, SchemeKind, VertexId};
-    pub use edgeswitch_scalesim::{des_parallel, strong_scaling, CostModel};
+    pub use edgeswitch_scalesim::{des_curveball, des_parallel, strong_scaling, CostModel};
 }

@@ -12,7 +12,7 @@
 
 use edge_switching::core::parallel::process_backend_supported;
 use edge_switching::prelude::*;
-use edge_switching::scalesim::des_parallel;
+use edge_switching::scalesim::{des_curveball, des_parallel};
 use std::io::{BufRead, BufReader};
 use std::process::Stdio;
 use std::time::{Duration, Instant};
@@ -643,6 +643,235 @@ fn killing_the_launcher_reaps_rank_children() {
         );
         std::thread::sleep(Duration::from_millis(50));
     }
+}
+
+// ---------------------------------------------------------------------
+// Curveball trade conformance
+// ---------------------------------------------------------------------
+//
+// The trade protocol is *stronger* than the switch protocol: its
+// counting-based forwarding makes every driver — sequential engine,
+// FIFO simulator, DES, threaded engine — bit-identical at every
+// processor count, not just schedule-equivalent. These tests pin that.
+
+/// Collect a tracker's surviving (unvisited) keys in sorted order so two
+/// drivers' visit *sets* (not just rates) can be compared exactly.
+fn remaining_sorted(t: &VisitTracker) -> Vec<u64> {
+    let mut keys: Vec<u64> = t.remaining_keys().collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// Sequential ≡ simulated at every p: the parallel trade protocol
+/// replays the sequential engine's trades exactly (same RNG stream per
+/// trade, same neighbor multisets), so graph, visit set, and work
+/// counters are bit-identical — the Curveball analogue of FIFO≡DES.
+#[test]
+fn curveball_sequential_and_simulator_are_bit_identical() {
+    let g = clustered_graph(51);
+    let budget = TradeBudget::Trades(1_000);
+    let mut seq_graph = g.clone();
+    let seq = sequential_curveball(&mut seq_graph, budget, 4242);
+    assert!(seq.trades >= 1_000, "budget not met sequentially");
+
+    for p in [1usize, 2, 4] {
+        let sim = simulate_curveball(&g, budget, &config(p));
+        let ctx = format!("curveball p={p}");
+        assert!(
+            sim.graph.same_edge_set(&seq_graph),
+            "graph diverged from sequential: {ctx}"
+        );
+        assert_eq!(
+            sim.tracker.visited_count(),
+            seq.tracker.visited_count(),
+            "visit counts diverged: {ctx}"
+        );
+        assert_eq!(
+            remaining_sorted(&sim.tracker),
+            remaining_sorted(&seq.tracker),
+            "visit sets diverged: {ctx}"
+        );
+        assert_eq!(sim.performed(), seq.trades, "trade counts diverged: {ctx}");
+        assert_eq!(sim.steps, seq.passes, "pass counts diverged: {ctx}");
+        assert_eq!(
+            sim.telemetry.iter().map(|s| s.trades).sum::<u64>(),
+            seq.trades,
+            "telemetry trades diverged: {ctx}"
+        );
+        assert_eq!(
+            sim.telemetry.iter().map(|s| s.neighbors_moved).sum::<u64>(),
+            seq.neighbors_moved,
+            "neighbors_moved diverged: {ctx}"
+        );
+        assert_eq!(sim.forfeited(), 0, "trades never forfeit: {ctx}");
+    }
+}
+
+/// FIFO ≡ DES for parallel trades at p ∈ {1, 2, 4}: the DES executes the
+/// same causal schedule on virtual clocks, so every logical field must
+/// agree — and the DES report's packet total must match the comm books.
+#[test]
+fn curveball_fifo_and_des_produce_identical_outcomes() {
+    let g = clustered_graph(52);
+    let budget = TradeBudget::Trades(1_200);
+    for p in [1usize, 2, 4] {
+        let cfg = config(p);
+        let fifo = simulate_curveball(&g, budget, &cfg);
+        let (des, report) = des_curveball(&g, budget, &cfg, &CostModel::default());
+        let ctx = format!("curveball FIFO vs DES p={p}");
+        assert!(fifo.graph.same_edge_set(&des.graph), "graph: {ctx}");
+        assert_eq!(fifo.steps, des.steps, "steps: {ctx}");
+        assert_eq!(fifo.per_rank, des.per_rank, "stats: {ctx}");
+        assert_eq!(fifo.final_edges, des.final_edges, "edges: {ctx}");
+        assert_eq!(fifo.initial_edges, des.initial_edges, "{ctx}");
+        assert_eq!(fifo.visit_rate(), des.visit_rate(), "visits: {ctx}");
+        assert_eq!(
+            remaining_sorted(&fifo.tracker),
+            remaining_sorted(&des.tracker),
+            "visit sets: {ctx}"
+        );
+        assert_eq!(fifo.telemetry.len(), des.telemetry.len());
+        for (a, b) in fifo.telemetry.iter().zip(des.telemetry.iter()) {
+            assert_eq!(a.ops, b.ops, "ops: {ctx}");
+            assert_eq!(a.trades, b.trades, "trades: {ctx}");
+            assert_eq!(a.neighbors_moved, b.neighbors_moved, "moved: {ctx}");
+            assert_eq!(a.packets, b.packets, "packets: {ctx}");
+            assert_eq!(a.logical_msgs, b.logical_msgs, "messages: {ctx}");
+        }
+        assert_eq!(
+            fifo.comm.iter().map(|c| c.packets_sent).sum::<u64>(),
+            report.packets,
+            "{ctx}"
+        );
+    }
+}
+
+/// The threaded trade engine is bit-identical to the simulator at every
+/// p (not just p = 1): counting-based firing makes trade outcomes
+/// independent of OS message interleaving. Logical message totals also
+/// agree up to the threaded driver's explicit EndOfStep drain markers.
+#[test]
+fn curveball_threaded_engine_is_bit_identical_to_simulator() {
+    let g = clustered_graph(53);
+    let budget = TradeBudget::Trades(1_000);
+    for p in [1usize, 2, 4] {
+        let cfg = config(p);
+        let fifo = simulate_curveball(&g, budget, &cfg);
+        let eng = parallel_curveball(&g, budget, &cfg);
+        let ctx = format!("curveball threaded p={p}");
+        assert!(eng.graph.same_edge_set(&fifo.graph), "graph: {ctx}");
+        assert_eq!(eng.steps, fifo.steps, "steps: {ctx}");
+        assert_eq!(eng.per_rank, fifo.per_rank, "stats: {ctx}");
+        assert_eq!(eng.final_edges, fifo.final_edges, "edges: {ctx}");
+        assert_eq!(eng.initial_edges, fifo.initial_edges, "{ctx}");
+        assert_eq!(
+            remaining_sorted(&eng.tracker),
+            remaining_sorted(&fifo.tracker),
+            "visit sets: {ctx}"
+        );
+        assert_eq!(eng.telemetry.len(), fifo.telemetry.len());
+        let eng_msgs = eng.logical_msg_totals();
+        let fifo_msgs = fifo.logical_msg_totals();
+        // The simulators deliver in lockstep and never need the explicit
+        // end-of-pass marker; every other kind must match exactly.
+        assert_eq!(fifo_msgs.get(MsgKind::EndOfStep), 0, "{ctx}");
+        for kind in MsgKind::ALL {
+            if kind == MsgKind::EndOfStep {
+                continue;
+            }
+            assert_eq!(
+                eng_msgs.get(kind),
+                fifo_msgs.get(kind),
+                "kind {kind:?}: {ctx}"
+            );
+        }
+        for (a, b) in eng.telemetry.iter().zip(fifo.telemetry.iter()) {
+            assert_eq!(a.ops, b.ops, "ops: {ctx}");
+            assert_eq!(a.trades, b.trades, "trades: {ctx}");
+            assert_eq!(a.neighbors_moved, b.neighbors_moved, "moved: {ctx}");
+        }
+    }
+}
+
+/// Schedule-independent Curveball invariants: after N passes the degree
+/// sequence is exactly preserved, the graph stays simple, runs are
+/// deterministic per seed, and distinct seeds actually diverge.
+#[test]
+fn curveball_preserves_degrees_and_is_seed_deterministic() {
+    let g = clustered_graph(54);
+    let budget = TradeBudget::Trades(2_000);
+    let out = simulate_curveball(&g, budget, &config(4));
+    out.graph.check_invariants().unwrap();
+    assert_eq!(out.graph.degree_sequence(), g.degree_sequence());
+    assert!(
+        !out.graph.same_edge_set(&g),
+        "four passes left the graph untouched"
+    );
+
+    let again = simulate_curveball(&g, budget, &config(4));
+    assert!(again.graph.same_edge_set(&out.graph), "same seed diverged");
+    assert_eq!(again.per_rank, out.per_rank);
+
+    let other = simulate_curveball(&g, budget, &config(4).with_seed(777));
+    other.graph.check_invariants().unwrap();
+    assert_eq!(other.graph.degree_sequence(), g.degree_sequence());
+    assert!(
+        !other.graph.same_edge_set(&out.graph),
+        "different seeds produced the same graph"
+    );
+}
+
+/// A visit-rate budget terminates at the first pass boundary at or past
+/// the target, identically across sequential and parallel drivers.
+#[test]
+fn curveball_visit_rate_budget_agrees_across_drivers() {
+    let g = clustered_graph(55);
+    let budget = TradeBudget::VisitRate(0.6);
+    let mut seq_graph = g.clone();
+    let seq = sequential_curveball(&mut seq_graph, budget, 4242);
+    assert!(seq.visit_rate() >= 0.6, "sequential missed the target");
+    for p in [1usize, 4] {
+        let sim = simulate_curveball(&g, budget, &config(p));
+        assert!(sim.visit_rate() >= 0.6, "p={p} missed the target");
+        assert!(sim.graph.same_edge_set(&seq_graph), "p={p} graph diverged");
+        assert_eq!(sim.steps, seq.passes, "p={p} pass count diverged");
+        assert_eq!(
+            sim.tracker.visited_count(),
+            seq.tracker.visited_count(),
+            "p={p} visit counts diverged"
+        );
+    }
+}
+
+/// The `Run` builder dispatches `Randomizer::Curveball` to the trade
+/// engines with the same budget mapping as the free functions.
+#[test]
+fn run_builder_dispatches_curveball() {
+    let g = clustered_graph(56);
+    let out = Run::parallel(4)
+        .randomizer(Randomizer::Curveball)
+        .switches(1_000)
+        .seed(4242)
+        .scheme(SchemeKind::HashUniversal)
+        .execute(&g);
+    let free = simulate_curveball(
+        &g,
+        TradeBudget::Trades(1_000),
+        &ParallelConfig::new(4)
+            .with_scheme(SchemeKind::HashUniversal)
+            .with_seed(4242),
+    );
+    assert!(out.graph().same_edge_set(&free.graph));
+    assert_eq!(out.performed(), free.performed());
+    assert_eq!(out.graph().degree_sequence(), g.degree_sequence());
+
+    let seq = Run::sequential()
+        .randomizer(Randomizer::Curveball)
+        .visit_rate(0.5)
+        .seed(7)
+        .execute(&g);
+    assert!(seq.visit_rate() >= 0.5);
+    assert_eq!(seq.graph().degree_sequence(), g.degree_sequence());
 }
 
 #[test]

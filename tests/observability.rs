@@ -177,6 +177,11 @@ fn threaded_observed_run_reports_all_phases_and_round_trips() {
             // phase has its own observed coverage test below.
             continue;
         }
+        if phase == Phase::TradeShuffle {
+            // Curveball-only phase; the switch protocol never records
+            // it. Covered by the trade engine's observed-run test.
+            continue;
+        }
         let stat = report.phase(phase);
         assert!(stat.hist.count > 0, "phase {:?} never recorded", phase);
         assert!(stat.hist.max_ns >= stat.hist.p50_ns);
@@ -218,6 +223,40 @@ fn speculative_batch_observed_run_covers_batch_phase() {
     assert!(committed > 0, "no speculation was ever confirmed");
     assert_eq!(report.spec_committed, committed);
     assert_eq!(report.spec_rolled_back, rolled);
+}
+
+#[test]
+fn curveball_observed_run_is_probe_identical_and_covers_trade_phase() {
+    // The probe-identity claim extends to the Curveball trade engines:
+    // probes draw no randomness, so observed runs replay the exact
+    // trade schedule — and the report covers the trade-shuffle phase
+    // that the switch protocol never records.
+    let g = graph(28);
+    let budget = TradeBudget::Trades(1_200);
+    let cfg = config(4, DEFAULT_WINDOW);
+
+    let plain = simulate_curveball(&g, budget, &cfg);
+    let observed = simulate_curveball(&g, budget, &cfg.clone().with_obs(ObsSpec::Spans));
+    assert_logically_identical(&plain, &observed, "FIFO curveball");
+    let report = observed.report.as_ref().expect("observed run");
+    assert!(report.ranks == 4 && report.wall_ns > 0);
+    // The parallel driver spans the shuffle itself; reassignment is
+    // carried by TradeHome inserts, which have no span of their own.
+    assert!(
+        report.phase(Phase::TradeShuffle).hist.count > 0,
+        "no trade shuffle was ever recorded"
+    );
+
+    let eng_plain = parallel_curveball(&g, budget, &cfg);
+    let eng_obs = parallel_curveball(&g, budget, &cfg.clone().with_obs(ObsSpec::Spans));
+    assert_logically_identical(&eng_plain, &eng_obs, "threaded curveball");
+    let report = eng_obs.report.as_ref().expect("observed run");
+    assert_eq!(report.clock, "monotonic");
+    assert!(report.phase(Phase::TradeShuffle).hist.count > 0);
+    assert!(
+        report.phase(Phase::StepBarrier).hist.count > 0,
+        "pass barrier never recorded"
+    );
 }
 
 #[test]
@@ -275,7 +314,8 @@ fn run_report_json_schema_is_stable() {
             "step-barrier",
             "q-refresh",
             "local-fastpath",
-            "batch-validate"
+            "batch-validate",
+            "trade-shuffle"
         ],
         "phase labels or order changed"
     );
