@@ -4,6 +4,8 @@
 //! repro list                      # show experiment ids
 //! repro fig4 [--scale 0.5] ...    # one experiment
 //! repro all [--out results]       # everything, archived to --out
+//! repro serve --ckpt DIR          # run the randomization job server
+//! repro serve --smoke             # CI gate: kill + resume bit-identity
 //! ```
 
 use edgeswitch_bench::experiments::{
@@ -19,6 +21,7 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all|ablations|diagnostics|list> [--scale S] [--reps N] [--seed X] [--out DIR] [--quick] [--timeline] [--gate-scaling] [--gate-probe] [--gate-local] [--gate-batch] [--gate-proc] [--gate-mixing]\n\
+         \x20      repro serve [--listen ADDR] [--ckpt DIR] [--pool N] [--queue N] [--chunk N] [--ckpt-every N] [--smoke]\n\
          experiments: {}",
         all_ids().join(", ")
     );
@@ -68,6 +71,9 @@ fn main() {
         usage();
     }
     let target = args[0].clone();
+    if target == "serve" {
+        serve_main(&args[1..]);
+    }
     let mut cfg = ExpConfig::default();
     let mut out_dir = PathBuf::from("results");
     let mut gate_scaling = false;
@@ -288,4 +294,252 @@ fn main() {
             None => usage(),
         },
     }
+}
+
+// ---------------------------------------------------------------------------
+// `repro serve`: the randomization job server, plus the CI smoke gate.
+// ---------------------------------------------------------------------------
+
+/// `repro serve [--listen ADDR] [--ckpt DIR] [--pool N] [--queue N]
+/// [--chunk N] [--ckpt-every N] [--smoke]`
+///
+/// Without `--smoke`: bind the job server, print `SERVE <addr>` on
+/// stdout (machine-readable; resolves `--listen 127.0.0.1:0` to the
+/// actual port) and serve until a `shutdown` op arrives.
+///
+/// With `--smoke`: the CI gate. Spawns this same binary as a child
+/// server, submits a quick ER job and streams its progress, submits a
+/// second job and SIGKILLs the server mid-run, respawns the server on
+/// the same checkpoint directory, and fails (exit 1) unless both jobs
+/// finish with digests bit-identical to uninterrupted in-process
+/// reference runs.
+fn serve_main(args: &[String]) -> ! {
+    let mut listen = String::from("127.0.0.1:4517");
+    let mut ckpt: Option<PathBuf> = None;
+    let mut sched = edgeswitch_svc::SchedOpts::default();
+    let mut smoke = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag_val = |idx: usize| args.get(idx + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--listen" => {
+                listen = flag_val(i);
+                i += 2;
+            }
+            "--ckpt" => {
+                ckpt = Some(PathBuf::from(flag_val(i)));
+                i += 2;
+            }
+            "--pool" => {
+                sched.pool = flag_val(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--queue" => {
+                sched.queue_cap = flag_val(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--chunk" => {
+                sched.worker.chunk = flag_val(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--ckpt-every" => {
+                sched.worker.ckpt_every = flag_val(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    if smoke {
+        let dir = ckpt.unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("repro-serve-smoke-{}", std::process::id()))
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        match serve_smoke(&dir) {
+            Ok(()) => {
+                let _ = std::fs::remove_dir_all(&dir);
+                println!("# serve smoke: ok");
+                std::process::exit(0);
+            }
+            Err(why) => {
+                eprintln!("# serve smoke FAILED: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let dir = ckpt.unwrap_or_else(|| PathBuf::from("svc-ckpt"));
+    let server = edgeswitch_svc::Server::bind(
+        &listen,
+        edgeswitch_svc::ServerOpts {
+            ckpt_dir: dir.clone(),
+            sched,
+        },
+    )
+    .unwrap_or_else(|err| {
+        eprintln!("# serve: cannot bind {listen}: {err}");
+        std::process::exit(1);
+    });
+    println!("SERVE {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server.run().expect("server run");
+    std::process::exit(0);
+}
+
+/// Spawn this binary as a child `repro serve` process over `dir` and
+/// read the bound address off its stdout.
+fn spawn_server(dir: &std::path::Path) -> Result<(std::process::Child, String), String> {
+    use std::io::BufRead as _;
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut child = std::process::Command::new(exe)
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--ckpt",
+            &dir.display().to_string(),
+            "--pool",
+            "4",
+            "--queue",
+            "8",
+            "--chunk",
+            "512",
+            "--ckpt-every",
+            "1",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn server: {e}"))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    for line in &mut lines {
+        let line = line.map_err(|e| format!("read server stdout: {e}"))?;
+        if let Some(addr) = line.strip_prefix("SERVE ") {
+            return Ok((child, addr.to_string()));
+        }
+    }
+    let _ = child.kill();
+    Err("server exited without printing its address".into())
+}
+
+/// Uninterrupted in-process reference for a job spec: digest of the
+/// switched graph plus operations performed.
+fn smoke_reference(job: &str) -> Result<(String, u64), String> {
+    let spec = edgeswitch_svc::JobSpec::from_json(
+        &edgeswitch_svc::json::parse(job).map_err(|e| format!("bad smoke job: {e}"))?,
+    )?;
+    let graph = spec.graph.build()?;
+    let out = spec.as_run().execute(&graph);
+    Ok((
+        format!("{:#018x}", out.graph().edge_digest()),
+        out.performed(),
+    ))
+}
+
+fn serve_smoke(dir: &std::path::Path) -> Result<(), String> {
+    use edgeswitch_svc::{Client, Json};
+    use std::time::Duration;
+
+    // Job 1: quick, streams to completion. Job 2: long enough that the
+    // SIGKILL below lands mid-run (checkpoints every 512 switches).
+    let quick = r#"{"graph":{"type":"er","n":120,"m":480,"seed":5},
+                    "budget":{"switches":400},"driver":"simulated","p":2,"seed":11,"window":4}"#;
+    let long = r#"{"graph":{"type":"er","n":120,"m":480,"seed":5},
+                   "budget":{"switches":3000000},"driver":"sequential","seed":23}"#;
+    let quick_ref = smoke_reference(quick)?;
+    let long_ref = smoke_reference(long)?;
+
+    let (mut child, addr) = spawn_server(dir)?;
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+
+    // Quick job: submit, wait, stream the event log, check the digest.
+    let quick_id = client
+        .submit_json(quick)
+        .map_err(|e| format!("submit quick: {e}"))?
+        .map_err(|r| format!("quick job rejected: {}", r.to_json()))?;
+    let result = client
+        .wait_done(quick_id, Duration::from_secs(120))
+        .map_err(|e| format!("quick job: {e}"))?;
+    let digest = result.get("digest").and_then(Json::as_str).unwrap_or("");
+    if digest != quick_ref.0 {
+        let _ = child.kill();
+        return Err(format!(
+            "quick job digest {digest} != reference {}",
+            quick_ref.0
+        ));
+    }
+    let (events, _) = client
+        .events(quick_id, 0)
+        .map_err(|e| format!("events: {e}"))?;
+    let steps = events
+        .iter()
+        .filter(|e| e.get("event").and_then(Json::as_str) == Some("step"))
+        .count();
+    if steps == 0 {
+        let _ = child.kill();
+        return Err("quick job streamed no step events".into());
+    }
+    println!(
+        "# smoke: quick job ok ({} events, {steps} steps, digest {digest})",
+        events.len()
+    );
+
+    // Long job: wait for its first on-disk snapshot, then SIGKILL the
+    // server out from under it.
+    let long_id = client
+        .submit_json(long)
+        .map_err(|e| format!("submit long: {e}"))?
+        .map_err(|r| format!("long job rejected: {}", r.to_json()))?;
+    let snapshot = dir.join(format!("{long_id}.ckpt"));
+    let done = dir.join(format!("{long_id}.done"));
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while !snapshot.exists() && !done.exists() {
+        if std::time::Instant::now() > deadline {
+            let _ = child.kill();
+            return Err("long job never wrote a checkpoint".into());
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let finished_first = done.exists();
+    child.kill().map_err(|e| format!("kill server: {e}"))?;
+    child.wait().map_err(|e| format!("reap server: {e}"))?;
+    println!(
+        "# smoke: server SIGKILLed {}",
+        if finished_first {
+            "after the long job finished (fast host); restart still must serve it"
+        } else {
+            "mid-run; restart must resume from the snapshot"
+        }
+    );
+
+    // Respawn over the same checkpoint directory: the long job must
+    // finish bit-identically, and the quick job's result must survive.
+    let (mut child, addr) = spawn_server(dir)?;
+    let mut client = Client::connect(&addr).map_err(|e| format!("reconnect {addr}: {e}"))?;
+    let result = client
+        .wait_done(long_id, Duration::from_secs(300))
+        .map_err(|e| format!("resumed long job: {e}"))?;
+    let digest = result.get("digest").and_then(Json::as_str).unwrap_or("");
+    let performed = result.get("performed").and_then(Json::as_u64).unwrap_or(0);
+    if digest != long_ref.0 || performed != long_ref.1 {
+        let _ = child.kill();
+        return Err(format!(
+            "resumed long job diverged: digest {digest} (want {}), performed {performed} (want {})",
+            long_ref.0, long_ref.1
+        ));
+    }
+    let again = client
+        .wait_done(quick_id, Duration::from_secs(30))
+        .map_err(|e| format!("quick job after restart: {e}"))?;
+    if again.get("digest").and_then(Json::as_str) != Some(&quick_ref.0[..]) {
+        let _ = child.kill();
+        return Err("quick job result changed across restart".into());
+    }
+    println!("# smoke: resumed long job bit-identical (digest {digest}, {performed} switches)");
+    client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    child.wait().map_err(|e| format!("reap server: {e}"))?;
+    Ok(())
 }

@@ -15,9 +15,7 @@ use crate::report::{f, table, Report};
 use crate::{dataset_graph, full_visit_ops};
 use edgeswitch_core::config::{ParallelConfig, QuotaPolicy, StepSize};
 use edgeswitch_core::error_rate::error_rate;
-use edgeswitch_core::parallel::simulate_parallel;
-use edgeswitch_core::sequential::sequential_edge_switch;
-use edgeswitch_dist::rng::root_rng;
+use edgeswitch_core::run::Run;
 use edgeswitch_graph::generators::Dataset;
 use edgeswitch_graph::SchemeKind;
 use edgeswitch_scalesim::{des_parallel, CostModel};
@@ -40,14 +38,22 @@ pub fn ablation_quota(cfg: &ExpConfig) -> Report {
         let mut forfeited = 0u64;
         for rep in 0..cfg.reps {
             let seed = cfg.seed ^ (0xab1a * (rep as u64 + 1));
-            let mut gs = g.clone();
-            sequential_edge_switch(&mut gs, t, &mut root_rng(seed ^ 1));
-            let pcfg = ParallelConfig::new(p)
-                .with_scheme(SchemeKind::Consecutive)
-                .with_step_size(StepSize::FractionOfT(100))
-                .with_quota_policy(policy)
-                .with_seed(seed ^ 2);
-            let out = simulate_parallel(&g, t, &pcfg);
+            let gs = Run::sequential()
+                .switches(t)
+                .seed(seed ^ 1)
+                .execute(&g)
+                .into_sequential()
+                .expect("sequential run")
+                .graph;
+            let out = Run::simulated(p)
+                .switches(t)
+                .scheme(SchemeKind::Consecutive)
+                .step_size(StepSize::FractionOfT(100))
+                .quota_policy(policy)
+                .seed(seed ^ 2)
+                .execute(&g)
+                .into_parallel()
+                .expect("parallel outcome");
             er_sum += error_rate(&gs, &out.graph, 20);
             contended += out.per_rank.iter().map(|s| s.aborts_contended).sum::<u64>();
             forfeited += out.forfeited();

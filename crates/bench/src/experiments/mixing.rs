@@ -26,9 +26,8 @@
 
 use super::ExpConfig;
 use crate::report::{f, provenance, table, Report};
-use edgeswitch_core::config::ParallelConfig;
-use edgeswitch_core::parallel::{parallel_curveball, parallel_edge_switch};
-use edgeswitch_core::sequential::sequential_for_visit_rate;
+use edgeswitch_core::config::Randomizer;
+use edgeswitch_core::run::Run;
 use edgeswitch_core::trade::{sequential_curveball, TradeBudget};
 use edgeswitch_dist::harmonic::switch_ops_for_visit_rate;
 use edgeswitch_dist::root_rng;
@@ -94,19 +93,18 @@ fn best_of<F: FnMut() -> Case>(reps: u32, mut run: F) -> Case {
 }
 
 fn switch_sequential(graph: &Graph, seed: u64, reps: u32) -> Case {
+    let run = Run::sequential().visit_rate(TARGET_RATE).seed(seed);
     best_of(reps, || {
-        let mut g = graph.clone();
-        let mut rng = root_rng(seed);
         let start = Instant::now();
-        let (out, _t) = sequential_for_visit_rate(&mut g, TARGET_RATE, &mut rng);
+        let out = run.execute(graph);
         let secs = start.elapsed().as_secs_f64();
-        let achieved = out.tracker.visit_rate();
+        let achieved = out.visit_rate();
         Case {
             scheme: "switch",
             mode: "sequential",
             p: 1,
-            ops: out.performed,
-            edges_moved: 2 * out.performed,
+            ops: out.performed(),
+            edges_moved: 2 * out.performed(),
             achieved,
             // The expected-t prescription lands near the target in
             // expectation; a near miss is the formula working, not a
@@ -117,6 +115,9 @@ fn switch_sequential(graph: &Graph, seed: u64, reps: u32) -> Case {
     })
 }
 
+// Stays on the trade engine directly: the `edges_moved` ledger needs
+// `CurveballOutcome::neighbors_moved`, which the `Run` facade's
+// driver-independent outcome does not surface.
 fn curveball_sequential(graph: &Graph, seed: u64, reps: u32) -> Case {
     best_of(reps, || {
         let mut g = graph.clone();
@@ -139,10 +140,10 @@ fn curveball_sequential(graph: &Graph, seed: u64, reps: u32) -> Case {
 
 fn switch_threaded(graph: &Graph, seed: u64, reps: u32) -> Case {
     let t = switch_ops_for_visit_rate(graph.num_edges() as u64, TARGET_RATE);
-    let cfg = ParallelConfig::new(THREADED_P).with_seed(seed);
+    let run = Run::parallel(THREADED_P).switches(t).seed(seed);
     best_of(reps, || {
         let start = Instant::now();
-        let out = parallel_edge_switch(graph, t, &cfg);
+        let out = run.execute(graph);
         let secs = start.elapsed().as_secs_f64();
         let achieved = out.visit_rate();
         Case {
@@ -159,10 +160,16 @@ fn switch_threaded(graph: &Graph, seed: u64, reps: u32) -> Case {
 }
 
 fn curveball_threaded(graph: &Graph, seed: u64, reps: u32) -> Case {
-    let cfg = ParallelConfig::new(THREADED_P).with_seed(seed);
+    let run = Run::parallel(THREADED_P)
+        .randomizer(Randomizer::Curveball)
+        .visit_rate(TARGET_RATE)
+        .seed(seed);
     best_of(reps, || {
         let start = Instant::now();
-        let out = parallel_curveball(graph, TradeBudget::VisitRate(TARGET_RATE), &cfg);
+        let out = run
+            .execute(graph)
+            .into_parallel()
+            .expect("parallel outcome");
         let secs = start.elapsed().as_secs_f64();
         let achieved = out.visit_rate();
         Case {

@@ -5,9 +5,8 @@
 use super::ExpConfig;
 use crate::dataset_graph;
 use crate::report::{f, table, Report};
-use edgeswitch_core::config::{ParallelConfig, StepSize};
-use edgeswitch_core::parallel::simulate_parallel;
-use edgeswitch_core::sequential::sequential_edge_switch;
+use edgeswitch_core::config::StepSize;
+use edgeswitch_core::run::Run;
 use edgeswitch_dist::rng::root_rng;
 use edgeswitch_dist::switch_ops_for_visit_rate;
 use edgeswitch_graph::generators::Dataset;
@@ -33,19 +32,27 @@ where
             let x = i as f64 / 10.0;
             let t = switch_ops_for_visit_rate(m, x);
             // Sequential trajectory point.
-            let mut gs = base.clone();
-            let mut rng = root_rng(cfg.seed ^ (i as u64) ^ 0x5E9);
-            sequential_edge_switch(&mut gs, t, &mut rng);
+            let gs = Run::sequential()
+                .switches(t)
+                .seed(cfg.seed ^ (i as u64) ^ 0x5E9)
+                .execute(&base)
+                .into_sequential()
+                .expect("sequential run")
+                .graph;
             let seq_val = metric(&gs, cfg.seed ^ i as u64);
             // Parallel trajectory point.
-            let pcfg = ParallelConfig::new(P)
-                .with_scheme(SchemeKind::Consecutive)
-                .with_step_size(StepSize::FractionOfT(100))
-                .with_seed(cfg.seed ^ (i as u64) << 8);
             let gp = if t == 0 {
                 base.clone()
             } else {
-                simulate_parallel(&base, t, &pcfg).graph
+                Run::simulated(P)
+                    .switches(t)
+                    .scheme(SchemeKind::Consecutive)
+                    .step_size(StepSize::FractionOfT(100))
+                    .seed(cfg.seed ^ (i as u64) << 8)
+                    .execute(&base)
+                    .into_parallel()
+                    .expect("parallel outcome")
+                    .graph
             };
             let par_val = metric(&gp, cfg.seed ^ i as u64);
             rows.push(vec![

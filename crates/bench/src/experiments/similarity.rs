@@ -5,11 +5,9 @@
 use super::ExpConfig;
 use crate::report::{f, table, Report};
 use crate::{dataset_graph, full_visit_ops};
-use edgeswitch_core::config::{ParallelConfig, StepSize};
+use edgeswitch_core::config::StepSize;
 use edgeswitch_core::error_rate::error_rate;
-use edgeswitch_core::parallel::simulate_parallel;
-use edgeswitch_core::sequential::sequential_edge_switch;
-use edgeswitch_dist::rng::root_rng;
+use edgeswitch_core::run::Run;
 use edgeswitch_graph::generators::Dataset;
 use edgeswitch_graph::SchemeKind;
 use serde_json::json;
@@ -35,10 +33,17 @@ pub fn table3(cfg: &ExpConfig) -> Report {
         let mut scheme_er = [0.0f64; 5]; // HP-D, HP-M, HP-U (1 step), CP 1 step, CP t/100
         for rep in 0..cfg.reps {
             let seed = cfg.seed ^ (0x7ab1e3 * (rep as u64 + 1));
-            let mut gs1 = base.clone();
-            sequential_edge_switch(&mut gs1, t, &mut root_rng(seed ^ 1));
-            let mut gs2 = base.clone();
-            sequential_edge_switch(&mut gs2, t, &mut root_rng(seed ^ 2));
+            let sequential = |s: u64| {
+                Run::sequential()
+                    .switches(t)
+                    .seed(s)
+                    .execute(&base)
+                    .into_sequential()
+                    .expect("sequential run")
+                    .graph
+            };
+            let gs1 = sequential(seed ^ 1);
+            let gs2 = sequential(seed ^ 2);
             seq_seq += error_rate(&gs1, &gs2, R_BLOCKS);
 
             let runs: [(usize, SchemeKind, StepSize); 5] = [
@@ -49,11 +54,14 @@ pub fn table3(cfg: &ExpConfig) -> Report {
                 (4, SchemeKind::Consecutive, StepSize::FractionOfT(100)),
             ];
             for (slot, scheme, step) in runs {
-                let pcfg = ParallelConfig::new(P)
-                    .with_scheme(scheme)
-                    .with_step_size(step)
-                    .with_seed(seed ^ (slot as u64 + 3));
-                let out = simulate_parallel(&base, t, &pcfg);
+                let out = Run::simulated(P)
+                    .switches(t)
+                    .scheme(scheme)
+                    .step_size(step)
+                    .seed(seed ^ (slot as u64 + 3))
+                    .execute(&base)
+                    .into_parallel()
+                    .expect("parallel outcome");
                 scheme_er[slot] += error_rate(&gs1, &out.graph, R_BLOCKS);
             }
         }

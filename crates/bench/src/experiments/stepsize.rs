@@ -7,9 +7,7 @@ use crate::report::{f, table, Report};
 use crate::{dataset_graph, full_visit_ops};
 use edgeswitch_core::config::{ParallelConfig, StepSize};
 use edgeswitch_core::error_rate::error_rate;
-use edgeswitch_core::parallel::simulate_parallel;
-use edgeswitch_core::sequential::sequential_edge_switch;
-use edgeswitch_dist::rng::root_rng;
+use edgeswitch_core::run::Run;
 use edgeswitch_graph::generators::Dataset;
 use edgeswitch_graph::{Graph, SchemeKind};
 use edgeswitch_scalesim::{des_parallel, CostModel};
@@ -55,17 +53,25 @@ fn error_rates(
     let mut seq_vs_seq = 0.0;
     for rep in 0..cfg.reps {
         let seed = cfg.seed ^ (0x51e9 * (rep as u64 + 1));
-        let mut gs1 = g.clone();
-        let mut rng1 = root_rng(seed ^ 1);
-        sequential_edge_switch(&mut gs1, t, &mut rng1);
-        let mut gs2 = g.clone();
-        let mut rng2 = root_rng(seed ^ 2);
-        sequential_edge_switch(&mut gs2, t, &mut rng2);
-        let pcfg = ParallelConfig::new(p)
-            .with_scheme(scheme)
-            .with_step_size(step)
-            .with_seed(seed ^ 3);
-        let out = simulate_parallel(g, t, &pcfg);
+        let sequential = |s: u64| {
+            Run::sequential()
+                .switches(t)
+                .seed(s)
+                .execute(g)
+                .into_sequential()
+                .expect("sequential run")
+                .graph
+        };
+        let gs1 = sequential(seed ^ 1);
+        let gs2 = sequential(seed ^ 2);
+        let out = Run::simulated(p)
+            .switches(t)
+            .scheme(scheme)
+            .step_size(step)
+            .seed(seed ^ 3)
+            .execute(g)
+            .into_parallel()
+            .expect("parallel outcome");
         par_vs_seq += error_rate(&gs1, &out.graph, R_BLOCKS);
         seq_vs_seq += error_rate(&gs1, &gs2, R_BLOCKS);
     }

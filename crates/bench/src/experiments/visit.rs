@@ -4,8 +4,7 @@
 use super::ExpConfig;
 use crate::report::{f, table, Report};
 use crate::{dataset_graph, full_visit_ops};
-use edgeswitch_core::sequential::sequential_edge_switch;
-use edgeswitch_dist::rng::root_rng;
+use edgeswitch_core::run::Run;
 use edgeswitch_dist::switch_ops_for_visit_rate;
 use edgeswitch_graph::generators::Dataset;
 use serde_json::json;
@@ -26,9 +25,11 @@ fn observe(cfg: &ExpConfig) -> Vec<(f64, Vec<f64>)> {
             let t = switch_ops_for_visit_rate(m, x);
             let observed: Vec<f64> = (0..cfg.reps)
                 .map(|rep| {
-                    let mut g = base.clone();
-                    let mut rng = root_rng(cfg.seed ^ (rep as u64 + 1) ^ (x * 1000.0) as u64);
-                    sequential_edge_switch(&mut g, t, &mut rng).visit_rate()
+                    Run::sequential()
+                        .switches(t)
+                        .seed(cfg.seed ^ (rep as u64 + 1) ^ (x * 1000.0) as u64)
+                        .execute(&base)
+                        .visit_rate()
                 })
                 .collect();
             (x, observed)

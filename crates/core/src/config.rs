@@ -75,6 +75,11 @@ pub struct ProcOpts {
     /// Per-pair ring data capacity in bytes (rounded up to a power of two,
     /// min 4 KiB).
     pub ring_capacity: usize,
+    /// Binary to respawn as rank children instead of `current_exe()`.
+    /// `None` (the default) respawns the current binary; tests point this
+    /// at a nonexistent path to exercise the spawn-failure path of
+    /// [`crate::run::RunError::SpawnFailed`].
+    pub exe_override: Option<std::path::PathBuf>,
 }
 
 impl Default for ProcOpts {
@@ -87,6 +92,7 @@ impl Default for ProcOpts {
             ],
             announce_children: false,
             ring_capacity: 1 << 18,
+            exe_override: None,
         }
     }
 }

@@ -14,17 +14,19 @@
 //!   (Section 4.6),
 //! - [`config`]: run configuration (scheme, step size, seed).
 //!
-//! ```
-//! use edgeswitch_core::{sequential::sequential_edge_switch, config::*};
-//! use edgeswitch_graph::generators::erdos_renyi_gnm;
-//! use edgeswitch_dist::root_rng;
+//! The front door is the [`Run`] builder; the per-driver free functions
+//! it superseded remain as `#[doc(hidden)]` shims for old call sites:
 //!
-//! let mut rng = root_rng(1);
-//! let mut g = erdos_renyi_gnm(100, 400, &mut rng);
-//! let before = g.degree_sequence();
-//! let out = sequential_edge_switch(&mut g, 500, &mut rng);
-//! assert_eq!(out.performed, 500);
-//! assert_eq!(g.degree_sequence(), before); // switches preserve degrees
+//! ```
+//! use edgeswitch_core::Run;
+//! use edgeswitch_dist::root_rng;
+//! use edgeswitch_graph::generators::erdos_renyi_gnm;
+//!
+//! let g = erdos_renyi_gnm(100, 400, &mut root_rng(1));
+//! let out = Run::sequential().switches(500).seed(1).execute(&g);
+//! assert_eq!(out.performed(), 500);
+//! // Switches preserve degrees.
+//! assert_eq!(out.graph().degree_sequence(), g.degree_sequence());
 //! ```
 
 #![warn(missing_docs)]
@@ -43,18 +45,23 @@ pub mod visit;
 pub use config::{Backend, ParallelConfig, ProcOpts, Randomizer, StepSize};
 pub use error_rate::{error_rate, BlockMatrix};
 pub use obs::{Obs, ObsSpec, Probe, RunReport};
+pub use parallel::{child_entry_from_env, MsgCounts, ParallelOutcome, StepTelemetry};
+pub use run::{Run, RunError, RunOutcome, SequentialRun};
+pub use sequential::{SeqCheckpoint, SequentialOutcome, SequentialResumable};
+pub use switch::{RejectReason, SwitchKind};
+pub use trade::{CurveballOutcome, TradeBudget};
+
+// Legacy per-driver entry points, superseded by [`Run`]. Kept callable so
+// old call sites keep compiling, but dropped from the documented facade.
+#[doc(hidden)]
 pub use parallel::{
-    child_entry_from_env, parallel_curveball, parallel_edge_switch, simulate_curveball,
-    simulate_parallel, MsgCounts, ParallelOutcome, StepTelemetry,
+    parallel_curveball, parallel_edge_switch, simulate_curveball, simulate_parallel,
 };
-pub use run::{Run, RunOutcome, SequentialRun};
+#[doc(hidden)]
 pub use sequential::{
     sequential_edge_switch, sequential_edge_switch_observed, sequential_for_visit_rate,
-    SequentialOutcome,
 };
-pub use switch::{RejectReason, SwitchKind};
-pub use trade::{
-    sequential_curveball, sequential_curveball_observed, CurveballOutcome, TradeBudget,
-};
+#[doc(hidden)]
+pub use trade::{sequential_curveball, sequential_curveball_observed};
 pub use variants::{sequential_edge_switch_connected, sequential_exact_visit, ConstrainedOutcome};
 pub use visit::VisitTracker;

@@ -27,11 +27,13 @@
 
 pub mod clock;
 pub mod hist;
+pub mod progress;
 mod recorder;
 mod report;
 
 pub use clock::{Clock, ManualClock, MonoClock, VirtualClock};
 pub use hist::{HistSummary, LogHist};
+pub use progress::{ProgressEvent, SpanTotals, StepProgress, StreamingProbe};
 pub use recorder::{GaugeAgg, RankObs, RecordingProbe};
 pub use report::{CommGauges, GaugeStat, PhaseStat, RttStat, RunReport, RTT_KINDS};
 

@@ -1,0 +1,228 @@
+//! Streaming progress: live events out of a running job.
+//!
+//! The report machinery in this module's siblings aggregates *after* the
+//! run; a job server needs to narrate *during* it. Two bridges feed that
+//! narration:
+//!
+//! - [`StreamingProbe`] is a [`Probe`] that forwards cumulative span
+//!   totals over an [`mpsc`](std::sync::mpsc) channel every `every`
+//!   spans. Like every probe it only reads — no RNG draws, no message
+//!   reordering — so a streamed run stays bit-identical to a silent one.
+//! - [`StepProgress::from_telemetry`] folds one step's merged
+//!   [`StepTelemetry`] into a compact progress record, for drivers that
+//!   step a world ([`SimWorld`](crate::parallel::SimWorld)) or chunk a
+//!   sequential run
+//!   ([`SequentialResumable`](crate::sequential::SequentialResumable)).
+//!
+//! Both arrive as [`ProgressEvent`]s; `crates/svc` serializes them onto
+//! job event streams.
+
+use super::{Phase, Probe, RankObs};
+use crate::parallel::StepTelemetry;
+use std::sync::mpsc::Sender;
+
+/// One progress event streamed out of a running job.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProgressEvent {
+    /// Cumulative span totals from an attached [`StreamingProbe`].
+    Spans(SpanTotals),
+    /// One completed step (or sequential chunk) of a stepping driver.
+    Step(StepProgress),
+}
+
+/// Cumulative per-phase span totals since the probe was attached.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanTotals {
+    /// Spans observed across all phases.
+    pub total: u64,
+    /// Spans observed per [`Phase`] (indexed by `Phase as usize`).
+    pub counts: [u64; Phase::COUNT],
+    /// Nanoseconds accumulated per [`Phase`].
+    pub ns: [u64; Phase::COUNT],
+}
+
+/// One step's worth of forward progress, in driver-independent units.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StepProgress {
+    /// Steps completed so far (1-based: the step this event closes).
+    pub step: u64,
+    /// Total steps the run will take (0 when unknown, e.g. sequential
+    /// chunking).
+    pub steps: u64,
+    /// Switch operations performed so far, run-wide.
+    pub performed: u64,
+    /// The run's operation budget `t`.
+    pub budget: u64,
+    /// Observed visit rate so far.
+    pub visit_rate: f64,
+    /// Logical protocol messages this step (0 for sequential chunks).
+    pub logical_msgs: u64,
+}
+
+impl StepProgress {
+    /// Fold one step's merged telemetry into a progress record.
+    /// `performed`, `budget` and `visit_rate` are run-cumulative and come
+    /// from the driver; the telemetry contributes this step's messaging.
+    pub fn from_telemetry(
+        step: u64,
+        steps: u64,
+        performed: u64,
+        budget: u64,
+        visit_rate: f64,
+        telemetry: &StepTelemetry,
+    ) -> Self {
+        StepProgress {
+            step,
+            steps,
+            performed,
+            budget,
+            visit_rate,
+            logical_msgs: telemetry.logical_msgs.total(),
+        }
+    }
+
+    /// Fraction of the budget consumed, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.budget == 0 {
+            1.0
+        } else {
+            (self.performed as f64 / self.budget as f64).min(1.0)
+        }
+    }
+}
+
+/// A [`Probe`] that streams [`SpanTotals`] snapshots over a channel as
+/// the run executes: one event per `every` spans, plus a final event at
+/// teardown. Send errors (receiver gone) are ignored — a disappearing
+/// listener must never fail the run.
+pub struct StreamingProbe {
+    tx: Sender<ProgressEvent>,
+    every: u64,
+    unsent: u64,
+    totals: SpanTotals,
+}
+
+impl StreamingProbe {
+    /// Stream through `tx`, emitting every `every` spans (`every` is
+    /// clamped to at least 1).
+    pub fn new(tx: Sender<ProgressEvent>, every: u64) -> Self {
+        StreamingProbe {
+            tx,
+            every: every.max(1),
+            unsent: 0,
+            totals: SpanTotals::default(),
+        }
+    }
+}
+
+impl Probe for StreamingProbe {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span(&mut self, phase: Phase, dur_ns: u64) {
+        self.totals.total += 1;
+        self.totals.counts[phase as usize] += 1;
+        self.totals.ns[phase as usize] += dur_ns;
+        self.unsent += 1;
+        if self.unsent >= self.every {
+            self.unsent = 0;
+            let _ = self.tx.send(ProgressEvent::Spans(self.totals));
+        }
+    }
+
+    fn finish(self: Box<Self>) -> Option<RankObs> {
+        let _ = self.tx.send(ProgressEvent::Spans(self.totals));
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::Obs;
+    use crate::sequential::SequentialResumable;
+    use edgeswitch_dist::root_rng;
+    use edgeswitch_graph::generators::erdos_renyi_gnm;
+    use std::sync::mpsc::channel;
+    use std::sync::Arc;
+
+    #[test]
+    fn streaming_probe_emits_monotone_totals() {
+        let (tx, rx) = channel();
+        let clock = Arc::new(crate::obs::ManualClock::new());
+        let mut obs = Obs::with_probe(Box::new(StreamingProbe::new(tx, 3)), clock.clone());
+        for i in 0..10 {
+            let t0 = obs.now();
+            clock.advance(7);
+            obs.span_since(Phase::Sample, t0);
+            let _ = i;
+        }
+        obs.finish();
+        let events: Vec<ProgressEvent> = rx.iter().collect();
+        // 10 spans at every=3 → snapshots at 3, 6, 9, plus the final.
+        assert_eq!(events.len(), 4);
+        let mut last = 0;
+        for ev in &events {
+            let ProgressEvent::Spans(totals) = ev else {
+                panic!("unexpected event {ev:?}");
+            };
+            assert!(totals.total >= last, "totals must be monotone");
+            last = totals.total;
+        }
+        let ProgressEvent::Spans(end) = events[events.len() - 1] else {
+            unreachable!()
+        };
+        assert_eq!(end.total, 10);
+        assert_eq!(end.counts[Phase::Sample as usize], 10);
+        assert_eq!(end.ns[Phase::Sample as usize], 70);
+    }
+
+    #[test]
+    fn streamed_sequential_run_is_bit_identical_to_silent() {
+        let g = erdos_renyi_gnm(120, 500, &mut root_rng(8));
+        let mut silent = SequentialResumable::new(g.clone(), 600, 21);
+        while !silent.is_done() {
+            silent.step(97);
+        }
+        let (silent_graph, silent_out) = silent.finish();
+
+        let (tx, rx) = channel();
+        let mut streamed = SequentialResumable::new(g, 600, 21);
+        streamed.attach_probe(tx, 16);
+        while !streamed.is_done() {
+            streamed.step(97);
+        }
+        let (streamed_graph, streamed_out) = streamed.finish();
+
+        assert!(streamed_graph.same_edge_set(&silent_graph));
+        assert_eq!(streamed_out.performed, silent_out.performed);
+        assert_eq!(streamed_out.rejects, silent_out.rejects);
+        let events: Vec<ProgressEvent> = rx.iter().collect();
+        assert!(!events.is_empty(), "probe must stream");
+    }
+
+    #[test]
+    fn step_progress_tracks_fraction() {
+        let telemetry = StepTelemetry::default();
+        let p = StepProgress::from_telemetry(2, 8, 250, 1000, 0.2, &telemetry);
+        assert_eq!(p.logical_msgs, 0);
+        assert!((p.fraction() - 0.25).abs() < 1e-12);
+        let done = StepProgress {
+            budget: 0,
+            ..Default::default()
+        };
+        assert_eq!(done.fraction(), 1.0);
+    }
+
+    #[test]
+    fn dropped_receiver_never_fails_the_run() {
+        let (tx, rx) = channel();
+        drop(rx);
+        let clock = Arc::new(crate::obs::ManualClock::new());
+        let mut obs = Obs::with_probe(Box::new(StreamingProbe::new(tx, 1)), clock);
+        obs.span(Phase::Legality, 1);
+        obs.span(Phase::Legality, 2);
+        assert!(obs.finish().is_none());
+    }
+}

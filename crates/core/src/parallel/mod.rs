@@ -9,6 +9,8 @@
 //!   ([`wire`] is its byte codec for [`Msg`]),
 //! - [`sim`]: a deterministic single-threaded driver for large virtual
 //!   worlds and similarity experiments,
+//! - [`resume`]: the pausable form of the simulated driver, with
+//!   step-boundary snapshots for checkpoint/resume,
 //! - [`trade`]: the Curveball randomizer's drivers (global trades over
 //!   the same transports; see [`crate::trade`]).
 
@@ -17,6 +19,7 @@ pub mod harness;
 pub mod msg;
 pub mod proc;
 pub mod rank;
+pub mod resume;
 pub mod sim;
 pub mod trade;
 pub mod wire;
@@ -34,9 +37,11 @@ pub use harness::{
 };
 pub use msg::{ConvId, Msg, MsgKind, Outbox};
 pub use proc::{
-    child_entry_from_env, parallel_edge_switch_proc, process_backend_supported, ProcTransport,
+    child_entry_from_env, parallel_edge_switch_proc, process_backend_supported,
+    try_parallel_edge_switch_proc, ProcError, ProcTransport,
 };
-pub use rank::{RankState, RankStats, StartResult};
+pub use rank::{RankCheckpoint, RankState, RankStats, StartResult};
+pub use resume::{SimWorld, WorldSnapshot};
 pub use sim::{simulate_parallel, simulate_parallel_with};
 pub use trade::{
     parallel_curveball, parallel_curveball_with, run_simulated_trades, simulate_curveball,

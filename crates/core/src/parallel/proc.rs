@@ -748,8 +748,13 @@ fn send_result(ep: &Endpoint<'_>, launcher: usize, blob: &[u8], chunk: usize) {
 }
 
 /// Launcher side: drain `TAG_RESULT` frames from all `p` rank children
-/// until every blob is complete, panicking if a child dies first.
-fn collect_results(ep: &mut Endpoint<'_>, p: usize, children: &mut [Child]) -> Vec<Vec<u8>> {
+/// until every blob is complete, reporting a [`ProcError::RankDied`] if a
+/// child dies first.
+fn collect_results(
+    ep: &mut Endpoint<'_>,
+    p: usize,
+    children: &mut [Child],
+) -> Result<Vec<Vec<u8>>, ProcError> {
     let mut want: Vec<Option<usize>> = vec![None; p];
     let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); p];
     let mut done = 0usize;
@@ -796,19 +801,76 @@ fn collect_results(ep: &mut Endpoint<'_>, p: usize, children: &mut [Child]) -> V
             }
             if let Ok(Some(status)) = child.try_wait() {
                 if !status.success() {
-                    panic!("shm rank {rank} exited with {status} before returning results");
+                    return Err(ProcError::RankDied {
+                        rank,
+                        detail: format!("exited with {status} before returning results"),
+                    });
                 }
                 // Exited cleanly: its frames are still in the ring; keep
                 // draining (the next loop iterations will consume them).
             }
         }
     }
-    bufs
+    Ok(bufs)
+}
+
+/// Best-effort teardown of rank children on an error path: kill whatever
+/// is still running, then reap everything so no zombie outlives the
+/// failed launch.
+fn kill_children(children: &mut [Child]) {
+    for child in children.iter_mut() {
+        let _ = child.kill();
+    }
+    for child in children.iter_mut() {
+        let _ = child.wait();
+    }
 }
 
 // ---------------------------------------------------------------------
 // Launcher
 // ---------------------------------------------------------------------
+
+/// Why a process-backed launch failed. Each variant maps onto the
+/// corresponding [`RunError`](crate::run::RunError) variant at the `Run`
+/// API boundary; the free functions keep their panicking contract by
+/// unwrapping these with the same messages as before.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProcError {
+    /// Shared-memory worlds are unavailable on this platform (the
+    /// process backend needs Linux).
+    Unsupported(String),
+    /// A rank child could not be spawned.
+    Spawn {
+        /// The rank whose spawn failed.
+        rank: usize,
+        /// The OS error.
+        detail: String,
+    },
+    /// A rank child died, exited abnormally, or returned no result.
+    RankDied {
+        /// The rank that died.
+        rank: usize,
+        /// What happened to it.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ProcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcError::Unsupported(detail) => {
+                write!(
+                    f,
+                    "process backend needs shared-memory support (Linux): {detail}"
+                )
+            }
+            ProcError::Spawn { rank, detail } => write!(f, "spawning shm rank {rank}: {detail}"),
+            ProcError::RankDied { rank, detail } => write!(f, "shm rank {rank}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ProcError {}
 
 /// Run `t` switch operations on `graph` under `config` with rank
 /// processes over shared memory. Mirrors
@@ -818,13 +880,26 @@ fn collect_results(ep: &mut Endpoint<'_>, p: usize, children: &mut [Child]) -> V
 /// # Panics
 /// Panics when shared-memory worlds are unsupported on this platform
 /// (non-Linux), when a rank child cannot be spawned, or when a child
-/// dies mid-run.
+/// dies mid-run. [`try_parallel_edge_switch_proc`] is the fallible form
+/// behind [`Run::try_execute`](crate::run::Run::try_execute).
 pub fn parallel_edge_switch_proc(
     graph: &Graph,
     t: u64,
     config: &ParallelConfig,
     part: &Partitioner,
 ) -> ParallelOutcome {
+    try_parallel_edge_switch_proc(graph, t, config, part).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// Fallible form of [`parallel_edge_switch_proc`]: launch failures come
+/// back as [`ProcError`] instead of panicking, with every already-spawned
+/// child killed and reaped on the error path.
+pub fn try_parallel_edge_switch_proc(
+    graph: &Graph,
+    t: u64,
+    config: &ParallelConfig,
+    part: &Partitioner,
+) -> Result<ParallelOutcome, ProcError> {
     let p = config.processors;
     assert_eq!(part.num_parts(), p, "partitioner size must match config");
     let stores = build_stores(graph, part);
@@ -838,10 +913,16 @@ pub fn parallel_edge_switch_proc(
 
     // k = p ranks + 1 launcher endpoint (index p) for result return.
     let world = ShmWorld::create(p + 1, config.proc_opts.ring_capacity, boot.len())
-        .unwrap_or_else(|err| panic!("process backend needs shared-memory support (Linux): {err}"));
+        .map_err(|err| ProcError::Unsupported(err.to_string()))?;
     world.write_boot(&boot);
 
-    let exe = std::env::current_exe().expect("current_exe for rank respawn");
+    let exe = match &config.proc_opts.exe_override {
+        Some(path) => path.clone(),
+        None => std::env::current_exe().map_err(|err| ProcError::Spawn {
+            rank: 0,
+            detail: format!("current_exe for rank respawn: {err}"),
+        })?,
+    };
     let mut children: Vec<Child> = Vec::with_capacity(p);
     for rank in 0..p {
         let mut cmd = Command::new(&exe);
@@ -864,9 +945,16 @@ pub fn parallel_edge_switch_proc(
                 });
             }
         }
-        let child = cmd
-            .spawn()
-            .unwrap_or_else(|err| panic!("spawning shm rank {rank}: {err}"));
+        let child = match cmd.spawn() {
+            Ok(child) => child,
+            Err(err) => {
+                kill_children(&mut children);
+                return Err(ProcError::Spawn {
+                    rank,
+                    detail: err.to_string(),
+                });
+            }
+        };
         if config.proc_opts.announce_children {
             println!("shm-child-pid: {}", child.id());
         }
@@ -874,10 +962,22 @@ pub fn parallel_edge_switch_proc(
     }
 
     let mut ep = world.endpoint(p);
-    let blobs = collect_results(&mut ep, p, &mut children);
+    let blobs = match collect_results(&mut ep, p, &mut children) {
+        Ok(blobs) => blobs,
+        Err(err) => {
+            kill_children(&mut children);
+            return Err(err);
+        }
+    };
     for (rank, child) in children.iter_mut().enumerate() {
         let status = child.wait().expect("reaping shm rank child");
-        assert!(status.success(), "shm rank {rank} exited with {status}");
+        if !status.success() {
+            kill_children(&mut children);
+            return Err(ProcError::RankDied {
+                rank,
+                detail: format!("exited with {status}"),
+            });
+        }
     }
 
     let mut outputs: Vec<Option<RankOutput>> = (0..p).map(|_| None).collect();
@@ -892,14 +992,28 @@ pub fn parallel_edge_switch_proc(
             "duplicate result for rank {rank}"
         );
     }
-    let outputs: Vec<RankOutput> = outputs
-        .into_iter()
-        .enumerate()
-        .map(|(rank, o)| o.unwrap_or_else(|| panic!("no result from rank {rank}")))
-        .collect();
+    let mut outputs_final: Vec<RankOutput> = Vec::with_capacity(p);
+    for (rank, o) in outputs.into_iter().enumerate() {
+        match o {
+            Some(output) => outputs_final.push(output),
+            None => {
+                return Err(ProcError::RankDied {
+                    rank,
+                    detail: "no result returned".to_string(),
+                })
+            }
+        }
+    }
 
     // Process runs are unobserved: meta stays None, report stays None.
-    assemble_outcome(n, steps, initial_edges, outputs, telemetry, None)
+    Ok(assemble_outcome(
+        n,
+        steps,
+        initial_edges,
+        outputs_final,
+        telemetry,
+        None,
+    ))
 }
 
 // ---------------------------------------------------------------------

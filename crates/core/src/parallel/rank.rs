@@ -139,6 +139,35 @@ impl RankStats {
     }
 }
 
+/// The persistent state of one rank at a step boundary — everything a
+/// resumed run needs to continue bit-identically.
+///
+/// Captured by [`RankState::checkpoint`], rebuilt by
+/// [`RankState::restore`]. The protocol's transient collections are all
+/// empty between steps (the completion-ack discipline guarantees it), so
+/// this is the *complete* state: store edges in pool order (pool order is
+/// sampling order), tracker parts, statistics, conversation-id counter
+/// and RNG stream position. Serialized by the snapshot codec in
+/// [`super::wire`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankCheckpoint {
+    /// The rank this snapshot belongs to.
+    pub rank: usize,
+    /// Partition store contents in pool (insertion) order.
+    pub store_edges: Vec<Edge>,
+    /// [`VisitTracker::initial_count`] at capture.
+    pub tracker_initial: usize,
+    /// Unvisited edge keys, sorted for deterministic snapshot bytes.
+    pub tracker_remaining: Vec<u64>,
+    /// Accumulated per-rank statistics.
+    pub stats: RankStats,
+    /// Next conversation-id sequence number.
+    pub conv_seq: u64,
+    /// Words served from this rank's PRNG stream (see
+    /// [`BlockRng64::words_served`]).
+    pub rng_words: u64,
+}
+
 /// One of the initiator's in-flight operations (keyed by [`ConvId`]).
 #[derive(Clone, Copy, Debug)]
 struct InFlight {
@@ -414,6 +443,66 @@ impl RankState {
     /// Immutable view of the partition store.
     pub fn store(&self) -> &PartitionStore {
         &self.store
+    }
+
+    /// Capture this rank's persistent state at a step boundary.
+    ///
+    /// At step boundaries every transient collection (reserved edges,
+    /// potential edges, in-flight and server-side conversations,
+    /// speculative ops) is empty — [`RankState::into_parts`] asserts the
+    /// same invariant — so the whole protocol state reduces to the store
+    /// contents, the visit tracker, the statistics, the conversation-id
+    /// counter and the RNG stream position. `remaining`/`cumq` are step
+    /// inputs re-established by [`RankState::begin_step`] and need no
+    /// capture. Restoring via [`RankState::restore`] with the same
+    /// `(seed, window)` yields a rank whose subsequent steps are
+    /// bit-identical to the uninterrupted run.
+    pub fn checkpoint(&self) -> RankCheckpoint {
+        debug_assert!(
+            self.inflight.is_empty()
+                && self.spec_ops.is_empty()
+                && self.serving.is_empty()
+                && self.pending_done.is_empty()
+                && self.reserved.is_empty()
+                && self.potential.is_empty(),
+            "checkpoint taken mid-step"
+        );
+        let mut tracker_remaining: Vec<u64> = self.tracker.remaining_keys().collect();
+        // Sort for deterministic snapshot bytes; `from_parts` rebuilds a
+        // set, so the order carries no semantics.
+        tracker_remaining.sort_unstable();
+        RankCheckpoint {
+            rank: self.rank,
+            store_edges: self.store.edges().collect(),
+            tracker_initial: self.tracker.initial_count(),
+            tracker_remaining,
+            stats: self.stats,
+            conv_seq: self.conv_seq,
+            rng_words: self.rng.words_served(),
+        }
+    }
+
+    /// Rebuild a rank from a [`RankCheckpoint`].
+    ///
+    /// The store is reinserted in captured pool order (sampling order is
+    /// pool order, so this is load-bearing), the tracker is rebuilt from
+    /// its parts, and the RNG stream is re-derived from `(seed, rank)`
+    /// and fast-forwarded to the recorded position. The partitioner is
+    /// not part of the checkpoint: it is deterministic from the job's
+    /// graph and config, so callers rebuild it the same way the original
+    /// driver did.
+    pub fn restore(part: Partitioner, seed: u64, window: usize, ckpt: &RankCheckpoint) -> Self {
+        let mut store = PartitionStore::new(ckpt.rank);
+        for &e in &ckpt.store_edges {
+            store.insert(e);
+        }
+        let mut state = RankState::new(ckpt.rank, part, store, seed, window);
+        state.tracker =
+            VisitTracker::from_parts(ckpt.tracker_initial, ckpt.tracker_remaining.iter().copied());
+        state.stats = ckpt.stats;
+        state.conv_seq = ckpt.conv_seq;
+        state.rng.skip_words(ckpt.rng_words);
+        state
     }
 
     /// The first edges of all in-flight own conversations (test

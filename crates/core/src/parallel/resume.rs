@@ -1,0 +1,364 @@
+//! Pausable, checkpointable form of the FIFO-simulated world.
+//!
+//! [`SimWorld`] runs exactly the step loop of
+//! [`run_simulated_world`](super::harness::run_simulated_world) over a
+//! [`FifoTransport`](super::harness::FifoTransport), but hands control
+//! back to the caller between steps. At every step boundary the
+//! protocol's transient state is empty (the completion-ack discipline of
+//! [`RankState`] guarantees it), so the whole world reduces to its
+//! per-rank checkpoints plus run-level accumulators — a
+//! [`WorldSnapshot`] — and a killed process can rebuild the world and
+//! continue to a bit-identical result. This is the engine behind the job
+//! service's checkpoint/resume guarantee; the conformance tests compare
+//! resumed runs against uninterrupted ones per seed and rank count.
+//!
+//! Two deliberate restrictions keep the snapshot closed:
+//!
+//! - **Unobserved.** Probes hold run-length host state (clocks, open
+//!   spans) that cannot be serialized, so `SimWorld` forces
+//!   [`ObsSpec::Off`](crate::obs::ObsSpec) regardless of the config.
+//!   Progress reporting comes from the per-step [`StepTelemetry`]
+//!   returned by [`SimWorld::step`] instead.
+//! - **Partitioner by reconstruction.** The partitioner is a pure
+//!   function of `(graph, config)` — both resume inputs — so snapshots
+//!   record neither it nor the graph's initial form.
+
+use super::harness::{
+    assemble_outcome, run_world_step, FifoTransport, ParallelOutcome, RankOutput, StepHarness,
+    StepTelemetry,
+};
+use super::msg::Outbox;
+use super::rank::{RankCheckpoint, RankState};
+use crate::config::ParallelConfig;
+use edgeswitch_graph::store::build_stores;
+use edgeswitch_graph::{Graph, Partitioner};
+use mpilite::CommStats;
+
+/// The complete persistent state of a [`SimWorld`] at a step boundary.
+///
+/// Serialized by the snapshot codec in [`super::wire`]. Resuming needs
+/// the original graph and config alongside it (the job service persists
+/// the job spec separately); the identity fields (`seed`, `p`, `t`)
+/// exist so a resume against the wrong spec fails loudly instead of
+/// silently diverging.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorldSnapshot {
+    /// Seed of the run (must match the config on resume).
+    pub seed: u64,
+    /// World size (must match the config on resume).
+    pub p: usize,
+    /// Vertex count of the graph under randomization.
+    pub n: usize,
+    /// Total operation budget.
+    pub t: u64,
+    /// Next step to execute (steps `0..next_step` are complete).
+    pub next_step: u64,
+    /// Per-rank checkpoints, rank order.
+    pub ranks: Vec<RankCheckpoint>,
+    /// Per-rank communication counters, rank order.
+    pub comm: Vec<CommStats>,
+    /// Telemetry of the completed steps.
+    pub telemetry: Vec<StepTelemetry>,
+    /// Initial `|E_i|` per rank (a run-start constant, carried for the
+    /// final outcome).
+    pub initial_edges: Vec<u64>,
+}
+
+/// The FIFO-simulated world as a pausable engine: construct, call
+/// [`SimWorld::step`] until [`SimWorld::is_done`], then
+/// [`SimWorld::finish`]. [`SimWorld::snapshot`] between any two steps
+/// captures everything needed by [`SimWorld::resume`] to continue the
+/// run bit-identically in a fresh process.
+pub struct SimWorld {
+    states: Vec<RankState>,
+    comm_stats: Vec<CommStats>,
+    transport: FifoTransport,
+    harness: StepHarness,
+    telemetry: Vec<StepTelemetry>,
+    initial_edges: Vec<u64>,
+    n: usize,
+    t: u64,
+    seed: u64,
+    p: usize,
+    next_step: u64,
+    out: Outbox,
+}
+
+impl SimWorld {
+    /// Set up a `t`-operation run of the parallel algorithm on a world
+    /// of `config.processors` virtual ranks. Mirrors
+    /// [`simulate_parallel`](super::sim::simulate_parallel) exactly —
+    /// same partitioner draw, same store construction, same per-rank
+    /// streams — except that observation is forced off (see the module
+    /// docs).
+    pub fn new(graph: &Graph, t: u64, config: &ParallelConfig) -> Self {
+        let mut rng = config.root_rng();
+        let part = Partitioner::build(config.scheme, graph, config.processors, &mut rng);
+        let p = config.processors;
+        let stores = build_stores(graph, &part);
+        let initial_edges: Vec<u64> = stores.iter().map(|s| s.num_edges() as u64).collect();
+        let states: Vec<RankState> = stores
+            .into_iter()
+            .enumerate()
+            .map(|(rank, store)| {
+                RankState::new(rank, part.clone(), store, config.seed, config.window)
+                    .with_fastpath(config.local_fastpath)
+                    .with_spec_batch(config.spec_batch)
+            })
+            .collect();
+        SimWorld {
+            states,
+            comm_stats: vec![CommStats::default(); p],
+            transport: FifoTransport::new(),
+            harness: StepHarness::new(t, config),
+            telemetry: Vec::new(),
+            initial_edges,
+            n: graph.num_vertices(),
+            t,
+            seed: config.seed,
+            p,
+            next_step: 0,
+            out: Outbox::new(),
+        }
+    }
+
+    /// Total steps in the run.
+    pub fn steps(&self) -> u64 {
+        self.harness.steps()
+    }
+
+    /// Next step to execute (`steps()` once done).
+    pub fn next_step(&self) -> u64 {
+        self.next_step
+    }
+
+    /// Whether every step has run.
+    pub fn is_done(&self) -> bool {
+        self.next_step >= self.harness.steps()
+    }
+
+    /// Operations performed so far across ranks.
+    pub fn performed(&self) -> u64 {
+        self.states.iter().map(|st| st.stats.performed).sum()
+    }
+
+    /// Observed visit rate so far (over all partitions).
+    pub fn visit_rate(&self) -> f64 {
+        let initial: usize = self
+            .states
+            .iter()
+            .map(|st| st.tracker.initial_count())
+            .sum();
+        if initial == 0 {
+            return 0.0;
+        }
+        let visited: usize = self
+            .states
+            .iter()
+            .map(|st| st.tracker.visited_count())
+            .sum();
+        visited as f64 / initial as f64
+    }
+
+    /// Execute the next step; returns its telemetry (`None` when the run
+    /// is already complete).
+    pub fn step(&mut self) -> Option<&StepTelemetry> {
+        if self.is_done() {
+            return None;
+        }
+        let tel = run_world_step(
+            &mut self.transport,
+            &mut self.states,
+            &mut self.out,
+            self.harness.step_ops(self.next_step),
+            self.harness.uniform_q(),
+            &mut self.comm_stats,
+        );
+        self.telemetry.push(tel);
+        self.next_step += 1;
+        self.telemetry.last()
+    }
+
+    /// Capture the complete world state at the current step boundary.
+    pub fn snapshot(&self) -> WorldSnapshot {
+        WorldSnapshot {
+            seed: self.seed,
+            p: self.p,
+            n: self.n,
+            t: self.t,
+            next_step: self.next_step,
+            ranks: self.states.iter().map(|st| st.checkpoint()).collect(),
+            comm: self.comm_stats.clone(),
+            telemetry: self.telemetry.clone(),
+            initial_edges: self.initial_edges.clone(),
+        }
+    }
+
+    /// Rebuild a world from a snapshot plus the run's original graph and
+    /// config, positioned to continue at `snapshot.next_step`.
+    ///
+    /// The partitioner is re-derived from `(graph, config)` the same way
+    /// [`SimWorld::new`] derives it; each rank is restored from its
+    /// checkpoint (store in pool order, tracker from parts, RNG
+    /// fast-forwarded to the recorded stream position).
+    ///
+    /// # Panics
+    ///
+    /// If `snap`'s identity fields contradict `config` — resuming a
+    /// snapshot against the wrong job would silently diverge otherwise.
+    pub fn resume(graph: &Graph, config: &ParallelConfig, snap: &WorldSnapshot) -> Self {
+        assert_eq!(snap.seed, config.seed, "snapshot/config seed mismatch");
+        assert_eq!(
+            snap.p, config.processors,
+            "snapshot/config world-size mismatch"
+        );
+        assert_eq!(
+            snap.n,
+            graph.num_vertices(),
+            "snapshot/graph vertex mismatch"
+        );
+        assert_eq!(snap.ranks.len(), snap.p, "snapshot rank count mismatch");
+        let mut rng = config.root_rng();
+        let part = Partitioner::build(config.scheme, graph, config.processors, &mut rng);
+        let states: Vec<RankState> = snap
+            .ranks
+            .iter()
+            .map(|ckpt| {
+                RankState::restore(part.clone(), config.seed, config.window, ckpt)
+                    .with_fastpath(config.local_fastpath)
+                    .with_spec_batch(config.spec_batch)
+            })
+            .collect();
+        SimWorld {
+            states,
+            comm_stats: snap.comm.clone(),
+            transport: FifoTransport::new(),
+            harness: StepHarness::new(snap.t, config),
+            telemetry: snap.telemetry.clone(),
+            initial_edges: snap.initial_edges.clone(),
+            n: snap.n,
+            t: snap.t,
+            seed: snap.seed,
+            p: snap.p,
+            next_step: snap.next_step,
+            out: Outbox::new(),
+        }
+    }
+
+    /// Tear down into the final [`ParallelOutcome`] (unobserved:
+    /// `report` is `None`, like the process backend).
+    pub fn finish(self) -> ParallelOutcome {
+        assert!(self.is_done(), "finish called before the run completed");
+        let outputs: Vec<RankOutput> = self
+            .states
+            .into_iter()
+            .zip(self.comm_stats)
+            .map(|(state, comm)| {
+                let (store, tracker, stats, obs) = state.into_parts();
+                RankOutput {
+                    store,
+                    tracker,
+                    stats,
+                    comm,
+                    obs,
+                }
+            })
+            .collect();
+        assemble_outcome(
+            self.n,
+            self.harness.steps(),
+            self.initial_edges,
+            outputs,
+            self.telemetry,
+            None,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::sim::simulate_parallel;
+    use edgeswitch_dist::root_rng;
+    use edgeswitch_graph::generators::erdos_renyi_gnm;
+
+    fn outcomes_logically_equal(a: &ParallelOutcome, b: &ParallelOutcome) {
+        assert!(a.graph.same_edge_set(&b.graph), "final graphs differ");
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.per_rank, b.per_rank);
+        assert_eq!(a.final_edges, b.final_edges);
+        assert_eq!(a.initial_edges, b.initial_edges);
+        assert_eq!(a.tracker.visited_count(), b.tracker.visited_count());
+        assert_eq!(a.telemetry.len(), b.telemetry.len());
+        for (x, y) in a.telemetry.iter().zip(&b.telemetry) {
+            assert_eq!(x.performed, y.performed);
+            assert_eq!(x.started, y.started);
+            assert_eq!(x.logical_msgs, y.logical_msgs);
+        }
+    }
+
+    #[test]
+    fn stepped_world_matches_one_shot_simulation() {
+        for &p in &[1usize, 2, 4] {
+            let mut rng = root_rng(101);
+            let g = erdos_renyi_gnm(150, 600, &mut rng);
+            let config = ParallelConfig::new(p).with_seed(33);
+            let reference = simulate_parallel(&g, 500, &config);
+
+            let mut world = SimWorld::new(&g, 500, &config);
+            while world.step().is_some() {}
+            let resumed = world.finish();
+            outcomes_logically_equal(&reference, &resumed);
+        }
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical() {
+        for &p in &[1usize, 2, 4] {
+            for &seed in &[7u64, 19] {
+                let mut rng = root_rng(202);
+                let g = erdos_renyi_gnm(120, 500, &mut rng);
+                let config = ParallelConfig::new(p).with_seed(seed);
+                let reference = simulate_parallel(&g, 400, &config);
+
+                let mut first = SimWorld::new(&g, 400, &config);
+                // Run roughly half the steps, then snapshot and "die".
+                let half = (first.steps() / 2).max(1);
+                for _ in 0..half {
+                    first.step();
+                }
+                let snap = first.snapshot();
+                drop(first);
+
+                let mut second = SimWorld::resume(&g, &config, &snap);
+                while second.step().is_some() {}
+                let resumed = second.finish();
+                outcomes_logically_equal(&reference, &resumed);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_equality() {
+        let mut rng = root_rng(303);
+        let g = erdos_renyi_gnm(80, 300, &mut rng);
+        let config = ParallelConfig::new(2).with_seed(5);
+        let mut world = SimWorld::new(&g, 200, &config);
+        world.step();
+        let a = world.snapshot();
+        let b = world.snapshot();
+        assert_eq!(a, b, "snapshotting is read-only and deterministic");
+    }
+
+    #[test]
+    #[should_panic(expected = "seed mismatch")]
+    fn resume_rejects_wrong_seed() {
+        let mut rng = root_rng(404);
+        let g = erdos_renyi_gnm(60, 200, &mut rng);
+        let config = ParallelConfig::new(2).with_seed(1);
+        let world = SimWorld::new(&g, 100, &config);
+        let snap = world.snapshot();
+        let wrong = ParallelConfig::new(2).with_seed(2);
+        let _ = SimWorld::resume(&g, &wrong, &snap);
+    }
+}

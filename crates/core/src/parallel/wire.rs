@@ -9,11 +9,15 @@
 //! transport bug, not an input error.
 
 use edgeswitch_graph::Edge;
-use mpilite::CollPayload;
+use mpilite::{CollPayload, CommStats, KIND_SLOTS};
 
+use crate::sequential::{RejectCounts, SeqCheckpoint};
 use crate::switch::RejectReason;
 
-use super::msg::{BatchReq, ConvId, Msg};
+use super::harness::{MsgCounts, StepTelemetry};
+use super::msg::{BatchReq, ConvId, Msg, MsgKind};
+use super::rank::{RankCheckpoint, RankStats};
+use super::resume::WorldSnapshot;
 
 const T_PROPOSE: u8 = 0;
 const T_VALIDATE: u8 = 1;
@@ -228,6 +232,10 @@ impl<'a> Reader<'a> {
         v
     }
 
+    fn f64(&mut self) -> f64 {
+        f64::from_bits(self.u64())
+    }
+
     fn u32(&mut self) -> u32 {
         let v = u32::from_le_bytes(self.bytes[self.at..self.at + 4].try_into().unwrap());
         self.at += 4;
@@ -383,6 +391,351 @@ pub fn decode_coll(bytes: &[u8]) -> CollPayload {
     payload
 }
 
+// ---------------------------------------------------------------------
+// Engine snapshots (checkpoint/resume)
+// ---------------------------------------------------------------------
+//
+// The same dumb little-endian style as the message codec, reused for the
+// job service's on-disk checkpoints: a magic/version header, a kind
+// byte, then the snapshot fields in declaration order. Floats go through
+// `to_bits`, edges as canonical keys. Decoding a snapshot written by a
+// different format version panics on the header check instead of
+// misreading state — a stale checkpoint must never silently resume.
+
+/// Snapshot header: `b"ESNP"` followed by the format version.
+const SNAP_MAGIC: u32 = u32::from_le_bytes(*b"ESNP");
+/// Current snapshot format version.
+const SNAP_VERSION: u32 = 1;
+/// Kind byte of a [`WorldSnapshot`].
+const SNAP_WORLD: u8 = 1;
+/// Kind byte of a [`SeqCheckpoint`].
+const SNAP_SEQ: u8 = 2;
+
+fn put_header(out: &mut Vec<u8>, kind: u8) {
+    put_u32(out, SNAP_MAGIC);
+    put_u32(out, SNAP_VERSION);
+    out.push(kind);
+}
+
+fn put_stats(out: &mut Vec<u8>, stats: &RankStats) {
+    for v in [
+        stats.performed,
+        stats.performed_local,
+        stats.performed_global,
+        stats.performed_fastpath,
+        stats.aborts_loop,
+        stats.aborts_useless,
+        stats.aborts_parallel,
+        stats.aborts_contended,
+        stats.forfeited,
+        stats.proposals_served,
+        stats.validations_served,
+        stats.spec_committed,
+        stats.spec_rolled_back,
+    ] {
+        put_u64(out, v);
+    }
+}
+
+fn put_comm(out: &mut Vec<u8>, comm: &CommStats) {
+    for v in [
+        comm.packets_sent,
+        comm.bytes_sent,
+        comm.packets_received,
+        comm.collectives,
+        comm.parks,
+        comm.park_ns,
+        comm.recv_queue_peak,
+        comm.recv_buf_reuses,
+    ] {
+        put_u64(out, v);
+    }
+    for v in comm.logical_by_kind {
+        put_u64(out, v);
+    }
+}
+
+fn put_telemetry(out: &mut Vec<u8>, tel: &StepTelemetry) {
+    for v in [
+        tel.ops,
+        tel.started,
+        tel.performed,
+        tel.local_fastpath,
+        tel.forfeited,
+        tel.served,
+        tel.blocked,
+        tel.parked,
+        tel.window_peak,
+        tel.spec_committed,
+        tel.spec_rolled_back,
+        tel.packets,
+        tel.trades,
+        tel.neighbors_moved,
+    ] {
+        put_u64(out, v);
+    }
+    for v in tel.logical_msgs.slots() {
+        put_u64(out, *v);
+    }
+    for v in [
+        tel.boundary_ns,
+        tel.drain_ns,
+        tel.barrier_ns,
+        tel.qrefresh_ns,
+        tel.wait_ns,
+    ] {
+        put_u64(out, v.to_bits());
+    }
+}
+
+fn put_rank_checkpoint(out: &mut Vec<u8>, ckpt: &RankCheckpoint) {
+    put_u64(out, ckpt.rank as u64);
+    put_u64(out, ckpt.store_edges.len() as u64);
+    for e in &ckpt.store_edges {
+        put_edge(out, *e);
+    }
+    put_u64(out, ckpt.tracker_initial as u64);
+    put_u64(out, ckpt.tracker_remaining.len() as u64);
+    for key in &ckpt.tracker_remaining {
+        put_u64(out, *key);
+    }
+    put_stats(out, &ckpt.stats);
+    put_u64(out, ckpt.conv_seq);
+    put_u64(out, ckpt.rng_words);
+}
+
+impl<'a> Reader<'a> {
+    fn header(&mut self, kind: u8) {
+        let magic = self.u32();
+        assert_eq!(magic, SNAP_MAGIC, "snapshot: bad magic {magic:#x}");
+        let version = self.u32();
+        assert_eq!(
+            version, SNAP_VERSION,
+            "snapshot: unsupported version {version}"
+        );
+        let k = self.u8();
+        assert_eq!(k, kind, "snapshot: wrong kind byte {k}");
+    }
+
+    fn stats(&mut self) -> RankStats {
+        RankStats {
+            performed: self.u64(),
+            performed_local: self.u64(),
+            performed_global: self.u64(),
+            performed_fastpath: self.u64(),
+            aborts_loop: self.u64(),
+            aborts_useless: self.u64(),
+            aborts_parallel: self.u64(),
+            aborts_contended: self.u64(),
+            forfeited: self.u64(),
+            proposals_served: self.u64(),
+            validations_served: self.u64(),
+            spec_committed: self.u64(),
+            spec_rolled_back: self.u64(),
+        }
+    }
+
+    fn comm(&mut self) -> CommStats {
+        let mut comm = CommStats {
+            packets_sent: self.u64(),
+            bytes_sent: self.u64(),
+            packets_received: self.u64(),
+            collectives: self.u64(),
+            parks: self.u64(),
+            park_ns: self.u64(),
+            recv_queue_peak: self.u64(),
+            recv_buf_reuses: self.u64(),
+            ..CommStats::default()
+        };
+        for slot in 0..KIND_SLOTS {
+            comm.logical_by_kind[slot] = self.u64();
+        }
+        comm
+    }
+
+    fn telemetry(&mut self) -> StepTelemetry {
+        let mut tel = StepTelemetry {
+            ops: self.u64(),
+            started: self.u64(),
+            performed: self.u64(),
+            local_fastpath: self.u64(),
+            forfeited: self.u64(),
+            served: self.u64(),
+            blocked: self.u64(),
+            parked: self.u64(),
+            window_peak: self.u64(),
+            spec_committed: self.u64(),
+            spec_rolled_back: self.u64(),
+            packets: self.u64(),
+            trades: self.u64(),
+            neighbors_moved: self.u64(),
+            ..StepTelemetry::default()
+        };
+        let mut slots = [0u64; MsgKind::COUNT];
+        for slot in &mut slots {
+            *slot = self.u64();
+        }
+        tel.logical_msgs = MsgCounts::from_slots(slots);
+        tel.boundary_ns = self.f64();
+        tel.drain_ns = self.f64();
+        tel.barrier_ns = self.f64();
+        tel.qrefresh_ns = self.f64();
+        tel.wait_ns = self.f64();
+        tel
+    }
+
+    fn rank_checkpoint(&mut self) -> RankCheckpoint {
+        let rank = self.u64() as usize;
+        let edges = self.u64() as usize;
+        let store_edges = (0..edges).map(|_| self.edge()).collect();
+        let tracker_initial = self.u64() as usize;
+        let remaining = self.u64() as usize;
+        let tracker_remaining = (0..remaining).map(|_| self.u64()).collect();
+        RankCheckpoint {
+            rank,
+            store_edges,
+            tracker_initial,
+            tracker_remaining,
+            stats: self.stats(),
+            conv_seq: self.u64(),
+            rng_words: self.u64(),
+        }
+    }
+
+    fn finish(self) {
+        assert_eq!(
+            self.at,
+            self.bytes.len(),
+            "snapshot: {} trailing bytes",
+            self.bytes.len() - self.at
+        );
+    }
+}
+
+/// Serialize a [`WorldSnapshot`] (deterministic bytes for a given
+/// snapshot — rank checkpoints carry their sets pre-sorted).
+pub fn encode_world_snapshot(snap: &WorldSnapshot) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_header(&mut out, SNAP_WORLD);
+    put_u64(&mut out, snap.seed);
+    put_u64(&mut out, snap.p as u64);
+    put_u64(&mut out, snap.n as u64);
+    put_u64(&mut out, snap.t);
+    put_u64(&mut out, snap.next_step);
+    put_u64(&mut out, snap.ranks.len() as u64);
+    for ckpt in &snap.ranks {
+        put_rank_checkpoint(&mut out, ckpt);
+    }
+    put_u64(&mut out, snap.comm.len() as u64);
+    for comm in &snap.comm {
+        put_comm(&mut out, comm);
+    }
+    put_u64(&mut out, snap.telemetry.len() as u64);
+    for tel in &snap.telemetry {
+        put_telemetry(&mut out, tel);
+    }
+    put_u64(&mut out, snap.initial_edges.len() as u64);
+    for v in &snap.initial_edges {
+        put_u64(&mut out, *v);
+    }
+    out
+}
+
+/// Decode a [`WorldSnapshot`]; panics on malformed, truncated, trailing
+/// or wrong-version bytes (a checkpoint file is trusted once its header
+/// matches — corruption is an operator error worth failing loudly on).
+pub fn decode_world_snapshot(bytes: &[u8]) -> WorldSnapshot {
+    let mut r = Reader { bytes, at: 0 };
+    r.header(SNAP_WORLD);
+    let seed = r.u64();
+    let p = r.u64() as usize;
+    let n = r.u64() as usize;
+    let t = r.u64();
+    let next_step = r.u64();
+    let ranks_len = r.u64() as usize;
+    let ranks = (0..ranks_len).map(|_| r.rank_checkpoint()).collect();
+    let comm_len = r.u64() as usize;
+    let comm = (0..comm_len).map(|_| r.comm()).collect();
+    let tel_len = r.u64() as usize;
+    let telemetry = (0..tel_len).map(|_| r.telemetry()).collect();
+    let ie_len = r.u64() as usize;
+    let initial_edges = (0..ie_len).map(|_| r.u64()).collect();
+    let snap = WorldSnapshot {
+        seed,
+        p,
+        n,
+        t,
+        next_step,
+        ranks,
+        comm,
+        telemetry,
+        initial_edges,
+    };
+    r.finish();
+    snap
+}
+
+/// Serialize a [`SeqCheckpoint`].
+pub fn encode_seq_checkpoint(ckpt: &SeqCheckpoint) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_header(&mut out, SNAP_SEQ);
+    put_u64(&mut out, ckpt.seed);
+    put_u64(&mut out, ckpt.n as u64);
+    put_u64(&mut out, ckpt.t);
+    put_u64(&mut out, ckpt.performed);
+    put_u64(&mut out, ckpt.abandoned);
+    put_u64(&mut out, ckpt.rejects.self_loop);
+    put_u64(&mut out, ckpt.rejects.useless);
+    put_u64(&mut out, ckpt.rejects.parallel);
+    put_u64(&mut out, ckpt.tracker_initial as u64);
+    put_u64(&mut out, ckpt.tracker_remaining.len() as u64);
+    for key in &ckpt.tracker_remaining {
+        put_u64(&mut out, *key);
+    }
+    put_u64(&mut out, ckpt.graph_edges.len() as u64);
+    for e in &ckpt.graph_edges {
+        put_edge(&mut out, *e);
+    }
+    put_u64(&mut out, ckpt.rng_words);
+    out
+}
+
+/// Decode a [`SeqCheckpoint`]; same trust model as
+/// [`decode_world_snapshot`].
+pub fn decode_seq_checkpoint(bytes: &[u8]) -> SeqCheckpoint {
+    let mut r = Reader { bytes, at: 0 };
+    r.header(SNAP_SEQ);
+    let seed = r.u64();
+    let n = r.u64() as usize;
+    let t = r.u64();
+    let performed = r.u64();
+    let abandoned = r.u64();
+    let rejects = RejectCounts {
+        self_loop: r.u64(),
+        useless: r.u64(),
+        parallel: r.u64(),
+    };
+    let tracker_initial = r.u64() as usize;
+    let rem_len = r.u64() as usize;
+    let tracker_remaining = (0..rem_len).map(|_| r.u64()).collect();
+    let edge_len = r.u64() as usize;
+    let graph_edges = (0..edge_len).map(|_| r.edge()).collect();
+    let ckpt = SeqCheckpoint {
+        seed,
+        n,
+        t,
+        performed,
+        abandoned,
+        rejects,
+        tracker_initial,
+        tracker_remaining,
+        graph_edges,
+        rng_words: r.u64(),
+    };
+    r.finish();
+    ckpt
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -516,5 +869,112 @@ mod tests {
             Msg::EndOfStep,
             Msg::Done { conv: conv(5, 6) },
         ]));
+    }
+
+    fn sample_rank_checkpoint(rank: usize) -> RankCheckpoint {
+        RankCheckpoint {
+            rank,
+            store_edges: vec![Edge::new(1, 2), Edge::new(3, 4), Edge::new(2, 5)],
+            tracker_initial: 3,
+            tracker_remaining: vec![Edge::new(3, 4).key()],
+            stats: RankStats {
+                performed: 7,
+                performed_local: 5,
+                performed_global: 2,
+                performed_fastpath: 4,
+                aborts_loop: 1,
+                aborts_useless: 2,
+                aborts_parallel: 3,
+                aborts_contended: 4,
+                forfeited: 0,
+                proposals_served: 6,
+                validations_served: 9,
+                spec_committed: 1,
+                spec_rolled_back: 1,
+            },
+            conv_seq: 42,
+            rng_words: 12345,
+        }
+    }
+
+    #[test]
+    fn world_snapshot_roundtrips() {
+        let mut tel = StepTelemetry {
+            ops: 10,
+            started: 11,
+            performed: 9,
+            packets: 3,
+            boundary_ns: 1.5,
+            wait_ns: 2.25,
+            ..StepTelemetry::default()
+        };
+        tel.logical_msgs.record(&Msg::EndOfStep);
+        let comm = CommStats {
+            packets_sent: 5,
+            bytes_sent: 400,
+            packets_received: 5,
+            ..CommStats::default()
+        };
+        let snap = WorldSnapshot {
+            seed: 99,
+            p: 2,
+            n: 50,
+            t: 1000,
+            next_step: 3,
+            ranks: vec![sample_rank_checkpoint(0), sample_rank_checkpoint(1)],
+            comm: vec![comm, comm],
+            telemetry: vec![tel.clone(), tel],
+            initial_edges: vec![100, 101],
+        };
+        let bytes = encode_world_snapshot(&snap);
+        assert_eq!(decode_world_snapshot(&bytes), snap);
+        // Deterministic bytes: re-encoding the decode is identical.
+        assert_eq!(encode_world_snapshot(&decode_world_snapshot(&bytes)), bytes);
+    }
+
+    #[test]
+    fn seq_checkpoint_roundtrips() {
+        let ckpt = SeqCheckpoint {
+            seed: 17,
+            n: 30,
+            t: 500,
+            performed: 123,
+            abandoned: 0,
+            rejects: RejectCounts {
+                self_loop: 3,
+                useless: 2,
+                parallel: 8,
+            },
+            tracker_initial: 90,
+            tracker_remaining: vec![1, 5, 9],
+            graph_edges: vec![Edge::new(0, 1), Edge::new(2, 3)],
+            rng_words: 777,
+        };
+        let bytes = encode_seq_checkpoint(&ckpt);
+        assert_eq!(decode_seq_checkpoint(&bytes), ckpt);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad magic")]
+    fn snapshot_decode_rejects_garbage() {
+        decode_world_snapshot(&[0u8; 32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong kind")]
+    fn snapshot_decode_rejects_kind_mismatch() {
+        let ckpt = SeqCheckpoint {
+            seed: 1,
+            n: 2,
+            t: 3,
+            performed: 0,
+            abandoned: 0,
+            rejects: RejectCounts::default(),
+            tracker_initial: 0,
+            tracker_remaining: vec![],
+            graph_edges: vec![],
+            rng_words: 0,
+        };
+        decode_world_snapshot(&encode_seq_checkpoint(&ckpt));
     }
 }

@@ -25,15 +25,69 @@
 //! The original free functions remain as thin layers over the same
 //! engines; `Run` is the recommended entry point.
 
-use crate::config::{Backend, ParallelConfig, Randomizer, StepSize};
+use crate::config::{Backend, ParallelConfig, QuotaPolicy, Randomizer, StepSize};
 use crate::obs::{ObsSpec, RunReport};
+use crate::parallel::proc::{process_backend_supported, try_parallel_edge_switch_proc, ProcError};
 use crate::parallel::{
     parallel_curveball, parallel_edge_switch, simulate_curveball, simulate_parallel,
     ParallelOutcome,
 };
 use crate::sequential::{sequential_edge_switch_observed, SequentialOutcome};
 use crate::trade::{sequential_curveball_observed, TradeBudget};
-use edgeswitch_graph::{Graph, SchemeKind};
+use edgeswitch_graph::{Graph, Partitioner, SchemeKind};
+
+/// Why a [`Run`] could not execute. Produced by [`Run::try_execute`];
+/// [`Run::execute`] panics with the same message.
+///
+/// Validation errors ([`RunError::InvalidBudget`],
+/// [`RunError::InvalidConfig`]) are recorded at the builder call that
+/// supplied the bad value — the first offending call wins — and surface
+/// at execute time, so a server can reject a bad job submission without
+/// running anything. Launch errors ([`RunError::BackendUnsupported`],
+/// [`RunError::SpawnFailed`], [`RunError::RankDied`]) come from the
+/// process backend's fallible launcher.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The budget is unusable: a visit-rate target outside `(0, 1]` or
+    /// not a number.
+    InvalidBudget(String),
+    /// A configuration knob is out of its documented range (`p ≥ 1`,
+    /// `window ≥ 1`, `spec_batch ≥ 1`).
+    InvalidConfig(String),
+    /// The selected backend cannot run this job on this platform or with
+    /// this randomizer (the process backend needs Linux and supports
+    /// switches only).
+    BackendUnsupported(String),
+    /// A process-backend rank child could not be spawned.
+    SpawnFailed(String),
+    /// A process-backend rank child died, exited abnormally, or returned
+    /// no result.
+    RankDied(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::InvalidBudget(detail) => write!(f, "invalid budget: {detail}"),
+            RunError::InvalidConfig(detail) => write!(f, "invalid config: {detail}"),
+            RunError::BackendUnsupported(detail) => write!(f, "backend unsupported: {detail}"),
+            RunError::SpawnFailed(detail) => write!(f, "spawn failed: {detail}"),
+            RunError::RankDied(detail) => write!(f, "rank died: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<ProcError> for RunError {
+    fn from(err: ProcError) -> Self {
+        match err {
+            ProcError::Unsupported(_) => RunError::BackendUnsupported(err.to_string()),
+            ProcError::Spawn { .. } => RunError::SpawnFailed(err.to_string()),
+            ProcError::RankDied { .. } => RunError::RankDied(err.to_string()),
+        }
+    }
+}
 
 /// Which engine executes the run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,15 +119,35 @@ pub struct Run {
     mode: Mode,
     budget: Budget,
     config: ParallelConfig,
+    /// First validation error recorded by a builder call, surfaced by
+    /// [`Run::try_execute`]. Builders record it *before* the config's
+    /// defensive clamps run, so the raw offending value is preserved.
+    invalid: Option<RunError>,
 }
 
 impl Run {
     fn new(mode: Mode, processors: usize) -> Self {
+        let invalid = if processors == 0 {
+            Some(RunError::InvalidConfig(
+                "processors must be >= 1 (got 0)".to_string(),
+            ))
+        } else {
+            None
+        };
         Run {
             mode,
             // The paper's headline experiments run to full visit rate.
             budget: Budget::VisitRate(1.0),
-            config: ParallelConfig::new(processors),
+            config: ParallelConfig::new(processors.max(1)),
+            invalid,
+        }
+    }
+
+    /// Record the first validation error; later ones are ignored so the
+    /// surfaced message names the builder call that went wrong first.
+    fn record_invalid(&mut self, err: RunError) {
+        if self.invalid.is_none() {
+            self.invalid = Some(err);
         }
     }
 
@@ -109,8 +183,14 @@ impl Run {
 
     /// Budget by target expected visit rate `x` (the default, at
     /// `x = 1.0`): `t` is derived from the graph's edge count at
-    /// execute time.
+    /// execute time. Accepted range: `x ∈ (0, 1]`; anything else
+    /// (including NaN) is [`RunError::InvalidBudget`] at execute time.
     pub fn visit_rate(mut self, x: f64) -> Self {
+        if !(x > 0.0 && x <= 1.0) {
+            self.record_invalid(RunError::InvalidBudget(format!(
+                "visit_rate must lie in (0, 1] (got {x})"
+            )));
+        }
         self.budget = Budget::VisitRate(x);
         self
     }
@@ -153,16 +233,38 @@ impl Run {
         self
     }
 
+    /// Quota/partner weighting policy (parallel/simulated only):
+    /// edge-proportional (the paper's Algorithm 2, the default) or
+    /// uniform `1/p` (an ablation that breaks stochastic equivalence).
+    pub fn quota_policy(mut self, policy: QuotaPolicy) -> Self {
+        self.config = self.config.with_quota_policy(policy);
+        self
+    }
+
     /// Pipelining window (parallel/simulated only; `1` = stop-and-wait).
+    /// Accepted range: `window ≥ 1`; `0` is [`RunError::InvalidConfig`]
+    /// at execute time.
     pub fn window(mut self, window: usize) -> Self {
+        if window == 0 {
+            self.record_invalid(RunError::InvalidConfig(
+                "window must be >= 1 (got 0)".to_string(),
+            ));
+        }
         self.config = self.config.with_window(window);
         self
     }
 
     /// Speculative batch size (parallel/simulated only; `1`, the
     /// default, keeps every switch on the per-switch conversation path —
-    /// see [`ParallelConfig::with_spec_batch`]).
+    /// see [`ParallelConfig::with_spec_batch`]). Accepted range:
+    /// `spec_batch ≥ 1`; `0` is [`RunError::InvalidConfig`] at execute
+    /// time.
     pub fn spec_batch(mut self, spec_batch: usize) -> Self {
+        if spec_batch == 0 {
+            self.record_invalid(RunError::InvalidConfig(
+                "spec_batch must be >= 1 (got 0)".to_string(),
+            ));
+        }
         self.config = self.config.with_spec_batch(spec_batch);
         self
     }
@@ -196,6 +298,31 @@ impl Run {
         &self.config
     }
 
+    /// Check the builder without executing anything: surfaces the first
+    /// recorded builder error and backend combinations this platform
+    /// cannot run. A job server calls this at submit time so bad jobs
+    /// are rejected before they queue.
+    pub fn validate(&self) -> Result<(), RunError> {
+        if let Some(err) = &self.invalid {
+            return Err(err.clone());
+        }
+        if self.config.backend == Backend::Process {
+            if self.config.randomizer == Randomizer::Curveball {
+                return Err(RunError::BackendUnsupported(
+                    "the process backend runs the switch protocol only; \
+                     Curveball needs the threaded or simulated driver"
+                        .to_string(),
+                ));
+            }
+            if self.mode == Mode::Parallel && !process_backend_supported() {
+                return Err(RunError::BackendUnsupported(
+                    "the process backend needs shared-memory support (Linux)".to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Resolve the budget against `graph`.
     fn resolve_ops(&self, graph: &Graph) -> u64 {
         match self.budget {
@@ -218,19 +345,45 @@ impl Run {
         }
     }
 
-    /// Execute the run. The input graph is not modified: sequential runs
-    /// switch a clone, parallel runs partition and reassemble.
+    /// Execute the run, panicking with the [`RunError`]'s message on any
+    /// failure. Thin wrapper over [`Run::try_execute`] for callers (the
+    /// bench CLI, examples, tests) that treat failure as fatal. The input
+    /// graph is not modified: sequential runs switch a clone, parallel
+    /// runs partition and reassemble.
     pub fn execute(&self, graph: &Graph) -> RunOutcome {
+        self.try_execute(graph)
+            .unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Execute the run, surfacing failures as typed [`RunError`]s: bad
+    /// builder inputs recorded at the call that supplied them
+    /// ([`RunError::InvalidBudget`], [`RunError::InvalidConfig`]),
+    /// backend/randomizer combinations this platform cannot run
+    /// ([`RunError::BackendUnsupported`]), and process-backend launch or
+    /// rank failures ([`RunError::SpawnFailed`], [`RunError::RankDied`]).
+    /// The input graph is not modified.
+    pub fn try_execute(&self, graph: &Graph) -> Result<RunOutcome, RunError> {
+        self.validate()?;
         if self.config.randomizer == Randomizer::Curveball {
-            return self.execute_curveball(graph);
+            return Ok(self.execute_curveball(graph));
         }
         let t = self.resolve_ops(graph);
-        match self.mode {
+        Ok(match self.mode {
             Mode::Sequential => {
                 let mut g = graph.clone();
                 let mut rng = edgeswitch_dist::root_rng(self.config.seed);
                 let outcome = sequential_edge_switch_observed(&mut g, t, &mut rng, self.config.obs);
                 RunOutcome::Sequential(Box::new(SequentialRun { graph: g, outcome }))
+            }
+            Mode::Parallel if self.config.backend == Backend::Process => {
+                // The same dispatch as `parallel_edge_switch`, but through
+                // the fallible launcher so spawn/rank failures surface as
+                // errors instead of panics.
+                let mut rng = self.config.root_rng();
+                let part =
+                    Partitioner::build(self.config.scheme, graph, self.config.processors, &mut rng);
+                let out = try_parallel_edge_switch_proc(graph, t, &self.config, &part)?;
+                RunOutcome::Parallel(Box::new(out))
             }
             Mode::Parallel => {
                 RunOutcome::Parallel(Box::new(parallel_edge_switch(graph, t, &self.config)))
@@ -238,7 +391,7 @@ impl Run {
             Mode::Simulated => {
                 RunOutcome::Parallel(Box::new(simulate_parallel(graph, t, &self.config)))
             }
-        }
+        })
     }
 
     /// The Curveball dispatch of [`Run::execute`]. A sequential trade
@@ -406,6 +559,92 @@ mod tests {
         assert_eq!(out.performed(), t);
         // Input untouched.
         assert_eq!(g.num_edges(), 600);
+    }
+
+    #[test]
+    fn bad_visit_rate_is_invalid_budget() {
+        let g = graph();
+        for x in [0.0, -0.25, 1.5, f64::NAN] {
+            let err = Run::sequential()
+                .visit_rate(x)
+                .try_execute(&g)
+                .expect_err("bad visit rate must fail");
+            assert!(
+                matches!(err, RunError::InvalidBudget(_)),
+                "{x} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_knobs_are_invalid_config() {
+        let g = graph();
+        let zero_p = Run::parallel(0).switches(10).try_execute(&g);
+        assert!(matches!(zero_p, Err(RunError::InvalidConfig(_))));
+        let zero_window = Run::simulated(2).switches(10).window(0).try_execute(&g);
+        assert!(matches!(zero_window, Err(RunError::InvalidConfig(_))));
+        let zero_batch = Run::simulated(2).switches(10).spec_batch(0).try_execute(&g);
+        assert!(matches!(zero_batch, Err(RunError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn first_builder_error_wins() {
+        let g = graph();
+        let err = Run::simulated(2)
+            .visit_rate(2.0)
+            .window(0)
+            .try_execute(&g)
+            .expect_err("both knobs invalid");
+        assert!(matches!(err, RunError::InvalidBudget(_)), "{err:?}");
+    }
+
+    #[test]
+    fn curveball_on_process_backend_is_unsupported() {
+        let g = graph();
+        let err = Run::process(2)
+            .randomizer(Randomizer::Curveball)
+            .switches(10)
+            .try_execute(&g)
+            .expect_err("curveball has no process driver");
+        assert!(matches!(err, RunError::BackendUnsupported(_)), "{err:?}");
+    }
+
+    #[test]
+    fn unspawnable_rank_exe_is_spawn_failed() {
+        if !crate::parallel::process_backend_supported() {
+            return;
+        }
+        let g = graph();
+        let mut run = Run::process(2).switches(50).seed(4);
+        run.config.proc_opts.exe_override =
+            Some(std::path::PathBuf::from("/nonexistent/edgeswitch-rank-exe"));
+        let err = run.try_execute(&g).expect_err("spawn must fail");
+        assert!(matches!(err, RunError::SpawnFailed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn rank_exiting_without_results_is_rank_died() {
+        if !crate::parallel::process_backend_supported() {
+            return;
+        }
+        let g = graph();
+        let mut run = Run::process(2).switches(50).seed(4);
+        // `false` spawns fine, then exits nonzero without ever attaching
+        // to the shm world or returning a result.
+        run.config.proc_opts.exe_override = Some(std::path::PathBuf::from("/bin/false"));
+        let err = run.try_execute(&g).expect_err("dead rank must fail");
+        assert!(matches!(err, RunError::RankDied(_)), "{err:?}");
+    }
+
+    #[test]
+    fn execute_panics_with_the_error_display() {
+        let g = graph();
+        let caught = std::panic::catch_unwind(|| {
+            Run::sequential().visit_rate(0.0).execute(&g);
+        })
+        .expect_err("execute must panic");
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("invalid budget"), "panic message: {msg}");
     }
 
     #[test]

@@ -8,7 +8,8 @@
 use crate::obs::{Obs, ObsSpec, Phase, RunReport};
 use crate::switch::{flip_kind, recombine, Recombination, RejectReason};
 use crate::visit::VisitTracker;
-use edgeswitch_graph::{Graph, OrientedEdge};
+use edgeswitch_dist::{root_rng, BlockRng64};
+use edgeswitch_graph::{Edge, Graph, OrientedEdge};
 use rand::Rng;
 
 /// Per-reason rejection counters.
@@ -109,7 +110,51 @@ pub fn sequential_edge_switch_observed<R: Rng + ?Sized>(
         finish_report(&mut outcome, obs, run_start);
         return outcome;
     }
-    'ops: for _ in 0..t {
+    let chunk = run_ops_chunk(
+        graph,
+        t,
+        rng,
+        &mut outcome.tracker,
+        &mut outcome.rejects,
+        &mut outcome.performed,
+        &mut obs,
+    );
+    if chunk == ChunkOutcome::Starved {
+        // No legal switch found; the remaining budget will fare no
+        // better on a graph this degenerate.
+        outcome.abandoned = t - outcome.performed;
+    }
+    finish_report(&mut outcome, obs, run_start);
+    outcome
+}
+
+/// How a chunk of operations ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ChunkOutcome {
+    /// All `ops` operations performed.
+    Ran,
+    /// An operation exhausted its retry budget; the graph is
+    /// switch-starved and the caller should abandon the rest.
+    Starved,
+}
+
+/// Run up to `ops` switch operations — the body of Algorithm 1, with all
+/// accumulating state passed in by the caller.
+///
+/// This is the single implementation shared by the one-shot entry points
+/// and [`SequentialResumable`]: chunk boundaries consume no randomness
+/// and touch no state beyond the arguments, so splitting a budget across
+/// calls is bit-identical to one uninterrupted call.
+fn run_ops_chunk<R: Rng + ?Sized>(
+    graph: &mut Graph,
+    ops: u64,
+    rng: &mut R,
+    tracker: &mut VisitTracker,
+    rejects: &mut RejectCounts,
+    performed: &mut u64,
+    obs: &mut Obs,
+) -> ChunkOutcome {
+    'ops: for _ in 0..ops {
         let mut retries = 0u64;
         loop {
             let sample_start = obs.now();
@@ -132,9 +177,9 @@ pub fn sequential_edge_switch_observed<R: Rng + ?Sized>(
                         graph.remove_edge(o2).expect("sampled edge exists");
                         graph.add_edge(f1).expect("checked absent");
                         graph.add_edge(f2).expect("checked absent");
-                        outcome.tracker.record_removal(o1);
-                        outcome.tracker.record_removal(o2);
-                        outcome.performed += 1;
+                        tracker.record_removal(o1);
+                        tracker.record_removal(o2);
+                        *performed += 1;
                         obs.span_since(Phase::SwitchApply, apply_start);
                         continue 'ops;
                     }
@@ -144,19 +189,14 @@ pub fn sequential_edge_switch_observed<R: Rng + ?Sized>(
                     r
                 }
             };
-            outcome.rejects.bump(reason);
+            rejects.bump(reason);
             retries += 1;
             if retries >= MAX_RETRIES_PER_OP {
-                // No legal switch found; the remaining budget will fare
-                // no better on a graph this degenerate.
-                outcome.abandoned = t - outcome.performed;
-                finish_report(&mut outcome, obs, run_start);
-                return outcome;
+                return ChunkOutcome::Starved;
             }
         }
     }
-    finish_report(&mut outcome, obs, run_start);
-    outcome
+    ChunkOutcome::Ran
 }
 
 /// Fold an observation context into the outcome's [`RunReport`] (no-op
@@ -181,6 +221,204 @@ pub fn sequential_for_visit_rate<R: Rng + ?Sized>(
 ) -> (SequentialOutcome, u64) {
     let t = edgeswitch_dist::switch_ops_for_visit_rate(graph.num_edges() as u64, x);
     (sequential_edge_switch(graph, t, rng), t)
+}
+
+/// The persistent state of a [`SequentialResumable`] between chunks —
+/// everything a resumed run needs to continue bit-identically.
+///
+/// Serialized by the snapshot codec in
+/// [`crate::parallel::wire`]; the RNG is captured as its
+/// stream position and re-derived from the seed on restore.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeqCheckpoint {
+    /// Job seed (the RNG stream is `root_rng(seed)`).
+    pub seed: u64,
+    /// Vertex count of the graph under randomization.
+    pub n: usize,
+    /// Total operation budget.
+    pub t: u64,
+    /// Operations performed so far.
+    pub performed: u64,
+    /// Operations abandoned (nonzero only once starved, i.e. done).
+    pub abandoned: u64,
+    /// Rejection counters so far.
+    pub rejects: RejectCounts,
+    /// [`VisitTracker::initial_count`] at capture.
+    pub tracker_initial: usize,
+    /// Unvisited edge keys, sorted for deterministic snapshot bytes.
+    pub tracker_remaining: Vec<u64>,
+    /// Current graph edges in pool (insertion) order — pool order is
+    /// sampling order, so it is load-bearing.
+    pub graph_edges: Vec<Edge>,
+    /// Words served from the RNG stream at capture.
+    pub rng_words: u64,
+}
+
+/// Algorithm 1 as a pausable engine: the same switch loop as
+/// [`sequential_edge_switch`], split into caller-sized chunks with a
+/// checkpoint between any two of them.
+///
+/// Chunk boundaries consume no randomness and the RNG is block-buffered
+/// with a word counter ([`BlockRng64`]), so for a given `(graph, t,
+/// seed)` the final graph and counters are bit-identical whether the
+/// budget runs in one call, many chunks, or across a
+/// checkpoint/restore — the property the job service's checkpointer
+/// relies on. Resumable runs are unobserved (probes cannot be
+/// snapshotted); progress is read from [`SequentialResumable::performed`]
+/// instead.
+pub struct SequentialResumable {
+    graph: Graph,
+    seed: u64,
+    t: u64,
+    performed: u64,
+    abandoned: u64,
+    rejects: RejectCounts,
+    tracker: VisitTracker,
+    rng: BlockRng64,
+    obs: Obs,
+}
+
+impl SequentialResumable {
+    /// Start a run of `t` operations on `graph` seeded with `seed`.
+    ///
+    /// The RNG stream is `root_rng(seed)` behind a block buffer —
+    /// bit-identical to the bare stream the one-shot entry points use.
+    pub fn new(graph: Graph, t: u64, seed: u64) -> Self {
+        let tracker = VisitTracker::new(graph.edges());
+        let mut this = SequentialResumable {
+            graph,
+            seed,
+            t,
+            performed: 0,
+            abandoned: 0,
+            rejects: RejectCounts::default(),
+            tracker,
+            rng: BlockRng64::new(root_rng(seed)),
+            obs: Obs::noop(),
+        };
+        if this.graph.num_edges() < 2 {
+            this.abandoned = t;
+        }
+        this
+    }
+
+    /// Run up to `max_ops` further operations; returns how many were
+    /// performed this chunk. Starvation abandons the rest of the budget,
+    /// exactly like the one-shot path.
+    pub fn step(&mut self, max_ops: u64) -> u64 {
+        if self.is_done() {
+            return 0;
+        }
+        let before = self.performed;
+        let ops = max_ops.min(self.t - self.performed);
+        let chunk = run_ops_chunk(
+            &mut self.graph,
+            ops,
+            &mut self.rng,
+            &mut self.tracker,
+            &mut self.rejects,
+            &mut self.performed,
+            &mut self.obs,
+        );
+        if chunk == ChunkOutcome::Starved {
+            self.abandoned = self.t - self.performed;
+        }
+        self.performed - before
+    }
+
+    /// Stream live progress out of this run: cumulative span totals go
+    /// through `tx` every `every` spans (see
+    /// [`StreamingProbe`](crate::obs::StreamingProbe)). Probes only read,
+    /// so a streamed run stays bit-identical to a silent one; snapshots
+    /// do not carry the probe — a restored run starts silent until a
+    /// probe is attached again.
+    pub fn attach_probe(
+        &mut self,
+        tx: std::sync::mpsc::Sender<crate::obs::ProgressEvent>,
+        every: u64,
+    ) {
+        self.obs = Obs::with_probe(
+            Box::new(crate::obs::StreamingProbe::new(tx, every)),
+            std::sync::Arc::new(crate::obs::MonoClock::new()),
+        );
+    }
+
+    /// Whether the budget is exhausted (performed or abandoned).
+    pub fn is_done(&self) -> bool {
+        self.performed + self.abandoned >= self.t
+    }
+
+    /// Operations performed so far.
+    pub fn performed(&self) -> u64 {
+        self.performed
+    }
+
+    /// Total operation budget.
+    pub fn budget(&self) -> u64 {
+        self.t
+    }
+
+    /// Observed visit rate so far.
+    pub fn visit_rate(&self) -> f64 {
+        self.tracker.visit_rate()
+    }
+
+    /// Capture the complete engine state at a chunk boundary.
+    pub fn checkpoint(&self) -> SeqCheckpoint {
+        let mut tracker_remaining: Vec<u64> = self.tracker.remaining_keys().collect();
+        tracker_remaining.sort_unstable();
+        SeqCheckpoint {
+            seed: self.seed,
+            n: self.graph.num_vertices(),
+            t: self.t,
+            performed: self.performed,
+            abandoned: self.abandoned,
+            rejects: self.rejects,
+            tracker_initial: self.tracker.initial_count(),
+            tracker_remaining,
+            graph_edges: self.graph.edges().collect(),
+            rng_words: self.rng.words_served(),
+        }
+    }
+
+    /// Rebuild an engine from a checkpoint: graph reinserted in captured
+    /// pool order, tracker from its parts, RNG re-derived from the seed
+    /// and fast-forwarded to the recorded stream position.
+    pub fn restore(ckpt: &SeqCheckpoint) -> Self {
+        let graph = Graph::from_edges(ckpt.n, ckpt.graph_edges.iter().copied())
+            .expect("checkpointed graph is well-formed");
+        let mut rng = BlockRng64::new(root_rng(ckpt.seed));
+        rng.skip_words(ckpt.rng_words);
+        SequentialResumable {
+            graph,
+            seed: ckpt.seed,
+            t: ckpt.t,
+            performed: ckpt.performed,
+            abandoned: ckpt.abandoned,
+            rejects: ckpt.rejects,
+            tracker: VisitTracker::from_parts(
+                ckpt.tracker_initial,
+                ckpt.tracker_remaining.iter().copied(),
+            ),
+            rng,
+            obs: Obs::noop(),
+        }
+    }
+
+    /// Tear down into the switched graph and the run outcome
+    /// (`report` is `None`: resumable runs are unobserved).
+    pub fn finish(self) -> (Graph, SequentialOutcome) {
+        (
+            self.graph,
+            SequentialOutcome {
+                performed: self.performed,
+                abandoned: self.abandoned,
+                rejects: self.rejects,
+                tracker: self.tracker,
+                report: None,
+            },
+        )
+    }
 }
 
 #[cfg(test)]
@@ -276,6 +514,62 @@ mod tests {
         sequential_edge_switch(&mut g2, 500, &mut r2);
 
         assert!(g1.same_edge_set(&g2));
+    }
+
+    #[test]
+    fn resumable_chunked_matches_one_shot() {
+        let mut rng = root_rng(11);
+        let g0 = erdos_renyi_gnm(120, 500, &mut rng);
+
+        let mut reference = g0.clone();
+        let ref_out = sequential_edge_switch(&mut reference, 800, &mut root_rng(42));
+
+        let mut eng = SequentialResumable::new(g0, 800, 42);
+        while !eng.is_done() {
+            eng.step(37); // deliberately awkward chunk size
+        }
+        let (g, out) = eng.finish();
+        assert_eq!(g.sorted_edges(), reference.sorted_edges());
+        assert_eq!(out.performed, ref_out.performed);
+        assert_eq!(out.rejects, ref_out.rejects);
+        assert_eq!(out.tracker.visited_count(), ref_out.tracker.visited_count());
+    }
+
+    #[test]
+    fn resumable_checkpoint_restore_is_bit_identical() {
+        let mut rng = root_rng(12);
+        let g0 = erdos_renyi_gnm(150, 600, &mut rng);
+
+        let mut full = SequentialResumable::new(g0.clone(), 1000, 7);
+        while !full.is_done() {
+            full.step(1000);
+        }
+        let (gf, of) = full.finish();
+
+        let mut first = SequentialResumable::new(g0, 1000, 7);
+        first.step(333);
+        let ckpt = first.checkpoint();
+        drop(first); // simulate the process dying
+        let mut second = SequentialResumable::restore(&ckpt);
+        while !second.is_done() {
+            second.step(250);
+        }
+        let (gr, or) = second.finish();
+        assert_eq!(gf.sorted_edges(), gr.sorted_edges());
+        assert_eq!(of.performed, or.performed);
+        assert_eq!(of.rejects, or.rejects);
+        assert_eq!(of.tracker.visited_count(), or.tracker.visited_count());
+    }
+
+    #[test]
+    fn resumable_starved_graph_abandons() {
+        let g = Graph::from_edges(6, (1..6u64).map(|v| Edge::new(0, v))).unwrap();
+        let mut eng = SequentialResumable::new(g, 10, 5);
+        eng.step(10);
+        assert!(eng.is_done());
+        let (_, out) = eng.finish();
+        assert_eq!(out.performed, 0);
+        assert_eq!(out.abandoned, 10);
     }
 
     #[test]

@@ -27,6 +27,15 @@ pub const RNG_BLOCK_WORDS: usize = 32;
 /// `u64` sequence the bare [`Rng64`] would have produced. `next_u32`
 /// truncates a full word just like `rand_pcg`'s `Pcg64` does, which is
 /// what keeps seeded runs bit-identical to the unbuffered stream.
+///
+/// Every draw routes through [`RngCore::next_u64`], so the generator
+/// also knows its exact *stream position*: [`BlockRng64::words_served`]
+/// counts the words handed out so far, and
+/// [`BlockRng64::skip_words`] fast-forwards a freshly derived stream to
+/// any recorded position. Together they make an engine checkpoint as
+/// small as one `u64` — re-derive the stream from `(seed, rank)` and
+/// skip — which is what the resumable drivers and the job service
+/// serialize instead of generator internals.
 #[derive(Clone, Debug)]
 pub struct BlockRng64 {
     core: Rng64,
@@ -34,6 +43,8 @@ pub struct BlockRng64 {
     /// Next unserved slot; `buf[pos..len]` are pending words.
     pos: usize,
     len: usize,
+    /// Total words handed to consumers since construction.
+    served: u64,
 }
 
 impl BlockRng64 {
@@ -44,6 +55,7 @@ impl BlockRng64 {
             buf: [0; RNG_BLOCK_WORDS],
             pos: 0,
             len: 0,
+            served: 0,
         }
     }
 
@@ -54,6 +66,23 @@ impl BlockRng64 {
         }
         self.pos = 0;
         self.len = RNG_BLOCK_WORDS;
+    }
+
+    /// Number of `u64` words served since construction — the stream
+    /// position a checkpoint records.
+    #[inline]
+    pub fn words_served(&self) -> u64 {
+        self.served
+    }
+
+    /// Fast-forward by drawing and discarding `n` words. Restoring a
+    /// checkpoint re-derives the stream from its seed and skips to the
+    /// recorded [`BlockRng64::words_served`]; every subsequent draw is
+    /// then bit-identical to the uninterrupted stream.
+    pub fn skip_words(&mut self, n: u64) {
+        for _ in 0..n {
+            self.next_u64();
+        }
     }
 }
 
@@ -71,6 +100,7 @@ impl RngCore for BlockRng64 {
         }
         let v = self.buf[self.pos];
         self.pos += 1;
+        self.served += 1;
         v
     }
 
@@ -180,6 +210,39 @@ mod tests {
         bare.fill_bytes(&mut a);
         block.fill_bytes(&mut b);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn words_served_counts_every_draw_shape() {
+        let mut block = rank_block_rng(9, 1);
+        assert_eq!(block.words_served(), 0);
+        block.next_u64();
+        assert_eq!(block.words_served(), 1);
+        block.next_u32(); // full word, truncated
+        assert_eq!(block.words_served(), 2);
+        let mut buf = [0u8; 17]; // 3 words (chunks of 8)
+        block.fill_bytes(&mut buf);
+        assert_eq!(block.words_served(), 5);
+        // Counting is refill-transparent.
+        for _ in 0..(2 * RNG_BLOCK_WORDS) {
+            block.next_u64();
+        }
+        assert_eq!(block.words_served(), 5 + 2 * RNG_BLOCK_WORDS as u64);
+    }
+
+    #[test]
+    fn skip_words_rejoins_the_stream_bit_exactly() {
+        let mut full = rank_block_rng(23, 2);
+        let n = RNG_BLOCK_WORDS as u64 + 7; // cross a refill boundary
+        for _ in 0..n {
+            full.next_u64();
+        }
+        let mut resumed = rank_block_rng(23, 2);
+        resumed.skip_words(n);
+        assert_eq!(resumed.words_served(), full.words_served());
+        for i in 0..100 {
+            assert_eq!(full.next_u64(), resumed.next_u64(), "post-skip draw {i}");
+        }
     }
 
     #[test]

@@ -153,6 +153,26 @@ impl Graph {
         v
     }
 
+    /// Order-independent 64-bit digest of the graph: vertex count plus
+    /// the sorted edge keys folded through a splitmix-style mixer. Two
+    /// graphs digest equal iff they have the same vertex count and edge
+    /// set regardless of pool order, so checkpoint/resume identity can
+    /// be asserted (and wired over protocols) without shipping the edges.
+    pub fn edge_digest(&self) -> u64 {
+        fn mix(mut z: u64) -> u64 {
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+        let mut keys: Vec<u64> = self.pool.iter().map(|e| e.key()).collect();
+        keys.sort_unstable();
+        let mut h = mix(0x65646765_u64 ^ self.num_vertices() as u64);
+        for k in keys {
+            h = mix(h ^ k.wrapping_mul(0x9e3779b97f4a7c15));
+        }
+        h
+    }
+
     /// Structural equality: same vertex count and same edge set.
     pub fn same_edge_set(&self, other: &Graph) -> bool {
         self.num_vertices() == other.num_vertices()
@@ -204,6 +224,23 @@ mod tests {
 
     fn path_graph(n: usize) -> Graph {
         Graph::from_edges(n, (0..n as u64 - 1).map(|i| Edge::new(i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn edge_digest_is_order_independent_and_discriminating() {
+        let g = path_graph(5);
+        // Same edge set inserted in reverse pool order digests equal.
+        let reversed = Graph::from_edges(5, (0..4u64).rev().map(|i| Edge::new(i, i + 1))).unwrap();
+        assert_eq!(g.edge_digest(), reversed.edge_digest());
+        // One different edge, or a different vertex count, digests apart.
+        let rewired = Graph::from_edges(
+            5,
+            [(0, 1), (1, 2), (2, 3), (0, 4)].map(|(a, b)| Edge::new(a, b)),
+        )
+        .unwrap();
+        assert_ne!(g.edge_digest(), rewired.edge_digest());
+        let padded = Graph::from_edges(6, g.edges()).unwrap();
+        assert_ne!(g.edge_digest(), padded.edge_digest());
     }
 
     #[test]

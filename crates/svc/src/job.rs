@@ -1,0 +1,866 @@
+//! Job specs, per-job state, and the execution loop.
+//!
+//! A job is a graph (inline edges or a generator spec), a budget, a
+//! randomizer and driver knobs. Switch jobs run on the *resumable*
+//! engines — [`SequentialResumable`] chunk by chunk,
+//! [`SimWorld`] step by step — so the worker can emit a progress event
+//! and (periodically) an `ESNP` snapshot between units of work.
+//! Curveball jobs have no resumable engine yet; they run one-shot
+//! through [`Run::try_execute`] and a killed server restarts them from
+//! the spec (deterministic seeds make that bit-identical too, it just
+//! re-spends the work).
+
+use crate::json::Json;
+use edgeswitch_core::obs::ProgressEvent;
+use edgeswitch_core::parallel::wire::{
+    decode_seq_checkpoint, decode_world_snapshot, encode_seq_checkpoint, encode_world_snapshot,
+};
+use edgeswitch_core::parallel::SimWorld;
+use edgeswitch_core::sequential::SequentialResumable;
+use edgeswitch_core::{ParallelConfig, Randomizer, Run, RunError};
+use edgeswitch_dist::{root_rng, switch_ops_for_visit_rate};
+use edgeswitch_graph::generators::{erdos_renyi_gnm, preferential_attachment};
+use edgeswitch_graph::{Edge, Graph};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// The input graph: shipped inline or regenerated from a seeded spec.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphSpec {
+    /// Explicit vertex count and edge list.
+    Inline {
+        /// Number of vertices.
+        n: usize,
+        /// The edges as `(src, dst)` pairs.
+        edges: Vec<(u64, u64)>,
+    },
+    /// `G(n, m)` Erdős–Rényi, regenerated from `seed`.
+    ErdosRenyi {
+        /// Number of vertices.
+        n: usize,
+        /// Number of edges.
+        m: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Preferential attachment with `d` edges per arrival.
+    PreferentialAttachment {
+        /// Number of vertices.
+        n: usize,
+        /// Edges per arriving vertex.
+        d: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl GraphSpec {
+    /// Materialize the graph (deterministic for generator specs).
+    pub fn build(&self) -> Result<Graph, String> {
+        match self {
+            GraphSpec::Inline { n, edges } => {
+                Graph::from_edges(*n, edges.iter().map(|&(a, b)| Edge::new(a, b)))
+                    .map_err(|err| format!("bad inline graph: {err:?}"))
+            }
+            GraphSpec::ErdosRenyi { n, m, seed } => {
+                Ok(erdos_renyi_gnm(*n, *m, &mut root_rng(*seed)))
+            }
+            GraphSpec::PreferentialAttachment { n, d, seed } => {
+                Ok(preferential_attachment(*n, *d, &mut root_rng(*seed)))
+            }
+        }
+    }
+}
+
+/// How much randomization to do.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BudgetSpec {
+    /// Explicit operation count.
+    Switches(u64),
+    /// Target expected visit rate in `(0, 1]`.
+    VisitRate(f64),
+}
+
+/// Which driver executes the job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Driver {
+    /// Algorithm 1, chunked through [`SequentialResumable`].
+    Sequential,
+    /// The parallel protocol on `p` simulated ranks ([`SimWorld`]).
+    Simulated,
+}
+
+/// One job submission.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// The input graph.
+    pub graph: GraphSpec,
+    /// The budget.
+    pub budget: BudgetSpec,
+    /// The driver.
+    pub driver: Driver,
+    /// Simulated world size (rank-pool cost; 1 for sequential).
+    pub p: usize,
+    /// Master seed for the switching RNG streams.
+    pub seed: u64,
+    /// Pipelining window (simulated driver).
+    pub window: usize,
+    /// Speculative batch size (simulated driver).
+    pub spec_batch: usize,
+    /// Randomization engine.
+    pub randomizer: Randomizer,
+    /// Whether the result should carry the switched edge list.
+    pub return_edges: bool,
+}
+
+impl JobSpec {
+    /// Rank-pool slots this job occupies while running.
+    pub fn ranks(&self) -> usize {
+        match self.driver {
+            Driver::Sequential => 1,
+            Driver::Simulated => self.p.max(1),
+        }
+    }
+
+    /// The equivalent [`Run`] builder — used for validation and for
+    /// one-shot (Curveball) execution.
+    pub fn as_run(&self) -> Run {
+        let run = match self.driver {
+            Driver::Sequential => Run::sequential(),
+            Driver::Simulated => Run::simulated(self.p),
+        };
+        let run = match self.budget {
+            BudgetSpec::Switches(t) => run.switches(t),
+            BudgetSpec::VisitRate(x) => run.visit_rate(x),
+        };
+        run.seed(self.seed)
+            .window(self.window)
+            .spec_batch(self.spec_batch)
+            .randomizer(self.randomizer)
+    }
+
+    /// Submit-time validation via [`Run::validate`].
+    pub fn validate(&self) -> Result<(), RunError> {
+        self.as_run().validate()
+    }
+
+    /// The config the simulated driver runs with.
+    pub fn config(&self) -> ParallelConfig {
+        self.as_run().config().clone()
+    }
+
+    /// Resolve the operation budget against `graph`.
+    pub fn ops(&self, graph: &Graph) -> u64 {
+        match self.budget {
+            BudgetSpec::Switches(t) => t,
+            BudgetSpec::VisitRate(x) => switch_ops_for_visit_rate(graph.num_edges() as u64, x),
+        }
+    }
+
+    /// Parse from the wire shape (see DESIGN.md §4i for the schema).
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let graph_json = v.get("graph").ok_or("missing 'graph'")?;
+        let graph = match graph_json.get("type").and_then(Json::as_str) {
+            Some("inline") => {
+                let n = graph_json
+                    .get("n")
+                    .and_then(Json::as_u64)
+                    .ok_or("inline graph needs 'n'")? as usize;
+                let edges = graph_json
+                    .get("edges")
+                    .and_then(Json::as_arr)
+                    .ok_or("inline graph needs 'edges'")?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair.as_arr().ok_or("edge must be [src, dst]")?;
+                        match (
+                            pair.first().and_then(Json::as_u64),
+                            pair.get(1).and_then(Json::as_u64),
+                        ) {
+                            (Some(a), Some(b)) if pair.len() == 2 => Ok((a, b)),
+                            _ => Err("edge must be [src, dst]".to_string()),
+                        }
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                GraphSpec::Inline { n, edges }
+            }
+            Some("er") => GraphSpec::ErdosRenyi {
+                n: graph_json
+                    .get("n")
+                    .and_then(Json::as_u64)
+                    .ok_or("er graph needs 'n'")? as usize,
+                m: graph_json
+                    .get("m")
+                    .and_then(Json::as_u64)
+                    .ok_or("er graph needs 'm'")? as usize,
+                seed: graph_json.get("seed").and_then(Json::as_u64).unwrap_or(1),
+            },
+            Some("pa") => GraphSpec::PreferentialAttachment {
+                n: graph_json
+                    .get("n")
+                    .and_then(Json::as_u64)
+                    .ok_or("pa graph needs 'n'")? as usize,
+                d: graph_json
+                    .get("d")
+                    .and_then(Json::as_u64)
+                    .ok_or("pa graph needs 'd'")? as usize,
+                seed: graph_json.get("seed").and_then(Json::as_u64).unwrap_or(1),
+            },
+            other => return Err(format!("unknown graph type {other:?}")),
+        };
+        let budget_json = v.get("budget").ok_or("missing 'budget'")?;
+        let budget = if let Some(t) = budget_json.get("switches").and_then(Json::as_u64) {
+            BudgetSpec::Switches(t)
+        } else if let Some(x) = budget_json.get("visit_rate").and_then(Json::as_f64) {
+            BudgetSpec::VisitRate(x)
+        } else {
+            return Err("budget needs 'switches' or 'visit_rate'".to_string());
+        };
+        let driver = match v.get("driver").and_then(Json::as_str) {
+            Some("sequential") | None => Driver::Sequential,
+            Some("simulated") => Driver::Simulated,
+            Some(other) => return Err(format!("unknown driver '{other}'")),
+        };
+        let randomizer = match v.get("randomizer").and_then(Json::as_str) {
+            Some("switch") | None => Randomizer::Switch,
+            Some("curveball") => Randomizer::Curveball,
+            Some(other) => return Err(format!("unknown randomizer '{other}'")),
+        };
+        Ok(JobSpec {
+            graph,
+            budget,
+            driver,
+            p: v.get("p").and_then(Json::as_u64).unwrap_or(1) as usize,
+            seed: v.get("seed").and_then(Json::as_u64).unwrap_or(0),
+            window: v.get("window").and_then(Json::as_u64).unwrap_or(1) as usize,
+            spec_batch: v.get("spec_batch").and_then(Json::as_u64).unwrap_or(1) as usize,
+            randomizer,
+            return_edges: v
+                .get("return_edges")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+        })
+    }
+
+    /// Serialize back to the wire shape (inverse of
+    /// [`JobSpec::from_json`]; used for `.job` persistence).
+    pub fn to_json(&self) -> Json {
+        let graph = match &self.graph {
+            GraphSpec::Inline { n, edges } => Json::obj([
+                ("type", Json::str("inline")),
+                ("n", Json::num(*n as u64)),
+                (
+                    "edges",
+                    Json::Arr(
+                        edges
+                            .iter()
+                            .map(|&(a, b)| Json::Arr(vec![Json::num(a), Json::num(b)]))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            GraphSpec::ErdosRenyi { n, m, seed } => Json::obj([
+                ("type", Json::str("er")),
+                ("n", Json::num(*n as u64)),
+                ("m", Json::num(*m as u64)),
+                ("seed", Json::num(*seed)),
+            ]),
+            GraphSpec::PreferentialAttachment { n, d, seed } => Json::obj([
+                ("type", Json::str("pa")),
+                ("n", Json::num(*n as u64)),
+                ("d", Json::num(*d as u64)),
+                ("seed", Json::num(*seed)),
+            ]),
+        };
+        let budget = match self.budget {
+            BudgetSpec::Switches(t) => Json::obj([("switches", Json::num(t))]),
+            BudgetSpec::VisitRate(x) => Json::obj([("visit_rate", Json::Num(x))]),
+        };
+        Json::obj([
+            ("graph", graph),
+            ("budget", budget),
+            (
+                "driver",
+                Json::str(match self.driver {
+                    Driver::Sequential => "sequential",
+                    Driver::Simulated => "simulated",
+                }),
+            ),
+            (
+                "randomizer",
+                Json::str(match self.randomizer {
+                    Randomizer::Switch => "switch",
+                    Randomizer::Curveball => "curveball",
+                }),
+            ),
+            ("p", Json::num(self.p as u64)),
+            ("seed", Json::num(self.seed)),
+            ("window", Json::num(self.window as u64)),
+            ("spec_batch", Json::num(self.spec_batch as u64)),
+            ("return_edges", Json::Bool(self.return_edges)),
+        ])
+    }
+}
+
+/// Lifecycle phase of a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Admitted, waiting for rank-pool slots.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Finished; result stored.
+    Done,
+    /// Failed; error stored.
+    Failed,
+}
+
+impl JobPhase {
+    /// Stable wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Failed => "failed",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct JobState {
+    phase: JobPhase,
+    performed: u64,
+    budget: u64,
+    visit_rate: f64,
+    events: Vec<Json>,
+    result: Option<Json>,
+    error: Option<String>,
+}
+
+/// One job's shared state: spec plus a mutex-guarded progress record
+/// that workers write and connection handlers read. A condvar wakes
+/// event streamers on every append.
+#[derive(Debug)]
+pub struct JobEntry {
+    /// The job's id.
+    pub id: u64,
+    /// The spec it runs.
+    pub spec: JobSpec,
+    state: Mutex<JobState>,
+    wake: Condvar,
+}
+
+impl JobEntry {
+    /// A freshly admitted job.
+    pub fn new(id: u64, spec: JobSpec) -> JobEntry {
+        let entry = JobEntry {
+            id,
+            spec,
+            state: Mutex::new(JobState {
+                phase: JobPhase::Queued,
+                performed: 0,
+                budget: 0,
+                visit_rate: 0.0,
+                events: Vec::new(),
+                result: None,
+                error: None,
+            }),
+            wake: Condvar::new(),
+        };
+        entry.push_event(Json::obj([("event", Json::str("queued"))]));
+        entry
+    }
+
+    /// A job recovered as already finished: state jumps straight to
+    /// `Done` with the stored result.
+    pub fn recovered_done(id: u64, spec: JobSpec, result: Json) -> JobEntry {
+        let entry = JobEntry::new(id, spec);
+        {
+            let mut st = entry.state.lock().unwrap();
+            st.phase = JobPhase::Done;
+            st.performed = result.get("performed").and_then(Json::as_u64).unwrap_or(0);
+            st.result = Some(result);
+        }
+        entry
+    }
+
+    /// Append one event and wake streamers.
+    pub fn push_event(&self, event: Json) {
+        let mut st = self.state.lock().unwrap();
+        st.events.push(event);
+        self.wake.notify_all();
+    }
+
+    fn set_phase(&self, phase: JobPhase) {
+        let mut st = self.state.lock().unwrap();
+        st.phase = phase;
+        drop(st);
+        self.push_event(Json::obj([("event", Json::str(phase.label()))]));
+    }
+
+    /// Record one unit of forward progress.
+    pub fn progress(&self, performed: u64, budget: u64, visit_rate: f64) {
+        let mut st = self.state.lock().unwrap();
+        st.performed = performed;
+        st.budget = budget;
+        st.visit_rate = visit_rate;
+    }
+
+    /// Mark done with `result`.
+    pub fn set_done(&self, result: Json) {
+        {
+            let mut st = self.state.lock().unwrap();
+            st.phase = JobPhase::Done;
+            st.result = Some(result);
+        }
+        self.push_event(Json::obj([("event", Json::str("done"))]));
+    }
+
+    /// Mark failed with `error` (a wire code plus detail).
+    pub fn set_failed(&self, code: &str, detail: String) {
+        {
+            let mut st = self.state.lock().unwrap();
+            st.phase = JobPhase::Failed;
+            st.error = Some(format!("{code}: {detail}"));
+        }
+        self.push_event(Json::obj([
+            ("event", Json::str("failed")),
+            ("error", Json::str(detail)),
+            ("code", Json::str(code)),
+        ]));
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> JobPhase {
+        self.state.lock().unwrap().phase
+    }
+
+    /// The status object served for `{"op":"status"}`.
+    pub fn status_json(&self) -> Json {
+        let st = self.state.lock().unwrap();
+        let mut fields = vec![
+            ("id", Json::num(self.id)),
+            ("state", Json::str(st.phase.label())),
+            ("performed", Json::num(st.performed)),
+            ("budget", Json::num(st.budget)),
+            ("visit_rate", Json::Num(st.visit_rate)),
+            ("events", Json::num(st.events.len() as u64)),
+        ];
+        if let Some(err) = &st.error {
+            fields.push(("error", Json::str(err.clone())));
+        }
+        Json::obj(fields)
+    }
+
+    /// Events from index `from` on, plus the next cursor.
+    pub fn events_from(&self, from: usize) -> (Vec<Json>, usize) {
+        let st = self.state.lock().unwrap();
+        let from = from.min(st.events.len());
+        (st.events[from..].to_vec(), st.events.len())
+    }
+
+    /// Block until there are events past `from` or the job reaches a
+    /// terminal phase; returns like [`JobEntry::events_from`].
+    pub fn wait_events(&self, from: usize, timeout: Duration) -> (Vec<Json>, usize, JobPhase) {
+        let mut st = self.state.lock().unwrap();
+        while st.events.len() <= from && !matches!(st.phase, JobPhase::Done | JobPhase::Failed) {
+            let (guard, wait) = self.wake.wait_timeout(st, timeout).unwrap();
+            st = guard;
+            if wait.timed_out() {
+                break;
+            }
+        }
+        let from = from.min(st.events.len());
+        (st.events[from..].to_vec(), st.events.len(), st.phase)
+    }
+
+    /// The stored result (`None` until done).
+    pub fn result_json(&self) -> Option<Json> {
+        self.state.lock().unwrap().result.clone()
+    }
+}
+
+/// Worker-side knobs: sequential chunk size and the checkpoint cadence
+/// (every `ckpt_every` chunks/steps).
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerOpts {
+    /// Operations per sequential chunk (one progress event each).
+    pub chunk: u64,
+    /// Chunks/steps between snapshots (0 disables checkpointing).
+    pub ckpt_every: u64,
+}
+
+impl Default for WorkerOpts {
+    fn default() -> Self {
+        WorkerOpts {
+            chunk: 4096,
+            ckpt_every: 4,
+        }
+    }
+}
+
+fn result_json(
+    graph: &Graph,
+    performed: u64,
+    abandoned: u64,
+    visit_rate: f64,
+    spec: &JobSpec,
+) -> Json {
+    let mut fields = vec![
+        ("performed", Json::num(performed)),
+        ("abandoned", Json::num(abandoned)),
+        ("visit_rate", Json::Num(visit_rate)),
+        (
+            "digest",
+            Json::str(format!("{:#018x}", graph.edge_digest())),
+        ),
+        ("num_vertices", Json::num(graph.num_vertices() as u64)),
+        ("num_edges", Json::num(graph.num_edges() as u64)),
+    ];
+    if spec.return_edges {
+        fields.push((
+            "edges",
+            Json::Arr(
+                graph
+                    .sorted_edges()
+                    .into_iter()
+                    .map(|e| Json::Arr(vec![Json::num(e.src()), Json::num(e.dst())]))
+                    .collect(),
+            ),
+        ));
+    }
+    Json::obj(fields)
+}
+
+/// Execute `entry` to completion (or until `stop` is raised, leaving a
+/// snapshot behind). `save_snapshot` persists checkpoint bytes; errors
+/// from it are surfaced as job failures.
+pub fn run_job(
+    entry: &JobEntry,
+    opts: WorkerOpts,
+    snapshot: Option<Vec<u8>>,
+    stop: &AtomicBool,
+    save_snapshot: &dyn Fn(&[u8]) -> std::io::Result<()>,
+) -> Option<Json> {
+    entry.set_phase(JobPhase::Running);
+    let graph = match entry.spec.graph.build() {
+        Ok(graph) => graph,
+        Err(err) => {
+            entry.set_failed("bad-graph", err);
+            return None;
+        }
+    };
+    if entry.spec.randomizer == Randomizer::Curveball {
+        return run_oneshot(entry, &graph);
+    }
+    match entry.spec.driver {
+        Driver::Sequential => run_sequential(entry, graph, opts, snapshot, stop, save_snapshot),
+        Driver::Simulated => run_simulated(entry, graph, opts, snapshot, stop, save_snapshot),
+    }
+}
+
+/// One-shot path (Curveball): no chunking, no snapshots.
+fn run_oneshot(entry: &JobEntry, graph: &Graph) -> Option<Json> {
+    match entry.spec.as_run().try_execute(graph) {
+        Ok(out) => {
+            entry.progress(out.performed(), out.performed(), out.visit_rate());
+            let result = result_json(
+                out.graph(),
+                out.performed(),
+                0,
+                out.visit_rate(),
+                &entry.spec,
+            );
+            entry.set_done(result.clone());
+            Some(result)
+        }
+        Err(err) => {
+            entry.set_failed(error_code(&err), err.to_string());
+            None
+        }
+    }
+}
+
+fn run_sequential(
+    entry: &JobEntry,
+    graph: Graph,
+    opts: WorkerOpts,
+    snapshot: Option<Vec<u8>>,
+    stop: &AtomicBool,
+    save_snapshot: &dyn Fn(&[u8]) -> std::io::Result<()>,
+) -> Option<Json> {
+    let t = entry.spec.ops(&graph);
+    let mut eng = match snapshot {
+        Some(bytes) => SequentialResumable::restore(&decode_seq_checkpoint(&bytes)),
+        None => SequentialResumable::new(graph, t, entry.spec.seed),
+    };
+    let (tx, rx) = channel::<ProgressEvent>();
+    eng.attach_probe(tx, 1024);
+    let mut chunks = 0u64;
+    while !eng.is_done() {
+        if stop.load(Ordering::Relaxed) {
+            if save_snapshot(&encode_seq_checkpoint(&eng.checkpoint())).is_err() {
+                entry.set_failed("io", "checkpoint write failed at shutdown".to_string());
+            }
+            return None;
+        }
+        eng.step(opts.chunk);
+        chunks += 1;
+        // Drain the probe's span totals into the event stream.
+        let mut spans_total = None;
+        while let Ok(ProgressEvent::Spans(totals)) = rx.try_recv() {
+            spans_total = Some(totals.total);
+        }
+        entry.progress(eng.performed(), eng.budget(), eng.visit_rate());
+        let mut fields = vec![
+            ("event", Json::str("step")),
+            ("performed", Json::num(eng.performed())),
+            ("budget", Json::num(eng.budget())),
+            ("visit_rate", Json::Num(eng.visit_rate())),
+        ];
+        if let Some(total) = spans_total {
+            fields.push(("spans", Json::num(total)));
+        }
+        entry.push_event(Json::obj(fields));
+        if opts.ckpt_every > 0 && chunks.is_multiple_of(opts.ckpt_every) && !eng.is_done() {
+            if save_snapshot(&encode_seq_checkpoint(&eng.checkpoint())).is_err() {
+                entry.set_failed("io", "checkpoint write failed".to_string());
+                return None;
+            }
+            entry.push_event(Json::obj([
+                ("event", Json::str("checkpoint")),
+                ("performed", Json::num(eng.performed())),
+            ]));
+        }
+    }
+    let (graph, outcome) = eng.finish();
+    let visit_rate = outcome.visit_rate();
+    let result = result_json(
+        &graph,
+        outcome.performed,
+        outcome.abandoned,
+        visit_rate,
+        &entry.spec,
+    );
+    entry.progress(outcome.performed, outcome.performed, visit_rate);
+    entry.set_done(result.clone());
+    Some(result)
+}
+
+fn run_simulated(
+    entry: &JobEntry,
+    graph: Graph,
+    opts: WorkerOpts,
+    snapshot: Option<Vec<u8>>,
+    stop: &AtomicBool,
+    save_snapshot: &dyn Fn(&[u8]) -> std::io::Result<()>,
+) -> Option<Json> {
+    let config = entry.spec.config();
+    let t = entry.spec.ops(&graph);
+    let mut world = match snapshot {
+        Some(bytes) => SimWorld::resume(&graph, &config, &decode_world_snapshot(&bytes)),
+        None => SimWorld::new(&graph, t, &config),
+    };
+    let steps = world.steps();
+    while !world.is_done() {
+        if stop.load(Ordering::Relaxed) {
+            if save_snapshot(&encode_world_snapshot(&world.snapshot())).is_err() {
+                entry.set_failed("io", "checkpoint write failed at shutdown".to_string());
+            }
+            return None;
+        }
+        let step = world.next_step();
+        let logical = world
+            .step()
+            .map(|tel| tel.logical_msgs.total())
+            .unwrap_or(0);
+        entry.progress(world.performed(), t, world.visit_rate());
+        entry.push_event(Json::obj([
+            ("event", Json::str("step")),
+            ("step", Json::num(step + 1)),
+            ("steps", Json::num(steps)),
+            ("performed", Json::num(world.performed())),
+            ("budget", Json::num(t)),
+            ("visit_rate", Json::Num(world.visit_rate())),
+            ("logical_msgs", Json::num(logical)),
+        ]));
+        if opts.ckpt_every > 0 && (step + 1) % opts.ckpt_every == 0 && !world.is_done() {
+            if save_snapshot(&encode_world_snapshot(&world.snapshot())).is_err() {
+                entry.set_failed("io", "checkpoint write failed".to_string());
+                return None;
+            }
+            entry.push_event(Json::obj([
+                ("event", Json::str("checkpoint")),
+                ("step", Json::num(step + 1)),
+            ]));
+        }
+    }
+    let outcome = world.finish();
+    let visit_rate = outcome.visit_rate();
+    let performed = outcome.performed();
+    let result = result_json(&outcome.graph, performed, 0, visit_rate, &entry.spec);
+    entry.progress(performed, t, visit_rate);
+    entry.set_done(result.clone());
+    Some(result)
+}
+
+/// The wire error code for a [`RunError`].
+pub fn error_code(err: &RunError) -> &'static str {
+    match err {
+        RunError::InvalidBudget(_) => "invalid-budget",
+        RunError::InvalidConfig(_) => "invalid-config",
+        RunError::BackendUnsupported(_) => "backend-unsupported",
+        RunError::SpawnFailed(_) => "spawn-failed",
+        RunError::RankDied(_) => "rank-died",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn er_spec() -> JobSpec {
+        JobSpec {
+            graph: GraphSpec::ErdosRenyi {
+                n: 100,
+                m: 400,
+                seed: 3,
+            },
+            budget: BudgetSpec::Switches(300),
+            driver: Driver::Simulated,
+            p: 2,
+            seed: 9,
+            window: 4,
+            spec_batch: 1,
+            randomizer: Randomizer::Switch,
+            return_edges: false,
+        }
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        for spec in [
+            er_spec(),
+            JobSpec {
+                graph: GraphSpec::Inline {
+                    n: 4,
+                    edges: vec![(0, 1), (1, 2), (2, 3), (3, 0)],
+                },
+                budget: BudgetSpec::VisitRate(0.5),
+                driver: Driver::Sequential,
+                p: 1,
+                seed: 0,
+                window: 1,
+                spec_batch: 1,
+                randomizer: Randomizer::Curveball,
+                return_edges: true,
+            },
+        ] {
+            let encoded = spec.to_json().to_json();
+            let back = JobSpec::from_json(&json::parse(&encoded).unwrap()).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn invalid_specs_fail_validation() {
+        let mut spec = er_spec();
+        spec.window = 0;
+        assert!(matches!(spec.validate(), Err(RunError::InvalidConfig(_))));
+        let mut spec = er_spec();
+        spec.budget = BudgetSpec::VisitRate(1.5);
+        assert!(matches!(spec.validate(), Err(RunError::InvalidBudget(_))));
+        assert!(er_spec().validate().is_ok());
+    }
+
+    #[test]
+    fn run_job_completes_and_matches_direct_execution() {
+        let spec = er_spec();
+        let entry = JobEntry::new(1, spec.clone());
+        let stop = AtomicBool::new(false);
+        let result = run_job(&entry, WorkerOpts::default(), None, &stop, &|_bytes| Ok(()))
+            .expect("job completes");
+        assert_eq!(entry.phase(), JobPhase::Done);
+        // The same spec through the one-shot Run API lands on the same
+        // switched graph.
+        let graph = spec.graph.build().unwrap();
+        let direct = spec.as_run().execute(&graph);
+        let expect = format!("{:#018x}", direct.graph().edge_digest());
+        assert_eq!(
+            result.get("digest").and_then(Json::as_str),
+            Some(&expect[..])
+        );
+        assert_eq!(
+            result.get("performed").and_then(Json::as_u64),
+            Some(direct.performed())
+        );
+        let (events, _) = entry.events_from(0);
+        assert!(events.len() >= 3, "queued + running + steps + done");
+    }
+
+    #[test]
+    fn stopped_job_leaves_a_resumable_snapshot() {
+        let spec = JobSpec {
+            driver: Driver::Sequential,
+            p: 1,
+            budget: BudgetSpec::Switches(5000),
+            ..er_spec()
+        };
+        // Run uninterrupted for the reference digest.
+        let reference = {
+            let entry = JobEntry::new(1, spec.clone());
+            run_job(
+                &entry,
+                WorkerOpts {
+                    chunk: 256,
+                    ckpt_every: 1,
+                },
+                None,
+                &AtomicBool::new(false),
+                &|_| Ok(()),
+            )
+            .unwrap()
+        };
+        // Raise stop before the first chunk: the worker snapshots the
+        // fresh engine and returns; resuming replays the whole run.
+        let entry = JobEntry::new(2, spec.clone());
+        let stop_now = AtomicBool::new(true);
+        let snap = std::sync::Mutex::new(Vec::new());
+        let out = run_job(
+            &entry,
+            WorkerOpts {
+                chunk: 256,
+                ckpt_every: 1,
+            },
+            None,
+            &stop_now,
+            &|bytes| {
+                *snap.lock().unwrap() = bytes.to_vec();
+                Ok(())
+            },
+        );
+        assert!(out.is_none());
+        let bytes = snap.lock().unwrap().clone();
+        assert!(!bytes.is_empty(), "stop must leave a snapshot");
+        let resumed = run_job(
+            &entry,
+            WorkerOpts {
+                chunk: 256,
+                ckpt_every: 1,
+            },
+            Some(bytes),
+            &AtomicBool::new(false),
+            &|_| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(
+            resumed.get("digest").and_then(Json::as_str),
+            reference.get("digest").and_then(Json::as_str),
+            "resumed result must be bit-identical"
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! End-to-end service tests over real TCP connections: submission and
+//! results, concurrent jobs on the bounded rank pool, queue-full
+//! rejection, wire-level validation errors, and checkpoint/resume
+//! bit-identity across a server restart.
+
+use edgeswitch_svc::{json, Client, Json, SchedOpts, Server, ServerOpts, WorkerOpts};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "edgeswitch-svc-{}-{tag}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_server(dir: &Path, sched: SchedOpts) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerOpts {
+            ckpt_dir: dir.to_path_buf(),
+            sched,
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn er_job(budget: &str, driver: &str, p: u64) -> Json {
+    json::parse(&format!(
+        r#"{{"graph":{{"type":"er","n":120,"m":480,"seed":5}},
+            "budget":{budget},"driver":"{driver}","p":{p},"seed":11,"window":4}}"#
+    ))
+    .unwrap()
+}
+
+#[test]
+fn submit_poll_result_roundtrip() {
+    let dir = temp_dir("roundtrip");
+    let (addr, handle) = start_server(&dir, SchedOpts::default());
+    let mut client = Client::connect(&addr).unwrap();
+
+    let pong = client
+        .request(&Json::obj([("op", Json::str("ping"))]))
+        .unwrap();
+    assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+
+    let id = client
+        .submit(er_job(r#"{"switches":400}"#, "simulated", 2))
+        .unwrap()
+        .expect("admitted");
+    let result = client.wait_done(id, Duration::from_secs(60)).unwrap();
+    assert_eq!(result.get("performed").and_then(Json::as_u64), Some(400));
+    let digest = result.get("digest").and_then(Json::as_str).unwrap();
+    assert!(digest.starts_with("0x") && digest.len() == 18, "{digest}");
+
+    // The event stream saw the full lifecycle.
+    let (events, _) = client.events(id, 0).unwrap();
+    let kinds: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("event").and_then(Json::as_str))
+        .collect();
+    assert_eq!(kinds.first(), Some(&"queued"));
+    assert!(kinds.contains(&"running"));
+    assert!(kinds.iter().filter(|k| **k == "step").count() >= 1);
+    assert_eq!(kinds.last(), Some(&"done"));
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn pool_runs_concurrent_jobs_and_queue_cap_rejects() {
+    let dir = temp_dir("pool");
+    // Pool of 2 single-rank slots; jobs long enough to overlap
+    // (sequential, small chunks → many scheduling points).
+    let sched = SchedOpts {
+        pool: 2,
+        queue_cap: 1,
+        worker: WorkerOpts {
+            chunk: 64,
+            ckpt_every: 0,
+        },
+    };
+    let (addr, handle) = start_server(&dir, sched);
+    let mut client = Client::connect(&addr).unwrap();
+
+    let a = client
+        .submit(er_job(r#"{"switches":1500000}"#, "sequential", 1))
+        .unwrap()
+        .expect("job a admitted");
+    let b = client
+        .submit(er_job(r#"{"switches":1500000}"#, "sequential", 1))
+        .unwrap()
+        .expect("job b admitted");
+
+    // Both must be observed running at once (pool has 2 slots).
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let sa = client.status(a).unwrap();
+        let sb = client.status(b).unwrap();
+        let running = |s: &Json| s.get("state").and_then(Json::as_str) == Some("running");
+        if running(&sa) && running(&sb) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "jobs never overlapped: {} / {}",
+            sa.to_json(),
+            sb.to_json()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Pool exhausted: the next job queues (cap 1), the one after bounces.
+    let c = client
+        .submit(er_job(r#"{"switches":100}"#, "sequential", 1))
+        .unwrap()
+        .expect("job c queues");
+    let rejected = client
+        .submit(er_job(r#"{"switches":100}"#, "sequential", 1))
+        .unwrap()
+        .expect_err("queue is full");
+    assert_eq!(
+        rejected.get("error").and_then(Json::as_str),
+        Some("queue-full")
+    );
+    assert_eq!(rejected.get("code").and_then(Json::as_u64), Some(429));
+
+    for id in [a, b, c] {
+        client.wait_done(id, Duration::from_secs(120)).unwrap();
+    }
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn wire_validation_maps_run_errors() {
+    let dir = temp_dir("validate");
+    let (addr, handle) = start_server(&dir, SchedOpts::default());
+    let mut client = Client::connect(&addr).unwrap();
+
+    let bad_budget = client
+        .submit(er_job(r#"{"visit_rate":1.5}"#, "sequential", 1))
+        .unwrap()
+        .expect_err("visit rate out of range");
+    assert_eq!(
+        bad_budget.get("error").and_then(Json::as_str),
+        Some("invalid-budget")
+    );
+    assert_eq!(bad_budget.get("code").and_then(Json::as_u64), Some(422));
+
+    let bad_window = client
+        .submit(
+            json::parse(
+                r#"{"graph":{"type":"er","n":50,"m":100,"seed":1},
+                    "budget":{"switches":10},"driver":"simulated","p":2,"window":0}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+        .expect_err("window 0");
+    assert_eq!(
+        bad_window.get("error").and_then(Json::as_str),
+        Some("invalid-config")
+    );
+
+    let too_wide = client
+        .submit(er_job(r#"{"switches":10}"#, "simulated", 64))
+        .unwrap()
+        .expect_err("wider than the pool");
+    assert_eq!(
+        too_wide.get("error").and_then(Json::as_str),
+        Some("too-wide")
+    );
+
+    let not_found = client
+        .request(&Json::obj([
+            ("op", Json::str("status")),
+            ("id", Json::num(999)),
+        ]))
+        .unwrap();
+    assert_eq!(not_found.get("code").and_then(Json::as_u64), Some(404));
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// The headline guarantee: a server stopped mid-run resumes every
+/// in-flight job from its snapshot to a bit-identical result.
+#[test]
+fn restart_resumes_jobs_bit_identically() {
+    for (driver, p, budget) in [
+        ("sequential", 1u64, r#"{"switches":40000}"#),
+        ("simulated", 4u64, r#"{"switches":4000}"#),
+    ] {
+        let dir = temp_dir("resume");
+        let sched = SchedOpts {
+            pool: 4,
+            queue_cap: 8,
+            worker: WorkerOpts {
+                chunk: 128,
+                ckpt_every: 1,
+            },
+        };
+        let (addr, handle) = start_server(&dir, sched);
+        let mut client = Client::connect(&addr).unwrap();
+        let id = client
+            .submit(er_job(budget, driver, p))
+            .unwrap()
+            .expect("admitted");
+
+        // Reference: the same spec executed uninterrupted in-process.
+        let spec = edgeswitch_svc::JobSpec::from_json(&er_job(budget, driver, p)).unwrap();
+        let graph = spec.graph.build().unwrap();
+        let reference = spec.as_run().execute(&graph);
+        let expect_digest = format!("{:#018x}", reference.graph().edge_digest());
+
+        // Let it make some progress, then stop the server mid-run. (If
+        // the machine is fast enough that the job finishes first, the
+        // restart still has to serve the stored result identically.)
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let status = client.status(id).unwrap();
+            let performed = status.get("performed").and_then(Json::as_u64).unwrap_or(0);
+            let state = status.get("state").and_then(Json::as_str).unwrap_or("");
+            if performed > 0 || state == "done" {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "job never progressed: {}",
+                status.to_json()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+
+        // Second server over the same checkpoint dir picks the job up.
+        let (addr, handle) = start_server(
+            &dir,
+            SchedOpts {
+                pool: 4,
+                queue_cap: 8,
+                worker: WorkerOpts {
+                    chunk: 128,
+                    ckpt_every: 1,
+                },
+            },
+        );
+        let mut client = Client::connect(&addr).unwrap();
+        let result = client.wait_done(id, Duration::from_secs(120)).unwrap();
+        assert_eq!(
+            result.get("digest").and_then(Json::as_str),
+            Some(&expect_digest[..]),
+            "{driver} p={p}: resumed digest must match the uninterrupted run"
+        );
+        assert_eq!(
+            result.get("performed").and_then(Json::as_u64),
+            Some(reference.performed()),
+            "{driver} p={p}: performed must match"
+        );
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A finished job's result survives a restart (served from `.done`).
+#[test]
+fn done_results_survive_restart() {
+    let dir = temp_dir("done");
+    let (addr, handle) = start_server(&dir, SchedOpts::default());
+    let mut client = Client::connect(&addr).unwrap();
+    let id = client
+        .submit(er_job(r#"{"switches":200}"#, "simulated", 2))
+        .unwrap()
+        .expect("admitted");
+    let first = client.wait_done(id, Duration::from_secs(60)).unwrap();
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+
+    let (addr, handle) = start_server(&dir, SchedOpts::default());
+    let mut client = Client::connect(&addr).unwrap();
+    let again = client.wait_done(id, Duration::from_secs(10)).unwrap();
+    assert_eq!(
+        again.get("digest").and_then(Json::as_str),
+        first.get("digest").and_then(Json::as_str)
+    );
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -30,18 +30,16 @@ fn main() {
     );
     println!("\n x      clustering   avg path   (sequential switching to visit rate x)");
 
-    for i in 0..=10 {
+    for i in 0..=10u64 {
         let x = i as f64 / 10.0;
         let t = switch_ops_for_visit_rate(m, x);
-        let mut g = g0.clone();
-        sequential_edge_switch(&mut g, t, &mut rng);
-        let cc = average_clustering_sampled(&g, 1500, &mut rng);
-        let path = average_shortest_path_sampled(&g, 30, &mut rng);
+        let out = Run::sequential().switches(t).seed(3 ^ i).execute(&g0);
+        let cc = average_clustering_sampled(out.graph(), 1500, &mut rng);
+        let path = average_shortest_path_sampled(out.graph(), 30, &mut rng);
         println!("{x:.1}    {cc:10.4}  {path:9.3}");
     }
 
     // The parallel process drives the same trajectory: compare endpoints.
-    let t = switch_ops_for_visit_rate(m, 1.0);
     let out = Run::simulated(32)
         .visit_rate(1.0)
         .scheme(SchemeKind::Consecutive)
@@ -57,9 +55,8 @@ fn main() {
     println!(
         "error rate between parallel and a fresh sequential run (r = 20 blocks): {:.3}%",
         {
-            let mut gs = g0.clone();
-            sequential_edge_switch(&mut gs, t, &mut rng);
-            error_rate(&gs, &out.graph, 20)
+            let seq = Run::sequential().visit_rate(1.0).seed(17).execute(&g0);
+            error_rate(seq.graph(), &out.graph, 20)
         }
     );
 }

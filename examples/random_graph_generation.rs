@@ -29,10 +29,20 @@ fn main() {
     // 3. Randomize: switch until every edge has been visited (x = 1).
     //    Two independent runs give two *different* random graphs with
     //    the *same* degree sequence.
-    let mut g1 = g0.clone();
-    let mut g2 = g0.clone();
-    sequential_for_visit_rate(&mut g1, 1.0, &mut rng);
-    sequential_for_visit_rate(&mut g2, 1.0, &mut rng);
+    let g1 = Run::sequential()
+        .visit_rate(1.0)
+        .seed(71)
+        .execute(&g0)
+        .into_sequential()
+        .expect("sequential run")
+        .graph;
+    let g2 = Run::sequential()
+        .visit_rate(1.0)
+        .seed(72)
+        .execute(&g0)
+        .into_sequential()
+        .expect("sequential run")
+        .graph;
 
     assert_eq!(g1.degree_sequence(), seq);
     assert_eq!(g2.degree_sequence(), seq);

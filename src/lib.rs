@@ -60,15 +60,15 @@ pub mod prelude {
     };
     pub use edgeswitch_core::error_rate::error_rate;
     pub use edgeswitch_core::obs::{ObsSpec, Phase, RunReport};
+    // The per-driver free functions (`sequential_edge_switch`,
+    // `parallel_edge_switch`, `simulate_parallel` and the Curveball
+    // twins) are no longer part of the prelude: [`Run`] is the front
+    // door. They remain callable through their full module paths.
     pub use edgeswitch_core::parallel::{
-        child_entry_from_env, parallel_curveball, parallel_edge_switch, simulate_curveball,
-        simulate_parallel, MsgCounts, MsgKind, ParallelOutcome, RankStats, StepTelemetry,
+        child_entry_from_env, MsgCounts, MsgKind, ParallelOutcome, RankStats, StepTelemetry,
     };
-    pub use edgeswitch_core::run::{Run, RunOutcome};
-    pub use edgeswitch_core::sequential::{sequential_edge_switch, sequential_for_visit_rate};
-    pub use edgeswitch_core::trade::{
-        sequential_curveball, sequential_curveball_observed, CurveballOutcome, TradeBudget,
-    };
+    pub use edgeswitch_core::run::{Run, RunError, RunOutcome, SequentialRun};
+    pub use edgeswitch_core::trade::{CurveballOutcome, TradeBudget};
     pub use edgeswitch_core::variants::{sequential_edge_switch_connected, sequential_exact_visit};
     pub use edgeswitch_core::visit::VisitTracker;
     pub use edgeswitch_dist::harmonic::{expected_touches, switch_ops_for_visit_rate};

@@ -10,7 +10,11 @@
 //!   held to the seed-independent invariants instead: degree sequence,
 //!   simplicity, and total performed + forfeited operations.
 
-use edge_switching::core::parallel::process_backend_supported;
+use edge_switching::core::parallel::{
+    parallel_curveball, parallel_edge_switch, process_backend_supported, simulate_curveball,
+    simulate_parallel,
+};
+use edge_switching::core::trade::sequential_curveball;
 use edge_switching::prelude::*;
 use edge_switching::scalesim::{des_curveball, des_parallel};
 use std::io::{BufRead, BufReader};

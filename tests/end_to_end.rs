@@ -1,6 +1,8 @@
 //! Cross-crate integration: the full pipeline from generation through
 //! sequential and distributed switching to similarity measurement.
 
+use edge_switching::core::parallel::{parallel_edge_switch, simulate_parallel};
+use edge_switching::core::sequential::sequential_edge_switch;
 use edge_switching::prelude::*;
 
 fn clustered_graph(seed: u64) -> Graph {

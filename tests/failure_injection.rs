@@ -3,6 +3,7 @@
 //! quota-policy ablation.
 
 use edge_switching::core::config::QuotaPolicy;
+use edge_switching::core::parallel::{parallel_edge_switch, simulate_parallel};
 use edge_switching::core::variants::{sequential_edge_switch_connected, sequential_exact_visit};
 use edge_switching::prelude::*;
 

@@ -7,6 +7,9 @@
 //! The second half pins the [`RunReport`] JSON schema that `repro
 //! trace` exports.
 
+use edge_switching::core::parallel::{
+    parallel_curveball, parallel_edge_switch, simulate_curveball, simulate_parallel,
+};
 use edge_switching::prelude::*;
 
 fn graph(seed: u64) -> Graph {

@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) over the core invariants:
 //! simplicity, degree preservation, partition coverage, sampler laws.
 
+use edge_switching::core::sequential::sequential_edge_switch;
 use edge_switching::core::switch::{recombine, Recombination, SwitchKind};
 use edge_switching::graph::store::{assemble_graph, build_stores};
 use edge_switching::graph::OrientedEdge;
