@@ -5,7 +5,7 @@
 
 use serde::{Content, Serialize};
 use std::fmt;
-use std::ops::Index;
+use std::ops::{Index, IndexMut};
 
 /// Ordered map used for JSON objects.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -110,6 +110,10 @@ impl Value {
         matches!(self, Value::Null)
     }
 
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_object().and_then(|m| m.get(key))
     }
@@ -126,6 +130,36 @@ impl Index<usize> for Value {
     type Output = Value;
     fn index(&self, idx: usize) -> &Value {
         self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl IndexMut<&str> for Value {
+    /// Mirrors `serde_json`: indexing a `Null` promotes it to an empty
+    /// object, a missing key is inserted as `Null`, and indexing any
+    /// other non-object panics.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if self.is_null() {
+            *self = Value::Object(Map::new());
+        }
+        let map = match self {
+            Value::Object(m) => m,
+            other => panic!("cannot index into {other:?} with a string key"),
+        };
+        if !map.0.iter().any(|(k, _)| k == key) {
+            map.insert(key.to_string(), Value::Null);
+        }
+        let (_, v) = map.0.iter_mut().find(|(k, _)| k == key).expect("just inserted");
+        v
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON, like `serde_json` (`{:#}` pretty-prints there; the
+    /// stub renders compact for both).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        render(self, 0, false, &mut out);
+        f.write_str(&out)
     }
 }
 
@@ -277,6 +311,175 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     render(&to_value(value), 0, true, &mut out);
     Ok(out)
+}
+
+/// Parse JSON text into a [`Value`]. The real crate's `from_str` is
+/// generic over `Deserialize`; this workspace only ever deserializes
+/// into `Value`, so the stub returns it directly.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error);
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), Error> {
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error)
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'n') => parse_lit(b, pos, b"null", Value::Null),
+        Some(b't') => parse_lit(b, pos, b"true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, b"false", Value::Bool(false)),
+        Some(b'"') => Ok(Value::String(parse_string(b, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = Map::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                map.insert(key, parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(Error),
+                }
+            }
+        }
+        Some(b'-' | b'0'..=b'9') => parse_number(b, pos),
+        _ => Err(Error),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8], v: Value) -> Result<Value, Error> {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(Error)
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos).ok_or(Error)? {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos).ok_or(Error)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or(Error)?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| Error)?,
+                            16,
+                        )
+                        .map_err(|_| Error)?;
+                        out.push(char::from_u32(code).ok_or(Error)?);
+                        *pos += 4;
+                    }
+                    _ => return Err(Error),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar (multi-byte sequences whole).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| Error)?;
+                let ch = rest.chars().next().ok_or(Error)?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| Error)?;
+    if !float {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Value::U64(v));
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Value::I64(v));
+        }
+    }
+    text.parse::<f64>().map(Value::F64).map_err(|_| Error)
 }
 
 /// Build a [`Value`] from a JSON-ish literal. Supports the shapes this

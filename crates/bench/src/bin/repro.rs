@@ -10,6 +10,7 @@
 
 use edgeswitch_bench::experiments::{
     ablation_ids, all_ids, diagnostic_ids,
+    genscale::{genscale_child_from_env, mem_gate},
     hotpath::{batch_gate, local_gate, probe_gate, proc_gate, scaling_gate},
     mixing::mixing_gate,
     perf_ids, run, ExpConfig,
@@ -20,7 +21,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment|all|ablations|diagnostics|list> [--scale S] [--reps N] [--seed X] [--out DIR] [--quick] [--timeline] [--gate-scaling] [--gate-probe] [--gate-local] [--gate-batch] [--gate-proc] [--gate-mixing]\n\
+        "usage: repro <experiment|all|ablations|diagnostics|list> [--scale S] [--reps N] [--seed X] [--out DIR] [--quick] [--timeline] [--gate-scaling] [--gate-probe] [--gate-local] [--gate-batch] [--gate-proc] [--gate-mixing] [--gate-mem]\n\
          \x20      repro serve [--listen ADDR] [--ckpt DIR] [--pool N] [--queue N] [--chunk N] [--ckpt-every N] [--smoke]\n\
          experiments: {}",
         all_ids().join(", ")
@@ -65,6 +66,10 @@ fn main() {
     // environment set this runs the rank loop and exits, so a `repro`
     // invocation benching `Backend::Process` can re-spawn its own binary.
     edgeswitch_core::parallel::child_entry_from_env();
+    // Likewise for per-case genscale children: with the genscale case
+    // environment set this runs one measurement and exits, so each case
+    // gets its own VmHWM.
+    genscale_child_from_env();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -82,6 +87,7 @@ fn main() {
     let mut gate_batch = false;
     let mut gate_proc = false;
     let mut gate_mixing = false;
+    let mut gate_mem = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -160,6 +166,15 @@ fn main() {
                 // target visit rate on the quick PA case. Auto-skips
                 // (with a notice) when the instance is too small to mix.
                 gate_mixing = true;
+                i += 1;
+            }
+            "--gate-mem" => {
+                // CI streamed-construction memory guard (genscale only):
+                // exit non-zero if building one rank's store from the
+                // generator stream peaks above 0.6x the peak RSS of the
+                // materialize-then-split path at the same m. Auto-skips
+                // (with a notice) where VmHWM is unavailable.
+                gate_mem = true;
                 i += 1;
             }
             "--gate-probe" => {
@@ -277,6 +292,15 @@ fn main() {
                         Ok(note) => println!("# proc gate: {note}"),
                         Err(why) => {
                             eprintln!("# proc gate FAILED: {why}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                if gate_mem && report.id == "genscale" {
+                    match mem_gate(&report.data) {
+                        Ok(note) => println!("# mem gate: {note}"),
+                        Err(why) => {
+                            eprintln!("# mem gate FAILED: {why}");
                             std::process::exit(1);
                         }
                     }

@@ -14,7 +14,7 @@
 //! `{"bench": "hotpath", "metric": "switches_per_sec", "cases": [...]}`.
 
 use super::ExpConfig;
-use crate::report::{f, provenance, table, Report};
+use crate::report::{f, peak_rss_kb, provenance, table, Report};
 use edgeswitch_core::parallel::process_backend_supported;
 use edgeswitch_core::run::Run;
 use edgeswitch_core::sequential::sequential_edge_switch;
@@ -244,6 +244,7 @@ pub fn hotpath(cfg: &ExpConfig) -> Report {
             "ops": ops,
             "switches_per_sec": rate,
             "host_cores": cores,
+            "vm_hwm_kb": peak_rss_kb(),
         }));
         rows.push(vec![
             family.to_string(),
@@ -282,6 +283,7 @@ pub fn hotpath(cfg: &ExpConfig) -> Report {
                     "switches_per_sec": rate,
                     "speedup_vs_p1": speedup,
                     "host_cores": cores,
+                    "vm_hwm_kb": peak_rss_kb(),
                 }));
                 rows.push(vec![
                     family.to_string(),
@@ -332,6 +334,7 @@ pub fn hotpath(cfg: &ExpConfig) -> Report {
                     "switches_per_sec": rate,
                     "speedup_vs_p1": speedup,
                     "host_cores": cores,
+                    "vm_hwm_kb": peak_rss_kb(),
                 }));
                 rows.push(vec![
                     family.to_string(),
@@ -602,6 +605,12 @@ mod tests {
             assert!(c["switches_per_sec"].as_f64().unwrap() > 0.0);
             assert!(c["ops"].as_u64().unwrap() > 0);
             assert!(c["host_cores"].as_u64().unwrap() >= 1);
+            // Peak RSS is stamped per case wherever /proc exists
+            // (monotone within this one process; per-case isolation is
+            // the genscale experiment's job).
+            if cfg!(target_os = "linux") {
+                assert!(c["vm_hwm_kb"].as_u64().unwrap() > 0);
+            }
             if matches!(c["mode"].as_str(), Some("threaded") | Some("process")) {
                 let speedup = c["speedup_vs_p1"].as_f64().unwrap();
                 assert!(speedup > 0.0);

@@ -3,6 +3,7 @@
 //! id and archives results under `results/`.
 
 pub mod ablation;
+pub mod genscale;
 pub mod hotpath;
 pub mod loadbalance;
 pub mod mixing;
@@ -67,7 +68,7 @@ pub fn diagnostic_ids() -> Vec<&'static str> {
 /// Performance-tracking experiment ids (not paper figures; the repro
 /// binary archives these as `BENCH_<id>.json` for regression tracking).
 pub fn perf_ids() -> Vec<&'static str> {
-    vec!["hotpath", "mixing"]
+    vec!["hotpath", "mixing", "genscale"]
 }
 
 /// Run one experiment by id; `None` for an unknown id.
@@ -79,6 +80,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Option<Report> {
         "trace" => trace::trace(cfg),
         "hotpath" => hotpath::hotpath(cfg),
         "mixing" => mixing::mixing(cfg),
+        "genscale" => genscale::genscale(cfg),
         "table1" => visit::table1(cfg),
         "fig2" => visit::fig2(cfg),
         "table2" => visit::table2(cfg),

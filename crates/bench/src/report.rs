@@ -78,6 +78,29 @@ pub fn f(x: f64, d: usize) -> String {
     format!("{:.*}", d, x)
 }
 
+/// Peak resident set size (high-water mark) of the **current process**,
+/// in KiB, read from `VmHWM` in `/proc/self/status`. `None` where that
+/// file does not exist (non-Linux).
+///
+/// VmHWM is monotone over the process lifetime, so a case measured in a
+/// long-lived process reports the maximum over everything run so far —
+/// experiments that need per-case peaks (`repro genscale`) run each case
+/// in a fresh child process.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<u64>()
+                .ok();
+        }
+    }
+    None
+}
+
 /// Build provenance stamped into every `BENCH_*.json` archive: the
 /// compiler that produced the numbers and the `[profile.release]` flags
 /// it was built under, so archived trajectories stay interpretable
@@ -144,6 +167,15 @@ mod tests {
     #[test]
     fn float_format() {
         assert_eq!(f(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn peak_rss_reads_vm_hwm_on_linux() {
+        match peak_rss_kb() {
+            Some(kb) => assert!(kb > 0, "a running process has nonzero peak RSS"),
+            None if cfg!(target_os = "linux") => panic!("VmHWM must be readable on Linux"),
+            None => {}
+        }
     }
 
     #[test]

@@ -37,8 +37,9 @@ pub use harness::{
 };
 pub use msg::{ConvId, Msg, MsgKind, Outbox};
 pub use proc::{
-    child_entry_from_env, parallel_edge_switch_proc, process_backend_supported,
-    try_parallel_edge_switch_proc, ProcError, ProcTransport,
+    child_entry_from_env, parallel_edge_switch_proc, parallel_edge_switch_proc_gen,
+    process_backend_supported, try_parallel_edge_switch_proc, try_parallel_edge_switch_proc_gen,
+    ProcError, ProcTransport,
 };
 pub use rank::{RankCheckpoint, RankState, RankStats, StartResult};
 pub use resume::{SimWorld, WorldSnapshot};

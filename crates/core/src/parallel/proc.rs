@@ -5,10 +5,14 @@
 //! same [`StepHarness`], the same [`run_rank_step`] event loop, the same
 //! [`assemble_outcome`] merge — only the substrate differs:
 //!
-//! * the launcher builds the partition stores, serializes a **boot blob**
-//!   (config + partitioner as JSON, per-rank edge pools as raw keys) into
-//!   an [`ShmWorld`], and respawns the current binary once per rank with
-//!   the mapping inherited by fd;
+//! * the launcher serializes a **boot blob** into an [`ShmWorld`] and
+//!   respawns the current binary once per rank with the mapping inherited
+//!   by fd. The blob's payload is either the materialized per-rank edge
+//!   pools as raw keys (O(m) boot bytes), or — under **seed boot**
+//!   ([`try_parallel_edge_switch_proc_gen`]) — an O(1)
+//!   [`StreamSpec`] that each child replays locally to regenerate
+//!   exactly the edges it owns, so boot cost is constant in `m` and no
+//!   participant ever holds more than its own share;
 //! * each rank child attaches, rebuilds its [`RankState`] bit-identically
 //!   (pool order is preserved, so edge sampling matches the threaded
 //!   engine and the simulators), and runs the step loop over a
@@ -31,7 +35,8 @@ use std::process::{Child, Command, Stdio};
 use std::time::Duration;
 
 use edgeswitch_dist::BlockRng64;
-use edgeswitch_graph::store::{build_stores, PartitionStore};
+use edgeswitch_graph::generators::StreamSpec;
+use edgeswitch_graph::store::{build_rank_store_streamed, build_stores, PartitionStore};
 use edgeswitch_graph::{Edge, Graph, Partitioner};
 use edgeswitch_shm::{Endpoint, ShmWorld, WaitOutcome};
 use mpilite::{CollCarrier, CommStats, COLLECTIVE_TAG_BASE, KIND_SLOTS};
@@ -373,14 +378,24 @@ impl RankTransport for ProcTransport<'_> {
 // Boot blob
 // ---------------------------------------------------------------------
 
+/// How a rank child obtains its initial edge pool.
+enum BootPayload {
+    /// The launcher materialized the graph and shipped every rank's pool:
+    /// per-rank edge-pool lengths, with rank `r`'s keys following rank
+    /// `r-1`'s in the concatenated key array. O(m) boot bytes.
+    Keys { counts: Vec<u64>, keys: Vec<u64> },
+    /// Seed boot: an O(1) [`StreamSpec`] — each child replays the
+    /// generator stream and keeps the edges it owns
+    /// ([`build_rank_store_streamed`]), so no edge list ever crosses the
+    /// boot channel and no participant holds more than its own share.
+    Gen { spec: StreamSpec },
+}
+
 struct BootBlob {
     config: ParallelConfig,
     part: Partitioner,
     t: u64,
-    /// Per-rank edge-pool lengths; rank `r`'s keys follow rank `r-1`'s in
-    /// the concatenated key array.
-    counts: Vec<u64>,
-    keys: Vec<u64>,
+    payload: BootPayload,
 }
 
 fn encode_config(out: &mut Vec<u8>, config: &ParallelConfig) {
@@ -496,6 +511,62 @@ fn decode_partitioner(r: &mut Reader<'_>) -> Partitioner {
     }
 }
 
+fn encode_stream_spec(out: &mut Vec<u8>, spec: &StreamSpec) {
+    match *spec {
+        StreamSpec::Pa { n, d, seed } => {
+            out.push(0);
+            put_u64(out, n as u64);
+            put_u64(out, d as u64);
+            put_u64(out, seed);
+        }
+        StreamSpec::PowerLawSeq {
+            n,
+            gamma,
+            d_min,
+            d_max,
+            seed,
+        } => {
+            out.push(1);
+            put_u64(out, n as u64);
+            put_u64(out, gamma.to_bits());
+            put_u64(out, d_min as u64);
+            put_u64(out, d_max as u64);
+            put_u64(out, seed);
+        }
+    }
+}
+
+fn decode_stream_spec(r: &mut Reader<'_>) -> StreamSpec {
+    match r.u8() {
+        0 => StreamSpec::Pa {
+            n: r.u64() as usize,
+            d: r.u64() as usize,
+            seed: r.u64(),
+        },
+        1 => StreamSpec::PowerLawSeq {
+            n: r.u64() as usize,
+            gamma: f64::from_bits(r.u64()),
+            d_min: r.u64() as usize,
+            d_max: r.u64() as usize,
+            seed: r.u64(),
+        },
+        tag => panic!("unknown stream-spec tag {tag}"),
+    }
+}
+
+/// Payload tags in the boot blob.
+const BOOT_KEYS: u8 = 0;
+const BOOT_GEN: u8 = 1;
+
+fn encode_boot_header(config: &ParallelConfig, part: &Partitioner, n: usize, t: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_config(&mut out, config);
+    encode_partitioner(&mut out, part);
+    put_u64(&mut out, n as u64);
+    put_u64(&mut out, t);
+    out
+}
+
 fn encode_boot(
     config: &ParallelConfig,
     part: &Partitioner,
@@ -503,11 +574,8 @@ fn encode_boot(
     t: u64,
     stores: &[PartitionStore],
 ) -> Vec<u8> {
-    let mut out = Vec::new();
-    encode_config(&mut out, config);
-    encode_partitioner(&mut out, part);
-    put_u64(&mut out, n as u64);
-    put_u64(&mut out, t);
+    let mut out = encode_boot_header(config, part, n, t);
+    out.push(BOOT_KEYS);
     put_u64(&mut out, stores.len() as u64);
     for store in stores {
         put_u64(&mut out, store.num_edges() as u64);
@@ -522,23 +590,43 @@ fn encode_boot(
     out
 }
 
+fn encode_boot_gen(
+    config: &ParallelConfig,
+    part: &Partitioner,
+    t: u64,
+    spec: &StreamSpec,
+) -> Vec<u8> {
+    let mut out = encode_boot_header(config, part, spec.num_vertices(), t);
+    out.push(BOOT_GEN);
+    encode_stream_spec(&mut out, spec);
+    out
+}
+
 fn decode_boot(bytes: &[u8]) -> BootBlob {
     let mut r = Reader::new(bytes);
     let config = decode_config(&mut r);
     let part = decode_partitioner(&mut r);
     let _n = r.u64(); // vertex count: launcher-side (assemble_outcome)
     let t = r.u64();
-    let p = r.u64() as usize;
-    let counts: Vec<u64> = (0..p).map(|_| r.u64()).collect();
-    let total: u64 = counts.iter().sum();
-    let keys: Vec<u64> = (0..total).map(|_| r.u64()).collect();
+    let payload = match r.u8() {
+        BOOT_KEYS => {
+            let p = r.u64() as usize;
+            let counts: Vec<u64> = (0..p).map(|_| r.u64()).collect();
+            let total: u64 = counts.iter().sum();
+            let keys: Vec<u64> = (0..total).map(|_| r.u64()).collect();
+            BootPayload::Keys { counts, keys }
+        }
+        BOOT_GEN => BootPayload::Gen {
+            spec: decode_stream_spec(&mut r),
+        },
+        tag => panic!("unknown boot-payload tag {tag}"),
+    };
     r.done();
     BootBlob {
         config,
         part,
         t,
-        counts,
-        keys,
+        payload,
     }
 }
 
@@ -548,6 +636,7 @@ fn decode_boot(bytes: &[u8]) -> BootBlob {
 
 fn encode_result(
     rank: usize,
+    initial_edges: u64,
     store: &PartitionStore,
     tracker: &VisitTracker,
     stats: &RankStats,
@@ -556,6 +645,10 @@ fn encode_result(
 ) -> Vec<u8> {
     let mut out = Vec::new();
     put_u64(&mut out, rank as u64);
+    // Pre-switch pool size: under seed boot the launcher never sees the
+    // initial stores, so ranks report their own share for
+    // `assemble_outcome`'s load-balance accounting.
+    put_u64(&mut out, initial_edges);
 
     put_u64(&mut out, store.num_edges() as u64);
     for e in store.edges() {
@@ -639,9 +732,10 @@ fn encode_result(
     out
 }
 
-fn decode_result(bytes: &[u8]) -> (usize, RankOutput, Vec<StepTelemetry>) {
+fn decode_result(bytes: &[u8]) -> (usize, u64, RankOutput, Vec<StepTelemetry>) {
     let mut r = Reader::new(bytes);
     let rank = r.u64() as usize;
+    let initial_edges = r.u64();
 
     let edge_count = r.u64() as usize;
     let mut store = PartitionStore::new(rank);
@@ -727,7 +821,7 @@ fn decode_result(bytes: &[u8]) -> (usize, RankOutput, Vec<StepTelemetry>) {
         comm,
         obs: None,
     };
-    (rank, output, telemetry)
+    (rank, initial_edges, output, telemetry)
 }
 
 // ---------------------------------------------------------------------
@@ -903,13 +997,69 @@ pub fn try_parallel_edge_switch_proc(
     let p = config.processors;
     assert_eq!(part.num_parts(), p, "partitioner size must match config");
     let stores = build_stores(graph, part);
-    let initial_edges: Vec<u64> = stores.iter().map(|s| s.num_edges() as u64).collect();
     let n = graph.num_vertices();
-    let harness = StepHarness::new(t, config);
-    let steps = harness.steps();
-
     let boot = encode_boot(config, part, n, t, &stores);
     drop(stores);
+    launch_world(boot, n, t, config)
+}
+
+/// Seed-boot launcher: run `t` switch operations on the graph *described*
+/// by `spec` without ever materializing it on the launcher. The boot blob
+/// carries the O(1) spec instead of the O(m) edge list; each rank child
+/// replays the generator stream and keeps its own share
+/// ([`build_rank_store_streamed`]), so peak residency per participant is
+/// O(m/p) and boot-channel traffic is constant in `m`.
+///
+/// Semantically identical to materializing `spec.build()` and calling
+/// [`parallel_edge_switch_proc`] — the per-rank pool order is the same
+/// (streamed split ≡ `build_stores`; see `edgeswitch_graph::store`) — so
+/// outcomes match the materialized launch bit for bit.
+///
+/// # Panics
+/// Panics when `spec.validate()` rejects the parameters or the
+/// partitioner size disagrees with `config.processors`.
+pub fn try_parallel_edge_switch_proc_gen(
+    spec: &StreamSpec,
+    t: u64,
+    config: &ParallelConfig,
+    part: &Partitioner,
+) -> Result<ParallelOutcome, ProcError> {
+    assert_eq!(
+        part.num_parts(),
+        config.processors,
+        "partitioner size must match config"
+    );
+    if let Err(detail) = spec.validate() {
+        panic!("seed-boot spec rejected: {detail}");
+    }
+    let boot = encode_boot_gen(config, part, t, spec);
+    launch_world(boot, spec.num_vertices(), t, config)
+}
+
+/// Panicking form of [`try_parallel_edge_switch_proc_gen`], for parity
+/// with [`parallel_edge_switch_proc`].
+pub fn parallel_edge_switch_proc_gen(
+    spec: &StreamSpec,
+    t: u64,
+    config: &ParallelConfig,
+    part: &Partitioner,
+) -> ParallelOutcome {
+    try_parallel_edge_switch_proc_gen(spec, t, config, part).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// Shared launch machinery: write `boot` into a fresh shm world, respawn
+/// one child per rank, collect result blobs, and assemble the outcome.
+/// Initial per-rank edge counts come back in the result blobs (the
+/// seed-boot launcher has no other way to learn them).
+fn launch_world(
+    boot: Vec<u8>,
+    n: usize,
+    t: u64,
+    config: &ParallelConfig,
+) -> Result<ParallelOutcome, ProcError> {
+    let p = config.processors;
+    let harness = StepHarness::new(t, config);
+    let steps = harness.steps();
 
     // k = p ranks + 1 launcher endpoint (index p) for result return.
     let world = ShmWorld::create(p + 1, config.proc_opts.ring_capacity, boot.len())
@@ -981,12 +1131,14 @@ pub fn try_parallel_edge_switch_proc(
     }
 
     let mut outputs: Vec<Option<RankOutput>> = (0..p).map(|_| None).collect();
+    let mut initial_edges = vec![0u64; p];
     let mut telemetry = vec![StepTelemetry::default(); steps as usize];
     for blob in &blobs {
-        let (rank, output, rank_telemetry) = decode_result(blob);
+        let (rank, initial, output, rank_telemetry) = decode_result(blob);
         for (acc, step) in telemetry.iter_mut().zip(&rank_telemetry) {
             acc.merge(step);
         }
+        initial_edges[rank] = initial;
         assert!(
             outputs[rank].replace(output).is_none(),
             "duplicate result for rank {rank}"
@@ -1073,21 +1225,36 @@ fn run_rank_child(world: &ShmWorld, rank: usize) {
         config,
         part,
         t,
-        counts,
-        keys,
+        payload,
     } = decode_boot(world.boot());
     let p = config.processors;
     assert_eq!(world.participants(), p + 1);
     assert!(rank < p);
 
-    // Rebuild this rank's store with the exact pool order the launcher
-    // serialized (insertion order == pool order == sampling order).
-    let offset: u64 = counts[..rank].iter().sum();
-    let mut store = PartitionStore::new(rank);
-    for key in &keys[offset as usize..(offset + counts[rank]) as usize] {
-        let inserted = store.insert(Edge::from_key(*key));
-        debug_assert!(inserted, "boot store has duplicate edges");
-    }
+    let store = match payload {
+        BootPayload::Keys { counts, keys } => {
+            // Rebuild this rank's store with the exact pool order the
+            // launcher serialized (insertion order == pool order ==
+            // sampling order).
+            let offset: u64 = counts[..rank].iter().sum();
+            let mut store = PartitionStore::new(rank);
+            for key in &keys[offset as usize..(offset + counts[rank]) as usize] {
+                let inserted = store.insert(Edge::from_key(*key));
+                debug_assert!(inserted, "boot store has duplicate edges");
+            }
+            store
+        }
+        BootPayload::Gen { spec } => {
+            // Seed boot: replay the generator stream, keep owned edges.
+            // The streamed split preserves emission order, so the pool
+            // order equals what a materialized boot would have shipped.
+            let mut stream = spec
+                .stream()
+                .expect("seed-boot spec validated at the launcher");
+            build_rank_store_streamed(&mut *stream, &part, rank)
+        }
+    };
+    let initial_edges = store.num_edges() as u64;
 
     let harness = StepHarness::new(t, &config);
     let steps = harness.steps();
@@ -1117,6 +1284,14 @@ fn run_rank_child(world: &ShmWorld, rank: usize) {
     let comm_stats = transport.stats();
     let ProcTransport { ep, .. } = transport;
     let (store, tracker, stats, _obs) = state.into_parts();
-    let blob = encode_result(rank, &store, &tracker, &stats, &comm_stats, &telemetry);
+    let blob = encode_result(
+        rank,
+        initial_edges,
+        &store,
+        &tracker,
+        &stats,
+        &comm_stats,
+        &telemetry,
+    );
     send_result(&ep, p, &blob, result_chunk_len(world));
 }

@@ -8,6 +8,7 @@
 
 use crate::adjacency::NeighborSet;
 use crate::sampling::EdgePool;
+use crate::stream::{capacity_hint, EdgeStream};
 use crate::types::{Edge, GraphError, VertexId};
 use rand::Rng;
 
@@ -45,14 +46,45 @@ impl Graph {
     }
 
     /// Build a graph from an edge iterator, rejecting loops and duplicates.
+    ///
+    /// Pre-sizes from the checked `size_hint` upper bound when the
+    /// iterator reports one (exact-size iterators behind adapters often
+    /// report `(0, Some(m))`; sizing from the lower bound alone forced
+    /// a rehash-and-regrow cascade on those).
     pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
     where
         I: IntoIterator<Item = Edge>,
     {
         let edges = edges.into_iter();
-        let mut g = Graph::with_edge_capacity(n, edges.size_hint().0);
+        let mut g = Graph::with_edge_capacity(n, capacity_hint(edges.size_hint()));
         for e in edges {
             g.add_edge(e)?;
+        }
+        Ok(g)
+    }
+
+    /// Build a graph by draining an [`EdgeStream`] chunk by chunk, so no
+    /// global edge list ever materializes alongside the graph.
+    ///
+    /// Unlike [`Graph::from_edges`], re-emitted duplicate edges are
+    /// *skipped* rather than rejected: streams (notably the
+    /// recomputation-based preferential-attachment generator) may
+    /// produce occasional multi-edges, and deduplication-on-insert is
+    /// part of the streaming contract (see [`crate::stream`]).
+    /// Out-of-range endpoints still error.
+    pub fn from_stream<S>(n: usize, stream: &mut S) -> Result<Self, GraphError>
+    where
+        S: EdgeStream + ?Sized,
+    {
+        let mut g = Graph::with_edge_capacity(n, capacity_hint(stream.size_hint()));
+        let mut chunk = Vec::new();
+        while stream.next_chunk(&mut chunk) {
+            for &e in &chunk {
+                match g.add_edge(e) {
+                    Ok(()) | Err(GraphError::ParallelEdge(_)) => {}
+                    Err(err) => return Err(err),
+                }
+            }
         }
         Ok(g)
     }

@@ -107,6 +107,23 @@ pub fn set_with_capacity<T>(cap: usize) -> FxHashSet<T> {
     FxHashSet::with_capacity_and_hasher(cap, FxBuildHasher::default())
 }
 
+/// SplitMix64 finalizer: a bijective avalanche mix over `u64`.
+///
+/// The seeded-substream primitive of the recomputation-based generators
+/// (`crate::generators`): hashing `(seed, index, attempt)` tuples
+/// through nested `mix64` calls yields independent deterministic draws
+/// addressable by index, which is what lets every rank re-derive any
+/// predecessor's random choice without storing or communicating it.
+/// Same construction as `edgeswitch_dist::splitmix64`, duplicated here
+/// because the graph crate sits below `dist` in the dependency order.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

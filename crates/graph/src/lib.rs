@@ -11,6 +11,8 @@
 //! - per-processor *reduced adjacency* partitions ([`store::PartitionStore`]),
 //! - the paper's four partitioning schemes ([`partition::Partitioner`]),
 //! - generators for the Table 2 dataset inventory ([`generators`]),
+//!   including streaming prescribed-degree and preferential-attachment
+//!   constructors that never materialize a global edge list ([`stream`]),
 //! - degree-sequence tooling including Havel–Hakimi ([`degree`]),
 //! - network metrics for the trajectory experiments ([`metrics`]),
 //! - edge-list I/O ([`io`]).
@@ -28,9 +30,11 @@ pub mod metrics;
 pub mod partition;
 pub mod sampling;
 pub mod store;
+pub mod stream;
 pub mod types;
 
 pub use graph::Graph;
 pub use partition::{Partitioner, SchemeKind};
 pub use store::PartitionStore;
+pub use stream::{EdgeStream, IterStream, OwnedOnly};
 pub use types::{Edge, GraphError, OrientedEdge, VertexId};

@@ -2,10 +2,22 @@
 //!
 //! Both the sequential algorithm (Alg. 1) and every partition of the
 //! parallel algorithm must repeatedly draw edges uniformly at random from a
-//! *dynamically changing* edge set. A `Vec` of edges paired with a
+//! *dynamically changing* edge set. A dense array of edges paired with a
 //! position index gives O(1) `sample`, O(1) `insert`, and O(1) `remove`
 //! (swap-remove), which is what makes the `O(t log d_max)` bound of the
 //! paper achievable in practice.
+//!
+//! The dense array is *chunked*: fixed-size edge blocks of
+//! [`BLOCK_EDGES`] edges ([`EdgeBlocks`]) instead of one contiguous
+//! `Vec`. Dense index `i` lives at `blocks[i >> BLOCK_SHIFT][i &
+//! BLOCK_MASK]`, so indexing stays O(1) while memory grows and shrinks
+//! in 128 KiB steps — no doubling reallocation that momentarily holds
+//! 1.5× the edge set, and no up-front O(m) reservation. That bounds a
+//! streamed build's peak RSS at O(edges stored + one block), which is
+//! what lets the generate→partition pipeline run at 10⁷–10⁸ edges
+//! without a global edge list (see `crate::stream`). A small free list
+//! of emptied blocks absorbs remove/insert churn at a block boundary
+//! without round-tripping the allocator.
 //!
 //! The position index is keyed on the packed-`u64` edge key
 //! ([`Edge::key`]) and hashed with the in-repo [`crate::hashing`]
@@ -54,10 +66,141 @@ pub fn random_matching<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<(VertexId,
         .collect()
 }
 
+/// log₂ of the edges per block: blocks hold 2¹⁴ = 16 384 packed edges
+/// (128 KiB), small enough that a near-empty pool wastes at most one
+/// block and large enough that the block table is negligible (6 103
+/// pointers at m = 10⁸).
+const BLOCK_SHIFT: usize = 14;
+/// Edges per fixed-size block.
+const BLOCK_EDGES: usize = 1 << BLOCK_SHIFT;
+/// Within-block index mask.
+const BLOCK_MASK: usize = BLOCK_EDGES - 1;
+/// Emptied blocks kept on the free list before being returned to the
+/// allocator (absorbs swap-remove/insert churn at a block boundary).
+const SPARE_BLOCKS: usize = 4;
+
+/// The chunked dense array behind [`EdgePool`]: a table of fixed-size
+/// edge blocks with exact `Vec`-of-`Edge` semantics (push, pop, swap,
+/// index) so pool order — and therefore sampling order and the
+/// bit-identity guarantees of the deterministic drivers — is unchanged
+/// from the contiguous representation it replaces.
+#[derive(Clone, Debug, Default)]
+struct EdgeBlocks {
+    /// `blocks.len() == len.div_ceil(BLOCK_EDGES)`; every block but the
+    /// last holds exactly [`BLOCK_EDGES`] edges.
+    blocks: Vec<Vec<Edge>>,
+    /// Emptied blocks retained for reuse, each with full capacity.
+    spare: Vec<Vec<Edge>>,
+    len: usize,
+}
+
+impl EdgeBlocks {
+    fn with_capacity(cap: usize) -> Self {
+        // Only the block *table* is reserved; blocks themselves are
+        // allocated on demand, 128 KiB at a time.
+        EdgeBlocks {
+            blocks: Vec::with_capacity(cap.div_ceil(BLOCK_EDGES)),
+            spare: Vec::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> Edge {
+        self.blocks[i >> BLOCK_SHIFT][i & BLOCK_MASK]
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, e: Edge) {
+        self.blocks[i >> BLOCK_SHIFT][i & BLOCK_MASK] = e;
+    }
+
+    #[inline]
+    fn try_get(&self, i: usize) -> Option<Edge> {
+        if i < self.len {
+            Some(self.get(i))
+        } else {
+            None
+        }
+    }
+
+    fn push(&mut self, e: Edge) {
+        if self.len & BLOCK_MASK == 0 {
+            debug_assert_eq!(self.blocks.len(), self.len >> BLOCK_SHIFT);
+            let block = self
+                .spare
+                .pop()
+                .unwrap_or_else(|| Vec::with_capacity(BLOCK_EDGES));
+            self.blocks.push(block);
+        }
+        self.blocks.last_mut().expect("block just ensured").push(e);
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<Edge> {
+        if self.len == 0 {
+            return None;
+        }
+        let e = self
+            .blocks
+            .last_mut()
+            .expect("non-empty")
+            .pop()
+            .expect("last block non-empty");
+        self.len -= 1;
+        if self.len & BLOCK_MASK == 0 {
+            let block = self.blocks.pop().expect("emptied block present");
+            debug_assert!(block.is_empty());
+            if self.spare.len() < SPARE_BLOCKS {
+                self.spare.push(block);
+            }
+        }
+        Some(e)
+    }
+
+    #[inline]
+    fn swap(&mut self, i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        let (a, b) = (self.get(i), self.get(j));
+        self.set(i, b);
+        self.set(j, a);
+    }
+
+    fn iter(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.blocks.iter().flat_map(|b| b.iter().copied())
+    }
+
+    /// Block-structure invariants (used by `check_consistent`).
+    fn check_blocks(&self) -> bool {
+        self.blocks.len() == self.len.div_ceil(BLOCK_EDGES)
+            && self.len == self.blocks.iter().map(Vec::len).sum::<usize>()
+            && self
+                .blocks
+                .iter()
+                .rev()
+                .skip(1)
+                .all(|b| b.len() == BLOCK_EDGES)
+    }
+}
+
+/// Content equality in dense order; the free list is not observable.
+impl PartialEq for EdgeBlocks {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
 /// A dynamic multiset-free edge pool supporting uniform sampling.
 #[derive(Clone, Debug, Default)]
 pub struct EdgePool {
-    edges: Vec<Edge>,
+    edges: EdgeBlocks,
     pos: FxHashMap<u64, u32>,
 }
 
@@ -67,10 +210,12 @@ impl EdgePool {
         Self::default()
     }
 
-    /// Pool pre-sized for `cap` edges.
+    /// Pool pre-sized for `cap` edges. Only the position index and the
+    /// block table reserve memory up front; edge blocks are allocated
+    /// on demand in [`BLOCK_EDGES`]-edge steps.
     pub fn with_capacity(cap: usize) -> Self {
         EdgePool {
-            edges: Vec::with_capacity(cap),
+            edges: EdgeBlocks::with_capacity(cap),
             pos: map_with_capacity(cap),
         }
     }
@@ -84,7 +229,7 @@ impl EdgePool {
     /// Whether the pool holds no edges.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.edges.is_empty()
+        self.edges.len() == 0
     }
 
     /// Whether the pool contains `e`.
@@ -119,7 +264,7 @@ impl EdgePool {
         self.edges.pop();
         if idx < self.edges.len() {
             // The formerly-last edge moved into `idx`.
-            self.pos.insert(self.edges[idx].key(), idx as u32);
+            self.pos.insert(self.edges.get(idx).key(), idx as u32);
         }
         true
     }
@@ -139,7 +284,7 @@ impl EdgePool {
         self.edges.pop();
         if i < self.edges.len() {
             // The formerly-last edge moved into `i`.
-            self.pos.insert(self.edges[i].key(), idx);
+            self.pos.insert(self.edges.get(i).key(), idx);
         }
         Some(idx)
     }
@@ -163,11 +308,11 @@ impl EdgePool {
         if i >= self.edges.len() {
             return self.insert(e);
         }
-        let displaced = self.edges[i];
+        let displaced = self.edges.get(i);
         let end = self.edges.len() as u32;
         self.edges.push(displaced);
         self.pos.insert(displaced.key(), end);
-        self.edges[i] = e;
+        self.edges.set(i, e);
         self.pos.insert(e.key(), at);
         true
     }
@@ -175,28 +320,30 @@ impl EdgePool {
     /// Draw one edge uniformly at random; `None` on an empty pool.
     #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Edge> {
-        if self.edges.is_empty() {
+        if self.edges.len() == 0 {
             None
         } else {
-            Some(self.edges[rng.gen_range(0..self.edges.len())])
+            Some(self.edges.get(rng.gen_range(0..self.edges.len())))
         }
     }
 
     /// Iterate over all edges in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.edges.iter().copied()
+        self.edges.iter()
     }
 
     /// The edge stored at dense index `i` (used by deterministic drivers).
     #[inline]
     pub fn get(&self, i: usize) -> Option<Edge> {
-        self.edges.get(i).copied()
+        self.edges.try_get(i)
     }
 
     /// Internal consistency check: the position index matches the dense
-    /// array exactly. Used by tests and debug assertions.
+    /// array exactly and the block structure is well-formed. Used by
+    /// tests and debug assertions.
     pub fn check_consistent(&self) -> bool {
-        self.pos.len() == self.edges.len()
+        self.edges.check_blocks()
+            && self.pos.len() == self.edges.len()
             && self
                 .edges
                 .iter()
@@ -251,6 +398,46 @@ mod tests {
         for i in (0..50u64).step_by(3) {
             assert!(p.remove(e(i, i + 1)));
             assert!(p.check_consistent());
+        }
+    }
+
+    #[test]
+    fn pool_spans_block_boundaries_consistently() {
+        // Fill past two block boundaries, then churn across them: the
+        // chunked array must behave exactly like one dense Vec.
+        let total = 2 * BLOCK_EDGES + 1000;
+        let mut p = EdgePool::new();
+        for i in 0..total as u64 {
+            assert!(p.insert(e(i, i + total as u64)));
+        }
+        assert_eq!(p.len(), total);
+        assert!(p.check_consistent());
+        // Dense order is insertion order before any removal.
+        for (i, edge) in p.iter().enumerate() {
+            assert_eq!(edge, e(i as u64, (i + total) as u64));
+            if i > 10 {
+                break;
+            }
+        }
+        assert_eq!(
+            p.get(BLOCK_EDGES),
+            Some(e(BLOCK_EDGES as u64, (BLOCK_EDGES + total) as u64))
+        );
+        // Remove enough to cross back over a boundary (exercises the
+        // free list), then refill.
+        for i in 0..(BLOCK_EDGES + 500) as u64 {
+            assert!(p.remove(e(i, i + total as u64)));
+        }
+        assert!(p.check_consistent());
+        assert_eq!(p.len(), total - BLOCK_EDGES - 500);
+        for i in 0..600u64 {
+            assert!(p.insert(e(i, i + 1)));
+        }
+        assert!(p.check_consistent());
+        let mut rng = Pcg64::seed_from_u64(9);
+        for _ in 0..200 {
+            let s = p.sample(&mut rng).unwrap();
+            assert!(p.contains(s));
         }
     }
 

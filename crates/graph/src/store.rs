@@ -15,6 +15,7 @@ use crate::graph::Graph;
 use crate::hashing::{map_with_capacity, FxHashMap};
 use crate::partition::Partitioner;
 use crate::sampling::EdgePool;
+use crate::stream::{capacity_hint, EdgeStream};
 use crate::types::{Edge, VertexId};
 use rand::Rng;
 
@@ -170,6 +171,60 @@ pub fn build_stores(graph: &Graph, part: &Partitioner) -> Vec<PartitionStore> {
         debug_assert!(inserted, "input graph contained duplicate edge {e}");
     }
     stores
+}
+
+/// Split a *streamed* edge sequence into `p` partition stores under
+/// `part`, without ever materializing the global edge list: each chunk
+/// is routed edge-by-edge to `part.owner(e.src())` and dropped.
+///
+/// Equivalence with [`build_stores`]: feeding the same edge sequence
+/// (e.g. a graph's pool order via `IterStream::new(graph.edges())`)
+/// produces stores whose pool orders match `build_stores` exactly,
+/// because both insert in sequence order and deduplicate on insert —
+/// re-emitted duplicates are *skipped* here rather than asserted away,
+/// matching the streaming contract (see [`crate::stream`]).
+pub fn build_stores_streamed<S>(stream: &mut S, part: &Partitioner) -> Vec<PartitionStore>
+where
+    S: EdgeStream + ?Sized,
+{
+    let p = part.num_parts();
+    let share = capacity_hint(stream.size_hint()) / p.max(1);
+    let mut stores: Vec<PartitionStore> = (0..p)
+        .map(|rank| PartitionStore::with_capacity(rank, share))
+        .collect();
+    let mut chunk = Vec::new();
+    while stream.next_chunk(&mut chunk) {
+        for &e in &chunk {
+            stores[part.owner(e.src())].insert(e);
+        }
+    }
+    stores
+}
+
+/// Build *one* rank's partition store from a streamed edge sequence,
+/// keeping only the edges `part` assigns to `rank` — the per-process
+/// form of [`build_stores_streamed`] used by seed-booted children, who
+/// regenerate the full deterministic sequence locally and keep their
+/// share (peak memory O(m/p + chunk), zero communication).
+pub fn build_rank_store_streamed<S>(
+    stream: &mut S,
+    part: &Partitioner,
+    rank: usize,
+) -> PartitionStore
+where
+    S: EdgeStream + ?Sized,
+{
+    let share = capacity_hint(stream.size_hint()) / part.num_parts().max(1);
+    let mut store = PartitionStore::with_capacity(rank, share);
+    let mut chunk = Vec::new();
+    while stream.next_chunk(&mut chunk) {
+        for &e in &chunk {
+            if part.owner(e.src()) == rank {
+                store.insert(e);
+            }
+        }
+    }
+    store
 }
 
 /// Reassemble the full graph from partition stores (gather step, used for

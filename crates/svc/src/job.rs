@@ -19,7 +19,7 @@ use edgeswitch_core::parallel::SimWorld;
 use edgeswitch_core::sequential::SequentialResumable;
 use edgeswitch_core::{ParallelConfig, Randomizer, Run, RunError};
 use edgeswitch_dist::{root_rng, switch_ops_for_visit_rate};
-use edgeswitch_graph::generators::{erdos_renyi_gnm, preferential_attachment};
+use edgeswitch_graph::generators::{erdos_renyi_gnm, preferential_attachment, StreamSpec};
 use edgeswitch_graph::{Edge, Graph};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::channel;
@@ -54,6 +54,12 @@ pub enum GraphSpec {
         /// Generator seed.
         seed: u64,
     },
+    /// A streaming recomputation generator (`"pa-stream"` /
+    /// `"degree-seq"` on the wire): the O(1) [`StreamSpec`] currency of
+    /// the seed-boot pipeline. Validated at submit time via
+    /// [`StreamSpec::validate`], so a bad spec is rejected before the
+    /// job is queued.
+    Streamed(StreamSpec),
 }
 
 impl GraphSpec {
@@ -70,6 +76,9 @@ impl GraphSpec {
             GraphSpec::PreferentialAttachment { n, d, seed } => {
                 Ok(preferential_attachment(*n, *d, &mut root_rng(*seed)))
             }
+            GraphSpec::Streamed(spec) => spec
+                .build()
+                .map_err(|err| format!("streamed graph spec failed to realize: {err:?}")),
         }
     }
 }
@@ -208,6 +217,46 @@ impl JobSpec {
                     .ok_or("pa graph needs 'd'")? as usize,
                 seed: graph_json.get("seed").and_then(Json::as_u64).unwrap_or(1),
             },
+            Some("pa-stream") => {
+                let spec = StreamSpec::Pa {
+                    n: graph_json
+                        .get("n")
+                        .and_then(Json::as_u64)
+                        .ok_or("pa-stream graph needs 'n'")? as usize,
+                    d: graph_json
+                        .get("d")
+                        .and_then(Json::as_u64)
+                        .ok_or("pa-stream graph needs 'd'")? as usize,
+                    seed: graph_json.get("seed").and_then(Json::as_u64).unwrap_or(1),
+                };
+                spec.validate()?;
+                GraphSpec::Streamed(spec)
+            }
+            Some("degree-seq") => {
+                let spec = StreamSpec::PowerLawSeq {
+                    n: graph_json
+                        .get("n")
+                        .and_then(Json::as_u64)
+                        .ok_or("degree-seq graph needs 'n'")? as usize,
+                    gamma: graph_json
+                        .get("gamma")
+                        .and_then(Json::as_f64)
+                        .ok_or("degree-seq graph needs 'gamma'")?,
+                    d_min: graph_json
+                        .get("d_min")
+                        .and_then(Json::as_u64)
+                        .ok_or("degree-seq graph needs 'd_min'")?
+                        as usize,
+                    d_max: graph_json
+                        .get("d_max")
+                        .and_then(Json::as_u64)
+                        .ok_or("degree-seq graph needs 'd_max'")?
+                        as usize,
+                    seed: graph_json.get("seed").and_then(Json::as_u64).unwrap_or(1),
+                };
+                spec.validate()?;
+                GraphSpec::Streamed(spec)
+            }
             other => return Err(format!("unknown graph type {other:?}")),
         };
         let budget_json = v.get("budget").ok_or("missing 'budget'")?;
@@ -271,6 +320,26 @@ impl JobSpec {
                 ("type", Json::str("pa")),
                 ("n", Json::num(*n as u64)),
                 ("d", Json::num(*d as u64)),
+                ("seed", Json::num(*seed)),
+            ]),
+            GraphSpec::Streamed(StreamSpec::Pa { n, d, seed }) => Json::obj([
+                ("type", Json::str("pa-stream")),
+                ("n", Json::num(*n as u64)),
+                ("d", Json::num(*d as u64)),
+                ("seed", Json::num(*seed)),
+            ]),
+            GraphSpec::Streamed(StreamSpec::PowerLawSeq {
+                n,
+                gamma,
+                d_min,
+                d_max,
+                seed,
+            }) => Json::obj([
+                ("type", Json::str("degree-seq")),
+                ("n", Json::num(*n as u64)),
+                ("gamma", Json::Num(*gamma)),
+                ("d_min", Json::num(*d_min as u64)),
+                ("d_max", Json::num(*d_max as u64)),
                 ("seed", Json::num(*seed)),
             ]),
         };
@@ -759,11 +828,82 @@ mod tests {
                 randomizer: Randomizer::Curveball,
                 return_edges: true,
             },
+            JobSpec {
+                graph: GraphSpec::Streamed(StreamSpec::Pa {
+                    n: 200,
+                    d: 4,
+                    seed: 7,
+                }),
+                ..er_spec()
+            },
+            JobSpec {
+                graph: GraphSpec::Streamed(StreamSpec::PowerLawSeq {
+                    n: 150,
+                    gamma: 2.5,
+                    d_min: 2,
+                    d_max: 12,
+                    seed: 7,
+                }),
+                ..er_spec()
+            },
         ] {
             let encoded = spec.to_json().to_json();
             let back = JobSpec::from_json(&json::parse(&encoded).unwrap()).unwrap();
             assert_eq!(back, spec);
         }
+    }
+
+    #[test]
+    fn streamed_specs_are_validated_at_parse_time() {
+        // A malformed generator spec is rejected when the submission is
+        // parsed — before a job is queued — with the generator's own
+        // message, not a build-time failure.
+        let bad_pa = r#"{"graph":{"type":"pa-stream","n":4,"d":9,"seed":1},
+                         "budget":{"switches":10}}"#;
+        let err = JobSpec::from_json(&json::parse(bad_pa).unwrap()).unwrap_err();
+        assert!(err.contains("1 <= d < n"), "{err}");
+        let bad_seq = r#"{"graph":{"type":"degree-seq","n":50,"gamma":2.5,
+                          "d_min":9,"d_max":2,"seed":1},"budget":{"switches":10}}"#;
+        let err = JobSpec::from_json(&json::parse(bad_seq).unwrap()).unwrap_err();
+        assert!(err.contains("d_min <= d_max"), "{err}");
+        // Missing required fields name the field.
+        let no_gamma = r#"{"graph":{"type":"degree-seq","n":50,"d_min":2,"d_max":9},
+                           "budget":{"switches":10}}"#;
+        let err = JobSpec::from_json(&json::parse(no_gamma).unwrap()).unwrap_err();
+        assert!(err.contains("gamma"), "{err}");
+    }
+
+    #[test]
+    fn streamed_spec_job_runs_to_completion() {
+        let spec = JobSpec {
+            graph: GraphSpec::Streamed(StreamSpec::Pa {
+                n: 120,
+                d: 3,
+                seed: 4,
+            }),
+            budget: BudgetSpec::Switches(200),
+            driver: Driver::Sequential,
+            p: 1,
+            ..er_spec()
+        };
+        let entry = JobEntry::new(1, spec.clone());
+        let result = run_job(
+            &entry,
+            WorkerOpts::default(),
+            None,
+            &AtomicBool::new(false),
+            &|_| Ok(()),
+        )
+        .expect("job completes");
+        assert_eq!(entry.phase(), JobPhase::Done);
+        // Deterministic: the spec materializes to the same graph the
+        // job started from.
+        let graph = spec.graph.build().unwrap();
+        let direct = spec.as_run().execute(&graph);
+        assert_eq!(
+            result.get("digest").and_then(Json::as_str),
+            Some(&format!("{:#018x}", direct.graph().edge_digest())[..])
+        );
     }
 
     #[test]
